@@ -1,0 +1,138 @@
+// Command securetf-cas runs a standalone Configuration and Attestation
+// Service: the secureTF component every secure container attests to
+// before receiving secrets, volume keys and TLS identities (paper
+// §3.3.2, §4.3).
+//
+// Usage:
+//
+//	securetf-cas -listen 127.0.0.1:7300 -store /var/lib/securetf-cas \
+//	             -keyout /run/securetf/trust/cas.pem -trustdir /run/securetf/trust
+//
+// On startup the CAS writes its platform attestation key (PEM) and its
+// enclave measurement to -keyout and -keyout.measurement; workers verify
+// the CAS quote against these before trusting it (paper §3.1 step 1).
+// The CAS continuously loads worker platform keys dropped into
+// -trustdir — the simulation's stand-in for DCAP platform registration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	securetf "github.com/securetf/securetf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "securetf-cas:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("securetf-cas", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:0", "TCP address to serve on")
+		store    = fs.String("store", "cas-store", "directory for the encrypted, rollback-protected store")
+		keyout   = fs.String("keyout", "cas.pem", "where to write this CAS's platform key (PEM)")
+		trustdir = fs.String("trustdir", "", "directory scanned for worker platform keys (PEM)")
+		scan     = fs.Duration("scan", time.Second, "trust directory scan interval")
+		once     = fs.Bool("once", false, "start, print identity and exit (smoke test)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*store, 0o700); err != nil {
+		return err
+	}
+
+	platform, err := securetf.NewPlatform("cas-platform")
+	if err != nil {
+		return err
+	}
+	server, err := securetf.StartCASWithTrust(platform, securetf.NewDirFS(*store), *listen, nil)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	keyPEM, err := securetf.MarshalPlatformKey(platform)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(*keyout), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*keyout, keyPEM, 0o644); err != nil {
+		return err
+	}
+	measurement := server.Measurement().Hex()
+	if err := os.WriteFile(*keyout+".measurement", []byte(measurement+"\n"), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "securetf-cas listening on %s\n", server.Addr())
+	fmt.Fprintf(w, "enclave measurement: %s\n", measurement)
+	fmt.Fprintf(w, "platform key: %s\n", *keyout)
+	if *once {
+		return nil
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *trustdir == "" {
+		<-stop
+		return nil
+	}
+
+	seen := make(map[string]bool)
+	ticker := time.NewTicker(*scan)
+	defer ticker.Stop()
+	for {
+		if err := loadTrustDir(server, *trustdir, seen, w); err != nil {
+			fmt.Fprintf(os.Stderr, "securetf-cas: trust scan: %v\n", err)
+		}
+		select {
+		case <-ticker.C:
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+// loadTrustDir registers every not-yet-seen platform key under dir.
+func loadTrustDir(server *securetf.CAS, dir string, seen map[string]bool, w io.Writer) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".pem" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		keys, err := securetf.ParsePlatformKeys(data)
+		if err != nil {
+			continue // not a platform key file
+		}
+		for name, key := range keys {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			server.TrustPlatform(name, key)
+			fmt.Fprintf(w, "trusting platform %q (from %s)\n", name, e.Name())
+		}
+	}
+	return nil
+}

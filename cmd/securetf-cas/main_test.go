@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	securetf "github.com/securetf/securetf"
+)
+
+func TestRunOnceWritesIdentity(t *testing.T) {
+	dir := t.TempDir()
+	keyout := filepath.Join(dir, "cas.pem")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-listen", "127.0.0.1:0",
+		"-store", filepath.Join(dir, "store"),
+		"-keyout", keyout,
+		"-once",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "enclave measurement:") {
+		t.Fatalf("missing measurement in output:\n%s", buf.String())
+	}
+	pemData, err := os.ReadFile(keyout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := securetf.ParsePlatformKeys(pemData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := keys["cas-platform"]; !ok {
+		t.Fatalf("keyout has no cas-platform key: %v", keys)
+	}
+	m, err := os.ReadFile(keyout + ".measurement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := securetf.ParseMeasurement(strings.TrimSpace(string(m))); err != nil {
+		t.Fatalf("bad measurement file: %v", err)
+	}
+}
+
+func TestLoadTrustDir(t *testing.T) {
+	dir := t.TempDir()
+	platform, err := securetf.NewPlatform("some-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemData, err := securetf.MarshalPlatformKey(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "some-worker.pem"), pemData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated files must be skipped, not fail the scan.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.pem"), []byte("not pem"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	casPlat, err := securetf.NewPlatform("cas-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := securetf.StartCASWithTrust(casPlat, securetf.NewMemFS(), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	var buf bytes.Buffer
+	seen := make(map[string]bool)
+	if err := loadTrustDir(server, dir, seen, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !seen["some-worker"] {
+		t.Fatalf("worker key not loaded; seen=%v", seen)
+	}
+	// A second scan must not re-announce.
+	buf.Reset()
+	if err := loadTrustDir(server, dir, seen, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rescan re-announced: %s", buf.String())
+	}
+}

@@ -1,0 +1,272 @@
+// Command securetf-worker runs a secure inference container that
+// attests to a CAS, receives its volume key and TLS identity, and serves
+// classification requests — one node of the paper's Fig. 2 architecture.
+//
+// Usage (after starting securetf-cas with -trustdir /run/securetf/trust):
+//
+//	securetf-worker -cas 127.0.0.1:7300 -cas-info /run/securetf/trust/cas.pem \
+//	                -trustdir /run/securetf/trust -spec densenet -listen 127.0.0.1:7400
+//
+// The worker drops its own platform key into -trustdir (the CAS picks it
+// up), registers a session covering its enclave measurement, attests,
+// and serves. With -selftest it additionally spins up an attested client
+// container in-process and runs one classification over the shielded
+// TLS channel to prove the path end to end.
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	securetf "github.com/securetf/securetf"
+)
+
+// randomToken draws a random session owner token.
+func randomToken() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		return "securetf-worker-token"
+	}
+	return hex.EncodeToString(b)
+}
+
+// randRead fills b with random bytes.
+func randRead(b []byte) (int, error) { return rand.Read(b) }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "securetf-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("securetf-worker", flag.ContinueOnError)
+	var (
+		casAddr  = fs.String("cas", "", "CAS address (required)")
+		casInfo  = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
+		trustdir = fs.String("trustdir", "", "directory where the CAS scans for platform keys (required)")
+		name     = fs.String("name", "worker-platform", "this worker's platform name (must be unique per CAS)")
+		session  = fs.String("session", "inference", "CAS session name to register and attest to")
+		token    = fs.String("token", "", "session owner token (defaults to a random one)")
+		spec     = fs.String("spec", "densenet", "synthetic model spec: densenet, inception_v3, inception_v4")
+		model    = fs.String("model", "", "path to a Lite model file (overrides -spec)")
+		listen   = fs.String("listen", "127.0.0.1:0", "inference service address")
+		threads  = fs.Int("threads", 1, "interpreter threads")
+		selftest = fs.Bool("selftest", false, "run one attested classification against the service, then keep serving")
+		once     = fs.Bool("once", false, "exit after startup (and -selftest if set) instead of serving forever")
+		timeout  = fs.Duration("timeout", 15*time.Second, "how long to retry attestation while the CAS learns our key")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *casAddr == "" || *casInfo == "" || *trustdir == "" {
+		return errors.New("-cas, -cas-info and -trustdir are required")
+	}
+	if *token == "" {
+		*token = randomToken()
+	}
+
+	casKeyPEM, casMeasurement, err := readCASInfo(*casInfo)
+	if err != nil {
+		return err
+	}
+
+	platform, err := securetf.NewPlatform(*name)
+	if err != nil {
+		return err
+	}
+	// Publish our platform key where the CAS scans for it.
+	keyPEM, err := securetf.MarshalPlatformKey(platform)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*trustdir, *name+".pem"), keyPEM, 0o644); err != nil {
+		return err
+	}
+
+	trust, err := securetf.ParsePlatformKeys(append(append([]byte{}, keyPEM...), casKeyPEM...))
+	if err != nil {
+		return err
+	}
+
+	liteModel, err := loadModel(*spec, *model)
+	if err != nil {
+		return err
+	}
+
+	container, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:          securetf.SconeHW,
+		Platform:      platform,
+		Image:         securetf.TFLiteImage(),
+		HostFS:        securetf.NewMemFS(),
+		FSShieldRules: []securetf.Rule{securetf.EncryptPrefix("volumes/models/")},
+	})
+	if err != nil {
+		return err
+	}
+	defer container.Close()
+
+	client, err := securetf.NewCASClientAt(container, *casAddr, casMeasurement, trust)
+	if err != nil {
+		return err
+	}
+	volKey := make([]byte, 32)
+	if _, err := randRead(volKey); err != nil {
+		return err
+	}
+	host, _, _ := strings.Cut(*listen, ":")
+	if err := client.Register(&securetf.Session{
+		Name:         *session,
+		OwnerToken:   *token,
+		Measurements: []string{container.Enclave().Measurement().Hex()},
+		Volumes:      map[string][]byte{"models": volKey},
+		Services:     []string{"classifier", "localhost", host},
+	}); err != nil {
+		return fmt.Errorf("register session: %w", err)
+	}
+
+	// The CAS learns our platform key asynchronously from the trust
+	// directory; retry attestation until it does.
+	deadline := time.Now().Add(*timeout)
+	var timing securetf.AttestTiming
+	for {
+		_, timing, err = container.Provision(client, *session, "models")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("attestation did not succeed within %v: %w", *timeout, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Fprintf(w, "attested to CAS in %v (init %v, quote %v, confirm %v, keys %v)\n",
+		timing.Total(), timing.Initialization, timing.SendQuote, timing.WaitConfirmation, timing.ReceiveKeys)
+
+	// Store the model under the provisioned encrypted volume, reload it
+	// through the shield and serve.
+	if err := securetf.WriteFile(container.FS(), "volumes/models/model.stfl", liteModel.Marshal()); err != nil {
+		return err
+	}
+	stored, err := securetf.ReadFile(container.FS(), "volumes/models/model.stfl")
+	if err != nil {
+		return err
+	}
+	served, err := securetf.UnmarshalLiteModel(stored)
+	if err != nil {
+		return err
+	}
+	svc, err := securetf.ServeInference(container, served, *listen, *threads)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Fprintf(w, "serving TLS inference on %s (model %d weight bytes)\n", svc.Addr(), served.WeightBytes())
+
+	if *selftest {
+		if err := probe(w, platform, *casAddr, casMeasurement, trust, *session, svc.Addr(), served); err != nil {
+			return fmt.Errorf("selftest: %w", err)
+		}
+	}
+	if *once {
+		return nil
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	return nil
+}
+
+// probe runs one classification through a second attested container in
+// this process, exercising the full CAS → TLS → classify path. The
+// probe container reuses the worker's platform (the CAS already trusts
+// its key) and image (so the session's measurement policy admits it).
+func probe(w io.Writer, platform *securetf.Platform, casAddr, casMeasurement string,
+	trust map[string]*ecdsa.PublicKey, session, svcAddr string, model *securetf.LiteModel) error {
+	probeC, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:     securetf.SconeHW,
+		Platform: platform,
+		Image:    securetf.TFLiteImage(),
+		HostFS:   securetf.NewMemFS(),
+	})
+	if err != nil {
+		return err
+	}
+	defer probeC.Close()
+	client, err := securetf.NewCASClientAt(probeC, casAddr, casMeasurement, trust)
+	if err != nil {
+		return err
+	}
+	if _, _, err := probeC.Provision(client, session, "models"); err != nil {
+		return fmt.Errorf("probe attestation: %w", err)
+	}
+	cl, err := securetf.DialInference(probeC, svcAddr, "classifier")
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	input, err := modelInput(model)
+	if err != nil {
+		return err
+	}
+	classes, err := cl.Classify(input)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "selftest: classified one input over shielded TLS → class %d\n", classes[0])
+	return nil
+}
+
+// modelInput builds a single-row random input matching the model's
+// input tensor shape.
+func modelInput(m *securetf.LiteModel) (*securetf.Tensor, error) {
+	if len(m.Inputs) == 0 {
+		return nil, errors.New("model has no inputs")
+	}
+	shape := securetf.Shape{1}
+	for _, d := range m.Tensors[m.Inputs[0]].Shape[1:] {
+		shape = append(shape, d)
+	}
+	return securetf.RandNormal(shape, 1, 42), nil
+}
+
+// readCASInfo loads the CAS platform key PEM and measurement sibling.
+func readCASInfo(path string) ([]byte, string, error) {
+	keyPEM, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	m, err := os.ReadFile(path + ".measurement")
+	if err != nil {
+		return nil, "", err
+	}
+	return keyPEM, strings.TrimSpace(string(m)), nil
+}
+
+// loadModel loads a Lite model from disk, or synthesizes the named spec.
+func loadModel(spec, path string) (*securetf.LiteModel, error) {
+	if path != "" {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return securetf.UnmarshalLiteModel(blob)
+	}
+	for _, s := range securetf.PaperModels() {
+		if strings.EqualFold(s.Name, spec) {
+			return securetf.BuildInferenceModel(s), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown model spec %q", spec)
+}

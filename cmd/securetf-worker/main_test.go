@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	securetf "github.com/securetf/securetf"
+)
+
+// TestWorkerAttestsAndServes runs the worker's full startup against an
+// in-process CAS reached over real TCP: publish platform key, register
+// session, retry attestation until the CAS trusts the key, provision,
+// serve, and self-test one classification over the shielded channel.
+func TestWorkerAttestsAndServes(t *testing.T) {
+	trustdir := t.TempDir()
+
+	casPlat, err := securetf.NewPlatform("cas-platform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := securetf.StartCASWithTrust(casPlat, securetf.NewMemFS(), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	keyPEM, err := securetf.MarshalPlatformKey(casPlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casInfo := filepath.Join(trustdir, "cas.pem")
+	if err := os.WriteFile(casInfo, keyPEM, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(casInfo+".measurement", []byte(server.Measurement().Hex()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Play the CAS daemon's trust-scan loop: pick up the key the worker
+	// drops into the trust directory.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seen := make(map[string]bool)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			entries, err := os.ReadDir(trustdir)
+			if err == nil {
+				for _, e := range entries {
+					if filepath.Ext(e.Name()) != ".pem" || seen[e.Name()] {
+						continue
+					}
+					data, err := os.ReadFile(filepath.Join(trustdir, e.Name()))
+					if err != nil {
+						continue
+					}
+					keys, err := securetf.ParsePlatformKeys(data)
+					if err != nil {
+						continue
+					}
+					seen[e.Name()] = true
+					for name, key := range keys {
+						server.TrustPlatform(name, key)
+					}
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-cas", server.Addr(),
+		"-cas-info", casInfo,
+		"-trustdir", trustdir,
+		"-spec", "densenet",
+		"-listen", "127.0.0.1:0",
+		"-selftest",
+		"-once",
+		"-timeout", "30s",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("worker: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"attested to CAS", "serving TLS inference", "selftest: classified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkerRequiresFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}
+
+func TestLoadModelSpecs(t *testing.T) {
+	for _, spec := range []string{"densenet", "inception_v3"} {
+		m, err := loadModel(spec, "")
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if m.WeightBytes() == 0 {
+			t.Fatalf("%s: empty model", spec)
+		}
+	}
+	if _, err := loadModel("resnet-9000", ""); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}

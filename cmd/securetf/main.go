@@ -1,0 +1,275 @@
+// Command securetf is the end-user CLI of the reproduction: generate a
+// dataset, train a model inside a secure container, freeze + convert it
+// to the Lite format, and classify — the full §4 workflow over real
+// files.
+//
+// Usage:
+//
+//	securetf gen-data -dir work -train 512 -test 128
+//	securetf train    -dir work -model cnn -steps 50 -batch 100 -out work/model.stfl
+//	securetf classify -dir work -in work/model.stfl -n 10
+//
+// The -runtime flag selects the execution environment (scone-hw,
+// scone-sim, graphene, native-glibc, native-musl); -encrypt stores the
+// model through the file-system shield so the host never sees plaintext
+// weights.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	securetf "github.com/securetf/securetf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "securetf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: securetf <gen-data|train|classify> [flags]")
+	}
+	switch args[0] {
+	case "gen-data":
+		return genData(args[1:], w)
+	case "train":
+		return train(args[1:], w)
+	case "classify":
+		return classify(args[1:], w)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen-data, train or classify)", args[0])
+	}
+}
+
+func genData(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gen-data", flag.ContinueOnError)
+	var (
+		dir    = fs.String("dir", "work", "working directory")
+		trainN = fs.Int("train", 512, "training examples")
+		testN  = fs.Int("test", 128, "test examples")
+		seed   = fs.Int64("seed", 1, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	if err := securetf.GenerateMNIST(securetf.NewDirFS(*dir), "mnist", *trainN, *testN, *seed); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote synthetic MNIST (IDX format): %d train, %d test under %s/mnist\n", *trainN, *testN, *dir)
+	return nil
+}
+
+// runtimeKind maps the -runtime flag to a kind.
+func runtimeKind(name string) (securetf.RuntimeKind, error) {
+	switch name {
+	case "scone-hw":
+		return securetf.SconeHW, nil
+	case "scone-sim":
+		return securetf.SconeSIM, nil
+	case "graphene":
+		return securetf.Graphene, nil
+	case "native-glibc":
+		return securetf.NativeGlibc, nil
+	case "native-musl":
+		return securetf.NativeMusl, nil
+	default:
+		return 0, fmt.Errorf("unknown runtime %q", name)
+	}
+}
+
+// launchContainer builds a container over dir, optionally shielding the
+// models/ prefix.
+func launchContainer(dir, runtime string, encrypt bool, image securetf.Image) (*securetf.Container, error) {
+	kind, err := runtimeKind(runtime)
+	if err != nil {
+		return nil, err
+	}
+	platform, err := securetf.NewPlatform("cli-node")
+	if err != nil {
+		return nil, err
+	}
+	cfg := securetf.ContainerConfig{
+		Kind:     kind,
+		Platform: platform,
+		Image:    image,
+		HostFS:   securetf.NewDirFS(dir),
+	}
+	if encrypt {
+		key, err := volumeKey(dir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.FSShieldRules = []securetf.Rule{securetf.EncryptPrefix("models/")}
+		cfg.VolumeKey = key
+	}
+	return securetf.Launch(cfg)
+}
+
+func train(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var (
+		dir      = fs.String("dir", "work", "working directory")
+		model    = fs.String("model", "cnn", "model: cnn, mlp")
+		steps    = fs.Int("steps", 50, "training steps")
+		batch    = fs.Int("batch", 100, "minibatch size")
+		lr       = fs.Float64("lr", 0.005, "learning rate (Adam)")
+		seed     = fs.Int64("seed", 1, "weight init seed")
+		out      = fs.String("out", "models/model.stfl", "output Lite model path (relative to -dir)")
+		runtime  = fs.String("runtime", "scone-hw", "runtime kind")
+		encrypt  = fs.Bool("encrypt", false, "store the model through the file-system shield")
+		quantize = fs.Bool("quantize", false, "int8 post-training weight quantization")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := launchContainer(*dir, *runtime, *encrypt, securetf.TensorFlowImage())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	xs, ys, err := securetf.LoadMNIST(c.FS(), "mnist/train-images-idx3-ubyte", "mnist/train-labels-idx1-ubyte")
+	if err != nil {
+		return fmt.Errorf("load training data (run gen-data first?): %w", err)
+	}
+	var handles securetf.Model
+	switch *model {
+	case "cnn":
+		handles = securetf.NewMNISTCNN(*seed)
+	case "mlp":
+		handles = securetf.NewMNISTMLP(*seed)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	fmt.Fprintf(w, "training %s on %d examples (%s runtime)\n", *model, xs.Shape()[0], c.Name())
+	trained, err := securetf.Train(securetf.TrainConfig{
+		Container: c, Model: handles,
+		XS: xs, YS: ys,
+		BatchSize: *batch, Steps: *steps,
+		Optimizer: securetf.Adam{LR: *lr},
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer trained.Close()
+
+	tx, ty, err := securetf.LoadMNIST(c.FS(), "mnist/t10k-images-idx3-ubyte", "mnist/t10k-labels-idx1-ubyte")
+	if err != nil {
+		return err
+	}
+	acc, err := trained.Accuracy(tx, ty)
+	if err != nil {
+		return err
+	}
+	frozen, err := trained.Freeze()
+	if err != nil {
+		return err
+	}
+	lite, err := frozen.ConvertToLite(securetf.ConvertOptions{Quantize: *quantize})
+	if err != nil {
+		return err
+	}
+	if err := securetf.WriteFile(c.FS(), *out, lite.Marshal()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "final loss %.4f, test accuracy %.1f%%\n", trained.LastLoss(), 100*acc)
+	fmt.Fprintf(w, "wrote Lite model (%d weight bytes) to %s/%s\n", lite.WeightBytes(), *dir, *out)
+	fmt.Fprintf(w, "virtual time charged: %v\n", c.Clock().Now())
+	return nil
+}
+
+func classify(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	var (
+		dir     = fs.String("dir", "work", "working directory")
+		in      = fs.String("in", "models/model.stfl", "Lite model path (relative to -dir)")
+		n       = fs.Int("n", 10, "test images to classify")
+		runtime = fs.String("runtime", "scone-hw", "runtime kind")
+		encrypt = fs.Bool("encrypt", false, "model is stored through the file-system shield")
+		threads = fs.Int("threads", 1, "interpreter threads")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := launchContainer(*dir, *runtime, *encrypt, securetf.TFLiteImage())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	blob, err := securetf.ReadFile(c.FS(), *in)
+	if err != nil {
+		return fmt.Errorf("load model (run train first?): %w", err)
+	}
+	model, err := securetf.UnmarshalLiteModel(blob)
+	if err != nil {
+		return err
+	}
+	xs, ys, err := securetf.LoadMNIST(c.FS(), "mnist/t10k-images-idx3-ubyte", "mnist/t10k-labels-idx1-ubyte")
+	if err != nil {
+		return err
+	}
+	if *n > xs.Shape()[0] {
+		*n = xs.Shape()[0]
+	}
+	batch, err := securetf.SliceRows(xs, 0, *n)
+	if err != nil {
+		return err
+	}
+	classifier, err := securetf.NewClassifier(c, model, *threads)
+	if err != nil {
+		return err
+	}
+	defer classifier.Close()
+	classes, err := classifier.Classify(batch)
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for i, cls := range classes {
+		truth := 0
+		for d := 0; d < 10; d++ {
+			if ys.Floats()[i*10+d] == 1 {
+				truth = d
+			}
+		}
+		mark := " "
+		if cls == truth {
+			correct++
+			mark = "*"
+		}
+		fmt.Fprintf(w, "image %3d: predicted %d, label %d %s\n", i, cls, truth, mark)
+	}
+	fmt.Fprintf(w, "%d/%d correct; virtual time charged: %v\n", correct, *n, c.Clock().Now())
+	return nil
+}
+
+// volumeKey loads or creates the demo volume key for -encrypt mode. A
+// production deployment receives this from a CAS after attestation (see
+// cmd/securetf-cas and cmd/securetf-worker); the CLI keeps it in a local
+// file so train and classify agree.
+func volumeKey(dir string) (*securetf.VolumeKey, error) {
+	path := dir + "/.volume-key"
+	if raw, err := os.ReadFile(path); err == nil {
+		return securetf.VolumeKeyFromBytes(raw)
+	}
+	key, err := securetf.NewVolumeKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, key[:], 0o600); err != nil {
+		return nil, err
+	}
+	return key, nil
+}

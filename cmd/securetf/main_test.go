@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWorkflowEndToEnd drives gen-data → train → classify over a real
+// temporary directory with the file-system shield on.
+func TestWorkflowEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+
+	if err := run([]string{"gen-data", "-dir", dir, "-train", "256", "-test", "64"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-dir", dir, "-model", "mlp", "-steps", "25",
+		"-batch", "64", "-encrypt", "-runtime", "scone-hw"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test accuracy") {
+		t.Fatalf("train output missing accuracy:\n%s", buf.String())
+	}
+
+	// The stored model must be ciphertext on disk (+ shield metadata).
+	raw, err := os.ReadFile(filepath.Join(dir, "models", "model.stfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("input")) {
+		t.Fatal("model plaintext visible on disk")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "models", "model.stfl.sfsmeta")); err != nil {
+		t.Fatalf("shield metadata missing: %v", err)
+	}
+
+	buf.Reset()
+	if err := run([]string{"classify", "-dir", dir, "-n", "10", "-encrypt"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "correct") {
+		t.Fatalf("classify output missing verdict:\n%s", buf.String())
+	}
+}
+
+func TestClassifyWithoutModelFails(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"gen-data", "-dir", dir, "-train", "16", "-test", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"classify", "-dir", dir}, &buf); err == nil {
+		t.Fatal("classify without a trained model succeeded")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("empty invocation accepted")
+	}
+}
+
+func TestUnknownRuntime(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"gen-data", "-dir", dir, "-train", "16", "-test", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-dir", dir, "-runtime", "teleport"}, &buf); err == nil {
+		t.Fatal("unknown runtime accepted")
+	}
+}

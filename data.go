@@ -1,0 +1,44 @@
+package securetf
+
+import "github.com/securetf/securetf/internal/datasets"
+
+// Dataset constants matching the real formats.
+const (
+	// MNISTSize is the MNIST image side length (28).
+	MNISTSize = datasets.MNISTSize
+	// CIFARSize is the CIFAR-10 image side length (32).
+	CIFARSize = datasets.CIFARSize
+)
+
+// CIFARLabels returns the ten CIFAR-10 class names.
+func CIFARLabels() []string {
+	labels := make([]string, len(datasets.CIFARLabels))
+	copy(labels, datasets.CIFARLabels)
+	return labels
+}
+
+// GenerateMNIST writes a deterministic synthetic MNIST dataset in the
+// real IDX format (train-images/train-labels/t10k-images/t10k-labels
+// under dir). The generated digits are learnable: models genuinely
+// converge on them.
+func GenerateMNIST(fsys FS, dir string, trainN, testN int, seed int64) error {
+	return datasets.GenerateMNIST(fsys, dir, trainN, testN, seed)
+}
+
+// LoadMNIST reads an IDX image/label file pair into tensors
+// ([n, 28, 28, 1] Float32 in [0, 1] and [n, 10] one-hot).
+func LoadMNIST(fsys FS, imgPath, lblPath string) (*Tensor, *Tensor, error) {
+	return datasets.LoadMNIST(fsys, imgPath, lblPath)
+}
+
+// GenerateCIFAR10 writes deterministic synthetic CIFAR-10 binary batches
+// under dir.
+func GenerateCIFAR10(fsys FS, dir string, perBatch, batches int, seed int64) error {
+	return datasets.GenerateCIFAR10(fsys, dir, perBatch, batches, seed)
+}
+
+// LoadCIFAR10 reads one CIFAR-10 binary batch into tensors
+// ([n, 32, 32, 3] Float32 and [n, 10] one-hot).
+func LoadCIFAR10(fsys FS, path string) (*Tensor, *Tensor, error) {
+	return datasets.LoadCIFAR10(fsys, path)
+}

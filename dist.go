@@ -1,0 +1,140 @@
+package securetf
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/securetf/securetf/internal/tf/dist"
+)
+
+// ParameterServer holds the model variables of a distributed training
+// job and applies synchronously averaged gradients (the paper's §5.4
+// between-graph data-parallel architecture).
+type ParameterServer = dist.ParameterServer
+
+// TrainingWorker runs synchronous SGD steps against a parameter server.
+type TrainingWorker = dist.Worker
+
+// InitialVariables extracts a model's initial variable values — the
+// state a parameter server is seeded with. Build every worker replica
+// from the same seed so replicas match this state.
+func InitialVariables(m Model) map[string]*Tensor { return dist.InitialVars(m.Graph) }
+
+// PSOption tunes a parameter server.
+type PSOption func(*dist.PSConfig)
+
+// WithRoundTimeout bounds how long a synchronous round may stay
+// incomplete after its first gradient push. When it expires — a worker
+// died or hung, the elasticity/fault-tolerance concern of §3.2 — the
+// round aborts and blocked workers receive an error instead of hanging.
+func WithRoundTimeout(d time.Duration) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.RoundTimeout = d }
+}
+
+// StartParameterServer starts a parameter server inside a container,
+// listening on addr through the container's (possibly TLS-shielded)
+// listener. workers is the synchronous-round size and lr the learning
+// rate applied to averaged gradients. The PS's gradient-averaging work
+// is charged to the container's cost model.
+func StartParameterServer(c *Container, addr string, vars map[string]*Tensor, workers int, lr float64, opts ...PSOption) (*ParameterServer, net.Addr, error) {
+	if c == nil {
+		return nil, nil, errors.New("securetf: StartParameterServer requires a container")
+	}
+	ln, err := c.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securetf: parameter server listen: %w", err)
+	}
+	if e := c.Enclave(); e != nil {
+		var varBytes int64
+		for _, v := range vars {
+			varBytes += v.Bytes()
+		}
+		e.Alloc("ps/vars", varBytes)
+	}
+	dev := c.Device(1)
+	cfg := dist.PSConfig{
+		Listener: ln,
+		Vars:     vars,
+		Workers:  workers,
+		LR:       lr,
+		Clock:    c.Clock(),
+		Params:   c.Params(),
+		ApplyMeter: func(flops, bytes int64) {
+			dev.Compute(flops)
+			dev.Access(bytes, false)
+		},
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ps, err := dist.NewParameterServer(cfg)
+	if err != nil {
+		ln.Close()
+		return nil, nil, fmt.Errorf("securetf: start parameter server: %w", err)
+	}
+	return ps, ln.Addr(), nil
+}
+
+// WorkerSpec configures one distributed training worker.
+type WorkerSpec struct {
+	// ID distinguishes workers.
+	ID int
+	// Addr is the parameter server address. Required.
+	Addr string
+	// ServerName is the TLS identity of the parameter server, used when
+	// the container's network shield is provisioned.
+	ServerName string
+	// Model is this worker's local replica (build from the same seed as
+	// the variables the PS was seeded with). Required.
+	Model Model
+	// XS and YS are the worker's data shard. Required.
+	XS, YS *Tensor
+	// BatchSize is the per-step minibatch size (the paper uses 100).
+	BatchSize int
+	// Threads bounds the worker's compute parallelism (0 uses the
+	// container default).
+	Threads int
+}
+
+// StartTrainingWorker connects a worker inside a container to a
+// parameter server. Dial goes through the container, so the network
+// shield's TLS applies exactly as in the paper's Figure 8 "w/ TLS"
+// series.
+func StartTrainingWorker(c *Container, spec WorkerSpec) (*TrainingWorker, error) {
+	if c == nil {
+		return nil, errors.New("securetf: StartTrainingWorker requires a container")
+	}
+	if spec.Model.Graph == nil || spec.XS == nil || spec.YS == nil {
+		return nil, errors.New("securetf: WorkerSpec.Model, XS and YS are required")
+	}
+	serverName := spec.ServerName
+	if serverName == "" {
+		serverName = "parameter-server"
+	}
+	worker, err := dist.NewWorker(dist.WorkerConfig{
+		ID:   spec.ID,
+		Addr: spec.Addr,
+		Dial: func(network, addr string) (net.Conn, error) {
+			return c.Dial(network, addr, serverName)
+		},
+		Model: dist.Model{
+			Graph:  spec.Model.Graph,
+			X:      spec.Model.X,
+			Y:      spec.Model.Y,
+			Loss:   spec.Model.Loss,
+			Logits: spec.Model.Logits,
+		},
+		XS:        spec.XS,
+		YS:        spec.YS,
+		BatchSize: spec.BatchSize,
+		Device:    c.Device(spec.Threads),
+		Clock:     c.Clock(),
+		Params:    c.Params(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("securetf: start training worker %d: %w", spec.ID, err)
+	}
+	return worker, nil
+}

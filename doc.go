@@ -1,0 +1,48 @@
+// Package securetf is the public API of the secureTF reproduction — a
+// secure machine-learning framework that runs unmodified TensorFlow-style
+// workloads inside (simulated) Intel SGX enclaves, reproducing
+// "secureTF: A Secure TensorFlow Framework" (Middleware 2020).
+//
+// The package is a facade over the substrates in internal/: the SGX
+// enclave simulator, the SCONE-style shielded runtime, the file-system
+// and network shields, the Configuration and Attestation Service (CAS),
+// and the from-scratch TensorFlow / TensorFlow Lite engines. It exposes
+// the workflow the paper describes end to end:
+//
+//  1. Create a Platform (one per physical node) and Launch a secure
+//     Container on it, choosing a RuntimeKind — the five systems of the
+//     paper's Figure 5 (SCONE HW/SIM, Graphene, native glibc/musl).
+//  2. Optionally attest the container to a CAS with Container.Provision,
+//     receiving volume keys for the file-system shield, a TLS identity
+//     for the network shield and any application secrets.
+//  3. Train a model with Train, Freeze it, convert it to the
+//     small-footprint Lite format with FrozenModel.ConvertToLite, and
+//     classify with a Classifier — or serve over the network with
+//     ServeInference / DialInference.
+//
+// A minimal secure classification round trip:
+//
+//	platform, _ := securetf.NewPlatform("node-0")
+//	container, _ := securetf.Launch(securetf.ContainerConfig{
+//		Kind:     securetf.SconeHW,
+//		Platform: platform,
+//		Image:    securetf.TFLiteImage(),
+//		HostFS:   securetf.NewMemFS(),
+//	})
+//	defer container.Close()
+//
+//	model := securetf.NewMNISTCNN(1)
+//	trained, _ := securetf.Train(securetf.TrainConfig{
+//		Container: container, Model: model,
+//		XS: xs, YS: ys, BatchSize: 100, Steps: 50,
+//	})
+//	frozen, _ := trained.Freeze()
+//	lite, _ := frozen.ConvertToLite(securetf.ConvertOptions{})
+//	classifier, _ := securetf.NewClassifier(container, lite, 1)
+//	classes, _ := classifier.Classify(batch)
+//
+// All enclave costs (EPC paging, transitions, crypto, WAN round trips)
+// are charged to a per-platform virtual clock, so programs built on this
+// package are deterministic and fast while preserving the performance
+// shape the paper reports; read latencies with Container.Clock.
+package securetf

@@ -1,0 +1,143 @@
+package securetf_test
+
+import (
+	"fmt"
+	"log"
+
+	securetf "github.com/securetf/securetf"
+)
+
+// ExampleTrain runs the paper's §4 workflow — train, freeze, convert,
+// classify — inside a simulated SGX enclave. Everything is seeded and
+// costs are charged to a virtual clock, so the run is deterministic.
+func ExampleTrain() {
+	platform, err := securetf.NewPlatform("example-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	container, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:     securetf.SconeHW,
+		Platform: platform,
+		Image:    securetf.TFLiteImage(),
+		HostFS:   securetf.NewMemFS(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer container.Close()
+
+	// A learnable synthetic dataset: class i carries a bright band on
+	// row 2i+4.
+	xs := securetf.RandNormal(securetf.Shape{100, 28, 28, 1}, 0.1, 1)
+	labels := make([]int, 100)
+	for i := range labels {
+		labels[i] = i % 10
+		row := (i%10)*2 + 4
+		for x := 0; x < 28; x++ {
+			xs.Floats()[(i*28+row)*28+x] += 1
+		}
+	}
+	ys := securetf.OneHot(labels, 10)
+
+	trained, err := securetf.Train(securetf.TrainConfig{
+		Container: container,
+		Model:     securetf.NewMNISTMLP(1),
+		XS:        xs, YS: ys,
+		BatchSize: 50, Steps: 40,
+		Optimizer: securetf.Adam{LR: 0.005},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer trained.Close()
+
+	frozen, err := trained.Freeze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lite, err := frozen.ConvertToLite(securetf.ConvertOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	classifier, err := securetf.NewClassifier(container, lite, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer classifier.Close()
+
+	probe, err := securetf.SliceRows(xs, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes, err := classifier.Classify(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predictions:", classes)
+	// Output:
+	// predictions: [0 1 2]
+}
+
+// ExampleSliceRows shows the minibatching helper.
+func ExampleSliceRows() {
+	t, err := securetf.TensorFromFloats(securetf.Shape{4, 2}, []float32{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := securetf.SliceRows(t, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(batch.Shape(), batch.Floats())
+	// Output:
+	// [2 2] [2 3 4 5]
+}
+
+// ExampleStartCAS shows the attestation flow: a CAS provisions secrets
+// to a container after verifying its enclave quote.
+func ExampleStartCAS() {
+	casPlatform, err := securetf.NewPlatform("cas-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workerPlatform, err := securetf.NewPlatform("worker-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cas, err := securetf.StartCAS(casPlatform, securetf.NewMemFS(), workerPlatform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cas.Close()
+
+	container, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:     securetf.SconeHW,
+		Platform: workerPlatform,
+		Image:    securetf.TFLiteImage(),
+		HostFS:   securetf.NewMemFS(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer container.Close()
+
+	client, err := securetf.NewCASClient(container, cas, casPlatform, workerPlatform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Register(&securetf.Session{
+		Name:         "demo",
+		OwnerToken:   "token",
+		Measurements: []string{container.Enclave().Measurement().Hex()},
+		Secrets:      map[string][]byte{"api-key": []byte("s3cret")},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	prov, _, err := container.Provision(client, "demo", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("provisioned secret:", string(prov.Secrets["api-key"]))
+	// Output:
+	// provisioned secret: s3cret
+}

@@ -1,0 +1,213 @@
+// Document digitization: the paper's first production use case (§6.1).
+//
+// A company translates handwritten documents to digital text on a public
+// cloud. Its customers demand confidentiality of the document images;
+// the company must protect its model and inference code. The deployment
+// therefore runs the recognizer inside an enclave, stores model and code
+// through the file-system shield (the host only ever sees ciphertext),
+// and customers attest the enclave through the CAS before sending
+// images over TLS.
+//
+// This example plays all three roles in one process:
+//
+//   - the company trains a digit recognizer and provisions the service,
+//   - the cloud runs the attested inference container,
+//   - a customer attests the service and submits a document.
+//
+// Run with:
+//
+//	go run ./examples/document_digitization
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	securetf "github.com/securetf/securetf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Cluster: a CAS node and a cloud worker node. ---
+	casPlatform, err := securetf.NewPlatform("cas-node")
+	if err != nil {
+		return err
+	}
+	cloudPlatform, err := securetf.NewPlatform("cloud-node")
+	if err != nil {
+		return err
+	}
+	cas, err := securetf.StartCAS(casPlatform, securetf.NewMemFS(), cloudPlatform)
+	if err != nil {
+		return err
+	}
+	defer cas.Close()
+	fmt.Printf("CAS running (measurement %s…)\n", cas.Measurement().Hex()[:16])
+
+	// --- The company: train the recognizer on its private data. ---
+	companyFS := securetf.NewMemFS()
+	if err := securetf.GenerateMNIST(companyFS, "mnist", 512, 128, 7); err != nil {
+		return err
+	}
+	xs, ys, err := securetf.LoadMNIST(companyFS, "mnist/train-images-idx3-ubyte", "mnist/train-labels-idx1-ubyte")
+	if err != nil {
+		return err
+	}
+	trained, err := securetf.Train(securetf.TrainConfig{
+		Model: securetf.NewMNISTCNN(7),
+		XS:    xs, YS: ys,
+		BatchSize: 100, Steps: 25,
+		Optimizer: securetf.Adam{LR: 0.003},
+	})
+	if err != nil {
+		return err
+	}
+	defer trained.Close()
+	frozen, err := trained.Freeze()
+	if err != nil {
+		return err
+	}
+	model, err := frozen.ConvertToLite(securetf.ConvertOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("company trained recognizer (loss %.4f, %d weight bytes)\n",
+		trained.LastLoss(), model.WeightBytes())
+
+	// --- The cloud: an attested container with encrypted model storage.
+	// The untrusted host file system is cloudHost; everything under
+	// volumes/models/ is ciphertext there.
+	cloudHost := securetf.NewMemFS()
+	service, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:          securetf.SconeHW,
+		Platform:      cloudPlatform,
+		Image:         securetf.TFLiteImage(),
+		HostFS:        cloudHost,
+		FSShieldRules: []securetf.Rule{securetf.EncryptPrefix("volumes/models/")},
+	})
+	if err != nil {
+		return err
+	}
+	defer service.Close()
+
+	client, err := securetf.NewCASClient(service, cas, casPlatform, cloudPlatform)
+	if err != nil {
+		return err
+	}
+	volumeKey := make([]byte, 32)
+	for i := range volumeKey {
+		volumeKey[i] = byte(7 * i)
+	}
+	session := &securetf.Session{
+		Name:         "doc-digitization",
+		OwnerToken:   "company-secret-token",
+		Measurements: []string{service.Enclave().Measurement().Hex()},
+		Volumes:      map[string][]byte{"models": volumeKey},
+		Services:     []string{"digitizer", "localhost", "127.0.0.1"},
+	}
+	if err := client.Register(session); err != nil {
+		return err
+	}
+	_, timing, err := service.Provision(client, "doc-digitization", "models")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud container attested in %v; network + file-system shields active\n", timing.Total())
+
+	// Install the model through the shield and verify the host only
+	// holds ciphertext.
+	if err := securetf.WriteFile(service.FS(), "volumes/models/recognizer.stfl", model.Marshal()); err != nil {
+		return err
+	}
+	hostCopy, err := securetf.ReadFile(cloudHost, "volumes/models/recognizer.stfl")
+	if err != nil {
+		return err
+	}
+	if bytes.Contains(hostCopy, model.Marshal()[:64]) {
+		return fmt.Errorf("model visible in plaintext on the cloud host")
+	}
+	fmt.Println("model at rest on the cloud host: ciphertext only ✔")
+
+	stored, err := securetf.ReadFile(service.FS(), "volumes/models/recognizer.stfl")
+	if err != nil {
+		return err
+	}
+	serveModel, err := securetf.UnmarshalLiteModel(stored)
+	if err != nil {
+		return err
+	}
+	svc, err := securetf.ServeInference(service, serveModel, "127.0.0.1:0", 1)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Printf("digitization service on %s (TLS via CAS-issued identity)\n", svc.Addr())
+
+	// --- A customer: attest, then submit a handwritten document. ---
+	customerPlatform, err := securetf.NewPlatform("customer-node")
+	if err != nil {
+		return err
+	}
+	cas.TrustPlatform(customerPlatform.Name(), customerPlatform.AttestationKey())
+	customer, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:     securetf.SconeHW,
+		Platform: customerPlatform,
+		Image:    securetf.TFLiteImage(), // same image → admitted by the session
+		HostFS:   securetf.NewMemFS(),
+	})
+	if err != nil {
+		return err
+	}
+	defer customer.Close()
+	customerCAS, err := securetf.NewCASClient(customer, cas, casPlatform, customerPlatform)
+	if err != nil {
+		return err
+	}
+	if _, _, err := customer.Provision(customerCAS, "doc-digitization", "models"); err != nil {
+		return err
+	}
+	fmt.Println("customer attested the service before sending anything ✔")
+
+	conn, err := securetf.DialInference(customer, svc.Addr(), "digitizer")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// The "document": a strip of handwritten digits from the customer's
+	// private test set.
+	customerFS := securetf.NewMemFS()
+	if err := securetf.GenerateMNIST(customerFS, "docs", 16, 16, 99); err != nil {
+		return err
+	}
+	digits, labels, err := securetf.LoadMNIST(customerFS, "docs/t10k-images-idx3-ubyte", "docs/t10k-labels-idx1-ubyte")
+	if err != nil {
+		return err
+	}
+	classes, err := conn.Classify(digits)
+	if err != nil {
+		return err
+	}
+	var text, truth bytes.Buffer
+	correct := 0
+	for i, cls := range classes {
+		fmt.Fprintf(&text, "%d", cls)
+		for d := 0; d < 10; d++ {
+			if labels.Floats()[i*10+d] == 1 {
+				fmt.Fprintf(&truth, "%d", d)
+				if d == cls {
+					correct++
+				}
+			}
+		}
+	}
+	fmt.Printf("digitized document: %s\n", text.String())
+	fmt.Printf("ground truth:       %s  (%d/%d correct)\n", truth.String(), correct, len(classes))
+	return nil
+}

@@ -1,0 +1,128 @@
+// Quickstart: the paper's §4 workflow end to end on one node — generate
+// a dataset, train a model inside an SGX enclave (SCONE runtime, HW
+// costs), freeze it, convert it to the small-footprint Lite format and
+// classify test images, printing the virtual time each phase charged.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	securetf "github.com/securetf/securetf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One simulated SGX machine. All enclave costs (EPC paging, MEE,
+	// transitions, crypto) are charged to its virtual clock.
+	platform, err := securetf.NewPlatform("quickstart-node")
+	if err != nil {
+		return err
+	}
+	container, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:     securetf.SconeHW, // the paper's production mode
+		Platform: platform,
+		Image:    securetf.TensorFlowImage(),
+		HostFS:   securetf.NewMemFS(),
+	})
+	if err != nil {
+		return err
+	}
+	defer container.Close()
+	fmt.Printf("launched %s container (enclave %s)\n",
+		container.Name(), container.Enclave().Measurement().Hex()[:16])
+
+	// Synthetic MNIST in the real IDX format, written through the
+	// container's file system.
+	if err := securetf.GenerateMNIST(container.FS(), "mnist", 512, 128, 1); err != nil {
+		return err
+	}
+	xs, ys, err := securetf.LoadMNIST(container.FS(),
+		"mnist/train-images-idx3-ubyte", "mnist/train-labels-idx1-ubyte")
+	if err != nil {
+		return err
+	}
+	genAt := container.Clock().Now()
+	fmt.Printf("dataset: %d training images (virtual time %v)\n", xs.Shape()[0], genAt)
+
+	// Train the small CNN of the paper's §5.4 inside the enclave.
+	trained, err := securetf.Train(securetf.TrainConfig{
+		Container: container,
+		Model:     securetf.NewMNISTCNN(1),
+		XS:        xs, YS: ys,
+		BatchSize: 100, // the paper's batch size
+		Steps:     25,
+		Optimizer: securetf.Adam{LR: 0.003},
+		Log:       os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	defer trained.Close()
+	trainAt := container.Clock().Now()
+
+	tx, ty, err := securetf.LoadMNIST(container.FS(),
+		"mnist/t10k-images-idx3-ubyte", "mnist/t10k-labels-idx1-ubyte")
+	if err != nil {
+		return err
+	}
+	acc, err := trained.Accuracy(tx, ty)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained: final loss %.4f, test accuracy %.1f%% (virtual time %v)\n",
+		trained.LastLoss(), 100*acc, trainAt-genAt)
+
+	// Freeze → convert to Lite: the §4.1/§4.2 model hand-off. Inference
+	// uses the small-footprint engine that fits the EPC.
+	frozen, err := trained.Freeze()
+	if err != nil {
+		return err
+	}
+	lite, err := frozen.ConvertToLite(securetf.ConvertOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted: Lite model, %d weight bytes\n", lite.WeightBytes())
+
+	classifier, err := securetf.NewClassifier(container, lite, 1)
+	if err != nil {
+		return err
+	}
+	defer classifier.Close()
+
+	batch, err := securetf.SliceRows(tx, 0, 8)
+	if err != nil {
+		return err
+	}
+	before := container.Clock().Now()
+	classes, err := classifier.Classify(batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("classified 8 images in %v (virtual time)\n", container.Clock().Now()-before)
+	for i, cls := range classes {
+		truth := 0
+		for d := 0; d < 10; d++ {
+			if ty.Floats()[i*10+d] == 1 {
+				truth = d
+			}
+		}
+		fmt.Printf("  image %d: predicted %d (label %d)\n", i, cls, truth)
+	}
+
+	stats := container.EnclaveStats()
+	fmt.Printf("enclave counters: %d transitions, %d async syscalls, %d page faults, %.1f GFLOPs\n",
+		stats.Transitions, stats.AsyncSyscalls, stats.PageFaults, float64(stats.ComputeFLOPs)/1e9)
+	return nil
+}

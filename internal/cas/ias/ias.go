@@ -1,0 +1,246 @@
+// Package ias simulates the traditional Intel Attestation Service (IAS)
+// flow that secureTF's CAS replaces — the baseline of the paper's
+// Figure 4.
+//
+// In the traditional flow an enclave's EPID quote is uploaded to the
+// tenant's key server, forwarded to Intel's WAN-distant attestation
+// service for verification (several hundred milliseconds), and only then
+// are keys released. The server here plays both the tenant key server and
+// the IAS: verification charges one WAN round trip plus Intel-side
+// processing, which is precisely the cost the CAS avoids by verifying
+// DCAP quotes locally.
+package ias
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/securetf/securetf/internal/cas"
+	"github.com/securetf/securetf/internal/sgx"
+)
+
+// ServerConfig configures the simulated IAS + key server.
+type ServerConfig struct {
+	// Platform supplies the server-side clock and parameters. Required.
+	Platform *sgx.Platform
+	// TrustedPlatforms maps platform names to attestation keys. The
+	// server's own platform is always trusted.
+	TrustedPlatforms map[string]*ecdsa.PublicKey
+	// ListenAddr defaults to "127.0.0.1:0".
+	ListenAddr string
+	// Secrets are the keys released after successful verification.
+	Secrets map[string][]byte
+}
+
+// Server is the running IAS simulator.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	platforms map[string]*ecdsa.PublicKey
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type iasRequest struct {
+	Quote       sgx.Quote `json:"quote"`
+	SenderVTime int64     `json:"sender_vtime"`
+}
+
+type iasMessage struct {
+	Kind        string            `json:"kind"` // "confirmation" or "keys"
+	OK          bool              `json:"ok"`
+	Error       string            `json:"error,omitempty"`
+	Secrets     map[string][]byte `json:"secrets,omitempty"`
+	SenderVTime int64             `json:"sender_vtime"`
+}
+
+// NewServer starts the simulator.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("ias: ServerConfig.Platform is required")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("ias: listen: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		ln:        ln,
+		platforms: make(map[string]*ecdsa.PublicKey, len(cfg.TrustedPlatforms)+1),
+		closed:    make(chan struct{}),
+	}
+	for name, key := range cfg.TrustedPlatforms {
+		s.platforms[name] = key
+	}
+	s.platforms[cfg.Platform.Name()] = cfg.Platform.AttestationKey()
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	var req iasRequest
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	params := s.cfg.Platform.Params()
+	clock := s.cfg.Platform.Clock()
+	clock.AdvanceTo(time.Duration(req.SenderVTime) + params.LANRTT/2)
+
+	// Forward the quote to Intel over the WAN and wait for the
+	// verification report. This is the leg the CAS eliminates.
+	clock.Advance(params.WANRTT + params.QuoteVerifyCostIntel)
+
+	verdict := s.verify(req.Quote)
+	confirmation := iasMessage{Kind: "confirmation", OK: verdict == nil, SenderVTime: int64(clock.Now())}
+	if verdict != nil {
+		confirmation.Error = verdict.Error()
+	}
+	if err := enc.Encode(&confirmation); err != nil || verdict != nil {
+		return
+	}
+
+	// Keys are released by the tenant key server after confirmation.
+	clock.Advance(params.LANRTT / 2)
+	keys := iasMessage{Kind: "keys", OK: true, Secrets: s.cfg.Secrets, SenderVTime: int64(clock.Now())}
+	_ = enc.Encode(&keys)
+}
+
+func (s *Server) verify(q sgx.Quote) error {
+	if q.QEVendor != sgx.QEVendorEPID {
+		return errors.New("ias: only EPID quotes are accepted")
+	}
+	s.mu.Lock()
+	key, ok := s.platforms[q.Report.Platform]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ias: unknown platform %q", q.Report.Platform)
+	}
+	return sgx.VerifyQuote(q, key)
+}
+
+// Client runs the traditional attestation flow against the simulator and
+// reports per-leg timing comparable to cas.Client.Attest.
+type Client struct {
+	// Enclave is the local enclave being attested. Required.
+	Enclave *sgx.Enclave
+	// Addr is the IAS simulator address. Required.
+	Addr string
+	// Dial overrides the dial function. Defaults to net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+// Attest runs the flow and returns the released keys and leg timings.
+func (c *Client) Attest() (map[string][]byte, cas.AttestTiming, error) {
+	var timing cas.AttestTiming
+	if c.Enclave == nil {
+		return nil, timing, fmt.Errorf("ias: Client.Enclave is required")
+	}
+	dial := c.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	params := c.Enclave.Platform().Params()
+	clock := c.Enclave.Clock()
+
+	// Leg 1 — initialization: same client-side setup as the CAS flow.
+	span := clock.Start()
+	clock.Advance(params.AttestInitCost + params.TLSHandshakeCost + 2*params.LANRTT)
+	conn, err := dial("tcp", c.Addr)
+	if err != nil {
+		return nil, timing, fmt.Errorf("ias: dial: %w", err)
+	}
+	defer conn.Close()
+	timing.Initialization = span.Stop()
+
+	// Leg 2 — produce and send the EPID quote.
+	span = clock.Start()
+	quote, err := c.Enclave.GetQuote(nil, sgx.QEVendorEPID)
+	if err != nil {
+		return nil, timing, err
+	}
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	if err := enc.Encode(&iasRequest{Quote: quote, SenderVTime: int64(clock.Now())}); err != nil {
+		return nil, timing, err
+	}
+	clock.Advance(params.LANRTT / 2)
+	timing.SendQuote = span.Stop()
+
+	// Leg 3 — wait for the verification confirmation (WAN + Intel).
+	span = clock.Start()
+	var confirmation iasMessage
+	if err := dec.Decode(&confirmation); err != nil {
+		return nil, timing, err
+	}
+	clock.AdvanceTo(time.Duration(confirmation.SenderVTime) + params.LANRTT/2)
+	if !confirmation.OK {
+		return nil, timing, fmt.Errorf("ias: verification failed: %s", confirmation.Error)
+	}
+	timing.WaitConfirmation = span.Stop()
+
+	// Leg 4 — receive the keys from the tenant key server.
+	span = clock.Start()
+	var keys iasMessage
+	if err := dec.Decode(&keys); err != nil {
+		return nil, timing, err
+	}
+	clock.AdvanceTo(time.Duration(keys.SenderVTime) + params.LANRTT/2)
+	var received int
+	for _, v := range keys.Secrets {
+		received += len(v)
+	}
+	c.Enclave.CryptoOp(int64(received))
+	timing.ReceiveKeys = span.Stop()
+	return keys.Secrets, timing, nil
+}

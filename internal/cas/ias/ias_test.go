@@ -1,0 +1,88 @@
+package ias
+
+import (
+	"crypto/ecdsa"
+	"testing"
+	"time"
+
+	"github.com/securetf/securetf/internal/sgx"
+)
+
+func newIAS(t *testing.T) (*Server, *sgx.Enclave) {
+	t.Helper()
+	serverPlat, err := sgx.NewPlatform("key-server", sgx.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerPlat, err := sgx.NewPlatform("worker-node", sgx.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := workerPlat.CreateEnclave(sgx.SyntheticImage("worker", 2<<20, 1<<20), sgx.ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(ServerConfig{
+		Platform: serverPlat,
+		TrustedPlatforms: map[string]*ecdsa.PublicKey{
+			workerPlat.Name(): workerPlat.AttestationKey(),
+		},
+		Secrets: map[string][]byte{"model-key": []byte("k")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, enclave
+}
+
+func TestTraditionalFlowTiming(t *testing.T) {
+	server, enclave := newIAS(t)
+	client := &Client{Enclave: enclave, Addr: server.Addr()}
+	secrets, timing, err := client.Attest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(secrets["model-key"]) != "k" {
+		t.Fatal("keys not released")
+	}
+	// The defining property of the IAS baseline: confirmation takes a WAN
+	// round trip plus Intel-side verification, i.e. hundreds of ms.
+	if timing.WaitConfirmation < 200*time.Millisecond {
+		t.Fatalf("WaitConfirmation = %v, want WAN-scale latency", timing.WaitConfirmation)
+	}
+	if timing.Total() < 250*time.Millisecond {
+		t.Fatalf("Total = %v, want paper-scale (~325 ms)", timing.Total())
+	}
+}
+
+func TestIASRejectsDCAPQuotes(t *testing.T) {
+	server, enclave := newIAS(t)
+	// Bypass the Client to send a DCAP quote directly.
+	q, err := enclave.GetQuote(nil, sgx.QEVendorDCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.verify(q); err == nil {
+		t.Fatal("IAS accepted a DCAP quote")
+	}
+}
+
+func TestIASRejectsUnknownPlatform(t *testing.T) {
+	server, _ := newIAS(t)
+	rogue, err := sgx.NewPlatform("rogue", sgx.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := rogue.CreateEnclave(sgx.SyntheticImage("w", 1<<20, 0), sgx.ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := enclave.GetQuote(nil, sgx.QEVendorEPID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.verify(q); err == nil {
+		t.Fatal("IAS accepted quote from unknown platform")
+	}
+}

@@ -1,0 +1,55 @@
+// Package cas implements secureTF's Configuration and Attestation Service
+// (paper §3.3.2, §4.3): the component that replaces WAN-bound Intel
+// Attestation Service round trips with local attestation, and provisions
+// secrets, volume keys and TLS identities to attested enclaves.
+//
+// The CAS itself runs inside an enclave with zero operator-controllable
+// configuration; its persistent state lives in an encrypted, rollback-
+// protected embedded store (Store) sealed to the CAS enclave identity.
+// It also hosts the auditing service that gives the file-system shield
+// freshness (rollback detection) across the cluster.
+package cas
+
+import (
+	"github.com/securetf/securetf/internal/sgx"
+)
+
+// Session is a named configuration: the policy deciding which enclaves
+// may attest to it, and the material provisioned to them on success.
+// This mirrors SCONE CAS session descriptions.
+type Session struct {
+	// Name identifies the session.
+	Name string `json:"name"`
+	// OwnerToken authenticates updates: the first registration of a name
+	// claims it; later registrations must present the same token.
+	OwnerToken string `json:"owner_token"`
+	// Measurements lists the enclave measurements (hex) allowed to
+	// attest to this session.
+	Measurements []string `json:"measurements"`
+	// AllowSIM permits quotes from simulation-mode enclaves. Production
+	// sessions leave this false.
+	AllowSIM bool `json:"allow_sim,omitempty"`
+	// Secrets is arbitrary named material handed to attested services
+	// (e.g. encrypted Python code keys, API credentials).
+	Secrets map[string][]byte `json:"secrets,omitempty"`
+	// Volumes maps file-system shield volume names to their 32-byte
+	// volume keys.
+	Volumes map[string][]byte `json:"volumes,omitempty"`
+	// Services lists the common names for which the CAS will issue TLS
+	// identities to attested enclaves of this session.
+	Services []string `json:"services,omitempty"`
+}
+
+// allows reports whether the session policy admits the given quote.
+func (s *Session) allows(q sgx.Quote) bool {
+	if q.Report.Mode == sgx.ModeSIM && !s.AllowSIM {
+		return false
+	}
+	hex := q.Report.Measurement.Hex()
+	for _, m := range s.Measurements {
+		if m == hex {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,289 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/seccrypto"
+	"github.com/securetf/securetf/internal/sgx"
+)
+
+// Store is the CAS's encrypted embedded database — the stand-in for the
+// paper's "encrypted embedded SQLite" (§4.3). It is an append-only record
+// log: every record is AES-256-GCM encrypted under a store key that is
+// sealed to the CAS enclave, carries a strictly increasing sequence
+// number, and is chained to its predecessor by hash. The latest sequence
+// number is mirrored in an SGX monotonic counter so that truncating or
+// replaying the log (a rollback attack) is detected at load time.
+type Store struct {
+	mu      sync.Mutex
+	enclave *sgx.Enclave
+	fs      fsapi.FS
+	path    string
+	key     seccrypto.Key
+
+	data map[string][]byte
+	seq  uint64
+	tail [32]byte
+}
+
+// Store errors.
+var (
+	// ErrStoreTampered reports decryption/authentication failure or a
+	// broken hash chain.
+	ErrStoreTampered = errors.New("cas: store tampered")
+	// ErrStoreRolledBack reports a log whose tail is older than the SGX
+	// monotonic counter.
+	ErrStoreRolledBack = errors.New("cas: store rolled back")
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("cas: not found")
+)
+
+const (
+	storeCounter = "cas-store-seq"
+	storeKeyFile = ".cas/store.key"
+	storeAADTag  = "cas-store-record-v1"
+	recordPut    = 1
+	recordDelete = 2
+)
+
+// OpenStore opens (or initializes) the encrypted store at path on fs,
+// bound to the given enclave. The store key is generated on first use and
+// persisted sealed to the enclave identity; reopening requires the same
+// enclave measurement on the same platform.
+func OpenStore(enclave *sgx.Enclave, fs fsapi.FS, path string) (*Store, error) {
+	if enclave == nil {
+		return nil, fmt.Errorf("cas: store requires an enclave")
+	}
+	s := &Store{
+		enclave: enclave,
+		fs:      fs,
+		path:    path,
+		data:    make(map[string][]byte),
+	}
+	if err := s.loadOrCreateKey(); err != nil {
+		return nil, err
+	}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) loadOrCreateKey() error {
+	sealed, err := fsapi.ReadFile(s.fs, s.path+storeKeyFile)
+	switch {
+	case err == nil:
+		raw, err := s.enclave.Unseal(sealed, []byte("cas-store-key"))
+		if err != nil {
+			return fmt.Errorf("%w: store key unseal failed: %v", ErrStoreTampered, err)
+		}
+		if len(raw) != seccrypto.KeySize {
+			return fmt.Errorf("%w: store key has wrong size", ErrStoreTampered)
+		}
+		copy(s.key[:], raw)
+		return nil
+	case errors.Is(err, fsapi.ErrNotExist):
+		key, err := seccrypto.NewRandomKey()
+		if err != nil {
+			return fmt.Errorf("cas: generating store key: %w", err)
+		}
+		s.key = key
+		sealed, err := s.enclave.Seal(key[:], []byte("cas-store-key"))
+		if err != nil {
+			return fmt.Errorf("cas: sealing store key: %w", err)
+		}
+		return fsapi.WriteFile(s.fs, s.path+storeKeyFile, sealed)
+	default:
+		return err
+	}
+}
+
+// replay loads the record log, verifying the chain and the monotonic
+// counter.
+func (s *Store) replay() error {
+	raw, err := fsapi.ReadFile(s.fs, s.path+".cas/store.log")
+	if errors.Is(err, fsapi.ErrNotExist) {
+		// Fresh store: the counter must also be fresh, otherwise the log
+		// was deleted out from under us.
+		if c := s.enclave.CounterRead(storeCounter); c != 0 {
+			return fmt.Errorf("%w: log missing but counter at %d", ErrStoreRolledBack, c)
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(raw) {
+		if off+4 > len(raw) {
+			return fmt.Errorf("%w: truncated record header", ErrStoreTampered)
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if off+n > len(raw) {
+			return fmt.Errorf("%w: truncated record body", ErrStoreTampered)
+		}
+		if err := s.applyRecord(raw[off : off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	counter := s.enclave.CounterRead(storeCounter)
+	if s.seq < counter {
+		return fmt.Errorf("%w: log at seq %d, counter at %d", ErrStoreRolledBack, s.seq, counter)
+	}
+	return nil
+}
+
+func (s *Store) applyRecord(ct []byte) error {
+	aad := s.recordAAD(s.seq+1, s.tail)
+	pt, err := seccrypto.Open(s.key, ct, aad)
+	if err != nil {
+		return fmt.Errorf("%w: record %d failed authentication", ErrStoreTampered, s.seq+1)
+	}
+	if len(pt) < 5 {
+		return fmt.Errorf("%w: record %d too short", ErrStoreTampered, s.seq+1)
+	}
+	op := pt[0]
+	klen := int(binary.LittleEndian.Uint32(pt[1:5]))
+	if 5+klen > len(pt) {
+		return fmt.Errorf("%w: record %d malformed", ErrStoreTampered, s.seq+1)
+	}
+	key := string(pt[5 : 5+klen])
+	val := pt[5+klen:]
+	switch op {
+	case recordPut:
+		s.data[key] = append([]byte(nil), val...)
+	case recordDelete:
+		delete(s.data, key)
+	default:
+		return fmt.Errorf("%w: record %d has unknown op %d", ErrStoreTampered, s.seq+1, op)
+	}
+	s.seq++
+	s.tail = sha256.Sum256(append(s.tail[:], ct...))
+	return nil
+}
+
+func (s *Store) recordAAD(seq uint64, prev [32]byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(storeAADTag)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	buf.Write(b[:])
+	buf.Write(prev[:])
+	return buf.Bytes()
+}
+
+// appendRecord encrypts and appends one record, bumping the counter.
+func (s *Store) appendRecord(op byte, key string, val []byte) error {
+	pt := make([]byte, 0, 5+len(key)+len(val))
+	pt = append(pt, op)
+	var klen [4]byte
+	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
+	pt = append(pt, klen[:]...)
+	pt = append(pt, key...)
+	pt = append(pt, val...)
+
+	aad := s.recordAAD(s.seq+1, s.tail)
+	ct, err := seccrypto.Seal(s.key, pt, aad)
+	if err != nil {
+		return fmt.Errorf("cas: sealing record: %w", err)
+	}
+	s.enclave.CryptoOp(int64(len(pt)))
+
+	// Append to the log file.
+	f, err := s.fs.Open(s.path + ".cas/store.log")
+	if errors.Is(err, fsapi.ErrNotExist) {
+		f, err = s.fs.Create(s.path + ".cas/store.log")
+	}
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(ct)))
+	if _, err := f.WriteAt(append(hdr[:], ct...), size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	s.seq++
+	s.tail = sha256.Sum256(append(s.tail[:], ct...))
+	if c := s.enclave.CounterIncrement(storeCounter); c != s.seq {
+		// The counter and the log advanced out of sync: concurrent
+		// writer or platform trouble. Fail loudly.
+		return fmt.Errorf("cas: counter %d diverged from seq %d", c, s.seq)
+	}
+	return nil
+}
+
+// Put stores a value under key.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendRecord(recordPut, key, val); err != nil {
+		return err
+	}
+	s.data[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err := s.appendRecord(recordDelete, key, nil); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// InferenceService is the classifier service of §4.2: it "takes
+// classification requests via network, and uses TensorFlow Lite for
+// inference". Requests and responses are length-prefixed tensors over a
+// (typically shielded) connection.
+type InferenceService struct {
+	container *Container
+	interp    *tflite.Interpreter
+	ln        net.Listener
+
+	mu     sync.Mutex
+	served int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewInferenceService loads a model into an interpreter bound to the
+// container's device and starts serving on addr.
+func NewInferenceService(c *Container, model *tflite.Model, addr string, threads int) (*InferenceService, error) {
+	interp, err := tflite.NewInterpreter(model, tflite.WithDevice(c.Device(threads)))
+	if err != nil {
+		return nil, err
+	}
+	if err := interp.AllocateTensors(); err != nil {
+		interp.Close()
+		return nil, err
+	}
+	ln, err := c.Listen("tcp", addr)
+	if err != nil {
+		interp.Close()
+		return nil, err
+	}
+	s := &InferenceService{container: c, interp: interp, ln: ln, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the service address.
+func (s *InferenceService) Addr() string { return s.ln.Addr().String() }
+
+// Served reports how many requests completed.
+func (s *InferenceService) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close stops the service.
+func (s *InferenceService) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	s.interp.Close()
+	return err
+}
+
+func (s *InferenceService) serve() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *InferenceService) handle(conn net.Conn) {
+	for {
+		input, err := readTensor(conn)
+		if err != nil {
+			return
+		}
+		// The interpreter is not safe for concurrent Invoke; serialize.
+		s.mu.Lock()
+		err = s.classify(conn, input)
+		if err == nil {
+			s.served++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *InferenceService) classify(conn net.Conn, input *tf.Tensor) error {
+	if err := s.interp.SetInput(0, input); err != nil {
+		return err
+	}
+	if err := s.interp.Invoke(); err != nil {
+		return err
+	}
+	out, err := s.interp.Output(0)
+	if err != nil {
+		return err
+	}
+	// Respond with the argmax class per row.
+	shape := out.Shape()
+	cols := shape[len(shape)-1]
+	rows := out.NumElements() / cols
+	classes := tf.NewTensor(tf.Int32, tf.Shape{rows})
+	for r := 0; r < rows; r++ {
+		best, bestIdx := out.Floats()[r*cols], 0
+		for c2 := 1; c2 < cols; c2++ {
+			if v := out.Floats()[r*cols+c2]; v > best {
+				best, bestIdx = v, c2
+			}
+		}
+		classes.Ints()[r] = int32(bestIdx)
+	}
+	return writeTensor(conn, classes)
+}
+
+// InferenceClient talks to an InferenceService.
+type InferenceClient struct {
+	conn net.Conn
+}
+
+// NewInferenceClient connects a container to a service, using the
+// container's shielded dial when provisioned.
+func NewInferenceClient(c *Container, addr, serverName string) (*InferenceClient, error) {
+	conn, err := c.Dial("tcp", addr, serverName)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceClient{conn: conn}, nil
+}
+
+// Classify sends a batch and returns the predicted class per row.
+func (cl *InferenceClient) Classify(input *tf.Tensor) ([]int, error) {
+	if err := writeTensor(cl.conn, input); err != nil {
+		return nil, err
+	}
+	out, err := readTensor(cl.conn)
+	if err != nil {
+		return nil, err
+	}
+	if out.DType() != tf.Int32 {
+		return nil, fmt.Errorf("core: unexpected response dtype %v", out.DType())
+	}
+	classes := make([]int, out.NumElements())
+	for i, v := range out.Ints() {
+		classes[i] = int(v)
+	}
+	return classes, nil
+}
+
+// Close closes the client connection.
+func (cl *InferenceClient) Close() error { return cl.conn.Close() }
+
+// maxTensorFrame bounds tensor frames on the wire.
+const maxTensorFrame = 1 << 30
+
+func writeTensor(w io.Writer, t *tf.Tensor) error {
+	enc := tf.EncodeTensor(t)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(enc)
+	return err
+}
+
+func readTensor(r io.Reader) (*tf.Tensor, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxTensorFrame {
+		return nil, fmt.Errorf("core: tensor frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return tf.DecodeTensor(buf)
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCalibrationReport(t *testing.T) {
+	rows, err := Figure8(Config{Steps: 6, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig8Row{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.System, r.Workers)] = r
+	}
+	n := byKey["Native/1"].Latency
+	fmt.Printf("fig8 native=%v\n", n)
+	for _, k := range []string{"secureTF SIM w/o TLS/1", "secureTF SIM/1", "secureTF HW w/o TLS/1", "secureTF HW/1"} {
+		fmt.Printf("fig8 %-24s %v  ratio=%.2f\n", k, byKey[k].Latency, float64(byKey[k].Latency)/float64(n))
+	}
+	hw1, hw2, hw3 := byKey["secureTF HW/1"].Latency, byKey["secureTF HW/2"].Latency, byKey["secureTF HW/3"].Latency
+	fmt.Printf("fig8 HW speedup 2w=%.2f 3w=%.2f\n", float64(hw1)/float64(hw2), float64(hw1)/float64(hw3))
+
+	tr, err := TFvsTFLite(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("tfvstflite TF=%v TFLite=%v ratio=%.1f\n", tr[0].Latency, tr[1].Latency, float64(tr[0].Latency)/float64(tr[1].Latency))
+}

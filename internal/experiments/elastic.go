@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/securetf/securetf/internal/cas"
+	"github.com/securetf/securetf/internal/cas/ias"
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/sgx"
+)
+
+// ElasticScaling reproduces design challenge ➍ (§3.2): a public-cloud
+// autoscaler spawns n new service containers in response to load, and
+// each must be attested before it may handle requests. The function
+// returns the total attestation latency of the wave through the local
+// CAS and through the traditional IAS flow — the gap that makes IAS
+// "impractical in this setting".
+func ElasticScaling(n int) (casTotal, iasTotal time.Duration, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("experiments: elastic scaling needs n > 0, got %d", n)
+	}
+	appImage := sgx.SyntheticImage("securetf-worker", 4<<20, 8<<20)
+	secrets := map[string][]byte{"model-key": make([]byte, 32)}
+
+	// One worker platform hosts the whole wave (the paper scales
+	// containers, not machines).
+	workerPlat, err := newPlatform("autoscale-node")
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// --- CAS wave. ---
+	casPlat, err := newPlatform("cas-node")
+	if err != nil {
+		return 0, 0, err
+	}
+	casServer, err := cas.NewServer(cas.ServerConfig{
+		Platform:         casPlat,
+		StoreFS:          fsapi.NewMem(),
+		TrustedPlatforms: core.TrustedKeys(workerPlat),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer casServer.Close()
+
+	for i := 0; i < n; i++ {
+		enclave, err := workerPlat.CreateEnclave(appImage, sgx.ModeHW)
+		if err != nil {
+			return 0, 0, err
+		}
+		client, err := cas.NewClient(cas.ClientConfig{
+			Enclave:        enclave,
+			Addr:           casServer.Addr(),
+			CASMeasurement: casServer.Measurement(),
+			PlatformKeys:   core.TrustedKeys(casPlat, workerPlat),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := client.Bootstrap(); err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			if err := client.Register(&cas.Session{
+				Name:         "autoscale",
+				OwnerToken:   "tok",
+				Measurements: []string{enclave.Measurement().Hex()},
+				Secrets:      secrets,
+			}); err != nil {
+				return 0, 0, err
+			}
+		}
+		_, timing, err := client.Attest("autoscale")
+		if err != nil {
+			return 0, 0, fmt.Errorf("experiments: CAS attest container %d: %w", i, err)
+		}
+		casTotal += timing.Total()
+		enclave.Destroy()
+	}
+
+	// --- IAS wave. ---
+	iasPlat, err := newPlatform("key-server")
+	if err != nil {
+		return 0, 0, err
+	}
+	iasServer, err := ias.NewServer(ias.ServerConfig{
+		Platform:         iasPlat,
+		TrustedPlatforms: core.TrustedKeys(workerPlat),
+		Secrets:          secrets,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer iasServer.Close()
+	for i := 0; i < n; i++ {
+		enclave, err := workerPlat.CreateEnclave(appImage, sgx.ModeHW)
+		if err != nil {
+			return 0, 0, err
+		}
+		client := &ias.Client{Enclave: enclave, Addr: iasServer.Addr()}
+		_, timing, err := client.Attest()
+		if err != nil {
+			return 0, 0, fmt.Errorf("experiments: IAS attest container %d: %w", i, err)
+		}
+		iasTotal += timing.Total()
+		enclave.Destroy()
+	}
+	return casTotal, iasTotal, nil
+}
+
+// PrintElasticScaling renders the elastic-scaling comparison.
+func PrintElasticScaling(w io.Writer, n int, casTotal, iasTotal time.Duration) {
+	fmt.Fprintf(w, "Elastic scaling — attesting a wave of %d new containers (challenge ➍)\n", n)
+	fmt.Fprintf(w, "%-14s %16s %18s\n", "flow", "total (ms)", "per container (ms)")
+	fmt.Fprintf(w, "%-14s %16.1f %18.1f\n", "IAS", float64(iasTotal)/1e6, float64(iasTotal)/1e6/float64(n))
+	fmt.Fprintf(w, "%-14s %16.1f %18.1f\n", "secureTF CAS", float64(casTotal)/1e6, float64(casTotal)/1e6/float64(n))
+	if casTotal > 0 {
+		fmt.Fprintf(w, "speedup: %.1fx\n", float64(iasTotal)/float64(casTotal))
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestElasticScalingShape(t *testing.T) {
+	const wave = 3
+	casTotal, iasTotal, err := ElasticScaling(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Challenge ➍'s shape: the CAS makes autoscaling practical — an
+	// order of magnitude faster than the WAN-bound IAS, and a few tens
+	// of milliseconds per container.
+	if casTotal >= iasTotal/10 {
+		t.Fatalf("CAS wave %v not ≫ faster than IAS wave %v", casTotal, iasTotal)
+	}
+	perContainer := casTotal / wave
+	if perContainer <= 0 || perContainer > 100*time.Millisecond {
+		t.Fatalf("CAS per-container attestation %v outside the tens-of-ms band", perContainer)
+	}
+	if iasTotal/wave < 200*time.Millisecond {
+		t.Fatalf("IAS per-container attestation %v below the WAN floor", iasTotal/wave)
+	}
+
+	var buf bytes.Buffer
+	PrintElasticScaling(&buf, wave, casTotal, iasTotal)
+	for _, want := range []string{"Elastic scaling", "IAS", "secureTF CAS", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("print output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestElasticScalingValidation(t *testing.T) {
+	if _, _, err := ElasticScaling(0); err == nil {
+		t.Fatal("zero-container wave accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/securetf/securetf/internal/models"
+)
+
+// These tests assert the SHAPE of every figure against the paper: which
+// system wins, rough factors, and where crossovers fall. Absolute
+// latencies come from the calibrated virtual-time model and are recorded
+// in EXPERIMENTS.md rather than asserted here.
+
+func findFig4(t *testing.T, rows []Fig4Row, system string) Fig4Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.System == system {
+			return r
+		}
+	}
+	t.Fatalf("no row for %q", system)
+	return Fig4Row{}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows, err := Figure4(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias := findFig4(t, rows, "IAS")
+	cas := findFig4(t, rows, "secureTF CAS")
+
+	// Paper: IAS total ≈ 325 ms, CAS ≈ 17 ms (≈ 19×); verification leg
+	// ≈ 280 ms vs < 1 ms.
+	if ias.WaitConfirmation < 250*time.Millisecond {
+		t.Errorf("IAS wait-confirmation = %v, want WAN scale (~280 ms)", ias.WaitConfirmation)
+	}
+	if cas.WaitConfirmation > 5*time.Millisecond {
+		t.Errorf("CAS wait-confirmation = %v, want local scale (<1-5 ms)", cas.WaitConfirmation)
+	}
+	ratio := float64(ias.Total()) / float64(cas.Total())
+	if ratio < 8 || ratio > 40 {
+		t.Errorf("IAS/CAS total ratio = %.1f, paper reports ≈19x", ratio)
+	}
+	// Initialization is flow-independent (same client-side setup).
+	initRatio := float64(ias.Initialization) / float64(cas.Initialization)
+	if initRatio < 0.5 || initRatio > 2 {
+		t.Errorf("initialization legs diverge: %v vs %v", ias.Initialization, cas.Initialization)
+	}
+}
+
+// fig5For indexes rows by (system, model).
+func fig5For(t *testing.T, rows []Fig5Row, system, model string) Fig5Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.System == system && r.Model == model {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s/%s", system, model)
+	return Fig5Row{}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds paper-size models")
+	}
+	rows, err := Figure5(Config{Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range models.PaperModels() {
+		native := fig5For(t, rows, "Native glibc", spec.Name)
+		musl := fig5For(t, rows, "Native musl", spec.Name)
+		sim := fig5For(t, rows, "Sim", spec.Name)
+		hw := fig5For(t, rows, "HW", spec.Name)
+		graphene := fig5For(t, rows, "Graphene", spec.Name)
+
+		// Paper: Sim within ~5% of native; musl and glibc near parity.
+		simOver := float64(sim.Latency) / float64(native.Latency)
+		if simOver < 0.97 || simOver > 1.12 {
+			t.Errorf("%s: Sim/native = %.3f, paper ~1.05", spec.Name, simOver)
+		}
+		muslOver := float64(musl.Latency) / float64(native.Latency)
+		if muslOver < 0.98 || muslOver > 1.10 {
+			t.Errorf("%s: musl/glibc = %.3f, paper near parity", spec.Name, muslOver)
+		}
+		// HW slower than Sim but bounded (paper 1.12–1.39x).
+		hwOver := float64(hw.Latency) / float64(sim.Latency)
+		if hwOver < 1.05 || hwOver > 1.6 {
+			t.Errorf("%s: HW/Sim = %.3f, paper 1.12–1.39", spec.Name, hwOver)
+		}
+		// Graphene never meaningfully beats secureTF HW.
+		if float64(graphene.Latency) < 0.95*float64(hw.Latency) {
+			t.Errorf("%s: Graphene (%v) beat HW (%v)", spec.Name, graphene.Latency, hw.Latency)
+		}
+	}
+
+	// Crossover: comparable at 42 MB, HW clearly ahead at 163 MB (paper
+	// 1.03x → ~1.4x).
+	g42 := fig5For(t, rows, "Graphene", "densenet")
+	h42 := fig5For(t, rows, "HW", "densenet")
+	small := float64(g42.Latency) / float64(h42.Latency)
+	if small > 1.2 {
+		t.Errorf("densenet: Graphene/HW = %.2f, paper ~1.03 (comparable under EPC)", small)
+	}
+	g163 := fig5For(t, rows, "Graphene", "inception_v4")
+	h163 := fig5For(t, rows, "HW", "inception_v4")
+	big := float64(g163.Latency) / float64(h163.Latency)
+	if big < 1.15 || big > 2.2 {
+		t.Errorf("inception_v4: Graphene/HW = %.2f, paper ~1.4", big)
+	}
+	if big <= small {
+		t.Errorf("Graphene/HW gap must grow with model size: %.2f -> %.2f", small, big)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds paper-size models")
+	}
+	// Densenet alone is enough to check the FSPF overhead band.
+	rows, err := Figure6(Config{Runs: 20, Models: []models.InferenceSpec{models.Densenet}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Fig6Row{}
+	for _, r := range rows {
+		byLabel[r.System] = r
+	}
+	for _, mode := range []string{"Sim", "HW"} {
+		plain := byLabel[mode]
+		shielded := byLabel[mode+" w/ FSPF"]
+		overhead := float64(shielded.Latency)/float64(plain.Latency) - 1
+		// Paper: 0.12% (Sim) and 0.9% (HW). Anything under ~3% counts as
+		// the "negligible" shape; negative would mean mismeasurement.
+		if overhead < -0.005 || overhead > 0.03 {
+			t.Errorf("%s: FSPF overhead = %.2f%%, paper reports <1%%", mode, overhead*100)
+		}
+	}
+}
+
+func fig7For(t *testing.T, rows []Fig7Row, system, mode string, cores, nodes int) Fig7Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.System == system && r.Mode == mode && r.Cores == cores && r.Nodes == nodes {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s/%s cores=%d nodes=%d", system, mode, cores, nodes)
+	return Fig7Row{}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds paper-size models")
+	}
+	rows, err := Figure7(Config{Images: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale-up: everyone improves 1 -> 4 cores.
+	for _, sys := range []string{"Native glibc", "Sim", "HW"} {
+		one := fig7For(t, rows, sys, "scale-up", 1, 0)
+		four := fig7For(t, rows, sys, "scale-up", 4, 0)
+		if float64(one.Latency)/float64(four.Latency) < 2.5 {
+			t.Errorf("%s: 1->4 cores speedup %.2f, want near-linear", sys, float64(one.Latency)/float64(four.Latency))
+		}
+	}
+	// 4 -> 8: Sim keeps improving (hyper-threads), HW regresses (EPC).
+	sim4 := fig7For(t, rows, "Sim", "scale-up", 4, 0)
+	sim8 := fig7For(t, rows, "Sim", "scale-up", 8, 0)
+	if sim8.Latency >= sim4.Latency {
+		t.Errorf("Sim did not improve 4->8 threads: %v -> %v", sim4.Latency, sim8.Latency)
+	}
+	hw4 := fig7For(t, rows, "HW", "scale-up", 4, 0)
+	hw8 := fig7For(t, rows, "HW", "scale-up", 8, 0)
+	if hw8.Latency <= hw4.Latency {
+		t.Errorf("HW kept scaling 4->8 threads (%v -> %v); paper: EPC stops it", hw4.Latency, hw8.Latency)
+	}
+	// Scale-out: HW scales with nodes (paper: 1180 s -> 403 s at 3 nodes).
+	hw1 := fig7For(t, rows, "HW", "scale-out", 4, 1)
+	hw3 := fig7For(t, rows, "HW", "scale-out", 4, 3)
+	speedup := float64(hw1.Latency) / float64(hw3.Latency)
+	if speedup < 2.0 {
+		t.Errorf("HW scale-out 1->3 nodes speedup = %.2f, paper ≈2.9", speedup)
+	}
+}
+
+func fig8For(t *testing.T, rows []Fig8Row, system string, workers int) Fig8Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.System == system && r.Workers == workers {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s workers=%d", system, workers)
+	return Fig8Row{}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs distributed training across 15 configurations")
+	}
+	rows, err := Figure8(Config{Steps: 6, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := fig8For(t, rows, "Native", 1)
+	simNoTLS := fig8For(t, rows, "secureTF SIM w/o TLS", 1)
+	simTLS := fig8For(t, rows, "secureTF SIM", 1)
+	hwTLS := fig8For(t, rows, "secureTF HW", 1)
+
+	// Ordering: native < SIM w/o TLS < SIM < HW.
+	if !(native.Latency < simNoTLS.Latency && simNoTLS.Latency < simTLS.Latency && simTLS.Latency < hwTLS.Latency) {
+		t.Errorf("ordering broken: native %v, sim-notls %v, sim %v, hw %v",
+			native.Latency, simNoTLS.Latency, simTLS.Latency, hwTLS.Latency)
+	}
+	// Paper factors: HW ≈14x, SIM ≈6x, SIM w/o TLS ≈2.3x native.
+	if r := float64(hwTLS.Latency) / float64(native.Latency); r < 6 || r > 40 {
+		t.Errorf("HW/native = %.1f, paper ≈14", r)
+	}
+	if r := float64(simTLS.Latency) / float64(native.Latency); r < 2.5 || r > 12 {
+		t.Errorf("SIM/native = %.1f, paper ≈6", r)
+	}
+	if r := float64(simNoTLS.Latency) / float64(native.Latency); r < 1.3 || r > 5 {
+		t.Errorf("SIM-w/o-TLS/native = %.1f, paper ≈2.3", r)
+	}
+	// Scaling: HW speedup with 3 workers ≈ 2.57x in the paper.
+	hw3 := fig8For(t, rows, "secureTF HW", 3)
+	if s := float64(hwTLS.Latency) / float64(hw3.Latency); s < 1.6 {
+		t.Errorf("HW 3-worker speedup = %.2f, paper ≈2.57", s)
+	}
+	// Training must actually learn.
+	if hwTLS.FinalLoss >= 2.4 {
+		t.Errorf("final loss %.3f did not move below initial ~2.3+", hwTLS.FinalLoss)
+	}
+}
+
+func TestTFvsTFLiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 91 MB model twice")
+	}
+	rows, err := TFvsTFLite(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tfRow, liteRow := rows[0], rows[1]
+	ratio := float64(tfRow.Latency) / float64(liteRow.Latency)
+	// Paper: 71x. The shape requirement is an order-of-magnitude-plus gap
+	// caused by EPC behaviour.
+	if ratio < 15 {
+		t.Errorf("TF/TFLite ratio = %.1f, paper ≈71 (want >> 10)", ratio)
+	}
+	if tfRow.BinaryBytes < 40*liteRow.BinaryBytes {
+		t.Errorf("binary size gap lost: %d vs %d", tfRow.BinaryBytes, liteRow.BinaryBytes)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/models"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// Fig7Row is one point of Figure 7: total latency to classify the image
+// batch at a given parallelism.
+type Fig7Row struct {
+	System  string
+	Mode    string // "scale-up" or "scale-out"
+	Cores   int    // scale-up: threads on one node
+	Nodes   int    // scale-out: nodes with 4 cores each
+	Images  int
+	Latency time.Duration
+}
+
+// ArenaPerThread models the per-thread working state of the inference
+// runtime (interpreter scratch, stacks, I/O buffers). This is what pushes
+// the enclave working set past the EPC between 4 and 8 threads in the
+// paper's scale-up experiment: 42 MB of weights + 4×8 MB fits, + 8×8 MB
+// does not.
+const ArenaPerThread int64 = 8 << 20
+
+// fig7Kinds are the systems of Figure 7.
+func fig7Kinds() []core.RuntimeKind {
+	return []core.RuntimeKind{core.RuntimeNativeGlibc, core.RuntimeSconeSIM, core.RuntimeSconeHW}
+}
+
+// Figure7 reproduces the scalability experiment (paper Fig. 7):
+// classifying a batch of CIFAR-10 images with 1/2/4/8 cores on one node
+// (scale-up) and with 1/2/3 four-core nodes (scale-out). In HW mode
+// scale-up stops paying off beyond 4 cores because per-thread state
+// pushes the working set past the EPC; scale-out keeps scaling because
+// every node brings its own EPC.
+func Figure7(cfg Config) ([]Fig7Row, error) {
+	cfg = cfg.withDefaults()
+	// The paper classifies CIFAR images with a large pre-trained model;
+	// Densenet's 42 MB places the 4-core working set just under the EPC
+	// and the 8-core one over it.
+	spec := models.Densenet
+	cfg.logf("fig7: building %s", spec.Name)
+	model := models.BuildInferenceModel(spec)
+
+	var rows []Fig7Row
+
+	// Scale-up: one node, varying thread count.
+	for _, kind := range fig7Kinds() {
+		for _, cores := range []int{1, 2, 4, 8} {
+			latency, err := fig7ScaleUp(kind, model, spec, cfg.Images, cores)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 scale-up %v/%d: %w", kind, cores, err)
+			}
+			cfg.logf("fig7: scale-up  %-14s cores=%d %9.2f s", kind, cores, latency.Seconds())
+			rows = append(rows, Fig7Row{
+				System: kind.String(), Mode: "scale-up", Cores: cores,
+				Images: cfg.Images, Latency: latency,
+			})
+		}
+	}
+
+	// Scale-out: 1..3 nodes at 4 cores each, images split evenly.
+	for _, kind := range fig7Kinds() {
+		for _, nodes := range []int{1, 2, 3} {
+			latency, err := fig7ScaleOut(kind, model, spec, cfg.Images, nodes)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 scale-out %v/%d: %w", kind, nodes, err)
+			}
+			cfg.logf("fig7: scale-out %-14s nodes=%d %9.2f s", kind, nodes, latency.Seconds())
+			rows = append(rows, Fig7Row{
+				System: kind.String(), Mode: "scale-out", Nodes: nodes, Cores: 4,
+				Images: cfg.Images, Latency: latency,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// fig7ScaleUp classifies the batch on one node with the given threads.
+// Images are classified one at a time (the paper's label_image workload),
+// so the model weights stream through the enclave once per image.
+func fig7ScaleUp(kind core.RuntimeKind, model *tflite.Model, spec models.InferenceSpec, images, threads int) (time.Duration, error) {
+	input := models.RandomImageInput(spec, 1, 7)
+	setup := func(c *core.Container) error {
+		if e := c.Enclave(); e != nil {
+			for i := 0; i < threads; i++ {
+				e.Alloc(fmt.Sprintf("thread-%d/scratch", i), ArenaPerThread)
+			}
+		}
+		return nil
+	}
+	perImage, err := classifyLatency(kind, model, input, images, threads, setup)
+	if err != nil {
+		return 0, err
+	}
+	return perImage * time.Duration(images), nil
+}
+
+// fig7ScaleOut classifies the batch split over N independent nodes and
+// reports the slowest node (the batch is done when all nodes are).
+func fig7ScaleOut(kind core.RuntimeKind, model *tflite.Model, spec models.InferenceSpec, images, nodes int) (time.Duration, error) {
+	per := images / nodes
+	if per == 0 {
+		per = 1
+	}
+	latencies := make([]time.Duration, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			count := per
+			if n == 0 {
+				count = images - per*(nodes-1) // remainder on node 0
+			}
+			input := models.RandomImageInput(spec, 1, int64(8+n))
+			setup := func(c *core.Container) error {
+				if e := c.Enclave(); e != nil {
+					for i := 0; i < 4; i++ {
+						e.Alloc(fmt.Sprintf("thread-%d/scratch", i), ArenaPerThread)
+					}
+				}
+				return nil
+			}
+			perImage, err := classifyLatency(kind, model, input, count, 4, setup)
+			latencies[n], errs[n] = perImage*time.Duration(count), err
+		}(n)
+	}
+	wg.Wait()
+	var max time.Duration
+	for n := 0; n < nodes; n++ {
+		if errs[n] != nil {
+			return 0, errs[n]
+		}
+		if latencies[n] > max {
+			max = latencies[n]
+		}
+	}
+	return max, nil
+}
+
+// PrintFigure7 renders the rows.
+func PrintFigure7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Figure 7 — scalability: batch classification latency (s)")
+	fmt.Fprintf(w, "%-10s %-14s %6s %6s %8s %12s\n", "mode", "system", "cores", "nodes", "images", "latency(s)")
+	for _, r := range rows {
+		nodes := r.Nodes
+		if r.Mode == "scale-up" {
+			nodes = 1
+		}
+		fmt.Fprintf(w, "%-10s %-14s %6d %6d %8d %12s\n", r.Mode, r.System, r.Cores, nodes, r.Images, fmtDurS(r.Latency))
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/models"
+	"github.com/securetf/securetf/internal/tf/dist"
+)
+
+func TestFig8ProbeHW(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		psPlat, _ := newPlatform("ps")
+		psC, _ := core.Launch(core.Config{Kind: core.RuntimeSconeHW, Platform: psPlat, Image: TFFullImage(), HostFS: fsapi.NewMem()})
+		ln, _ := psC.Listen("tcp", "127.0.0.1:0")
+		ref := models.MNISTCNN(1)
+		vars := dist.InitialVars(ref.Graph)
+		ps, _ := dist.NewParameterServer(dist.PSConfig{Listener: ln, Vars: vars, Workers: workers, LR: 0.0005, Clock: psPlat.Clock(), Params: psPlat.Params()})
+		rounds := 6 / workers
+		var wg sync.WaitGroup
+		for id := 0; id < workers; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				wPlat, _ := newPlatform(fmt.Sprintf("w%d", id))
+				wC, _ := core.Launch(core.Config{Kind: core.RuntimeSconeHW, Platform: wPlat, Image: TFFullImage(), HostFS: fsapi.NewMem()})
+				defer wC.Close()
+				xs, ys := syntheticMNISTShard(50*rounds, int64(id))
+				h := models.MNISTCNN(1)
+				w, err := dist.NewWorker(dist.WorkerConfig{ID: id, Addr: ln.Addr().String(),
+					Dial:  func(nw, a string) (net.Conn, error) { return wC.Dial(nw, a, "") },
+					Model: dist.Model{Graph: h.Graph, X: h.X, Y: h.Y, Loss: h.Loss},
+					XS:    xs, YS: ys, BatchSize: 50, Device: wC.Device(0), Clock: wPlat.Clock(), Params: wPlat.Params()})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer w.Close()
+				for r := 0; r < rounds; r++ {
+					if err := w.Step(); err != nil {
+						t.Error(err)
+						return
+					}
+					fmt.Printf("N=%d worker%d round %d: wclock=%v pull=%v compute=%v push=%v\n",
+						workers, id, r, wPlat.Clock().Now(), w.LastBreakdown.Pull, w.LastBreakdown.Compute, w.LastBreakdown.Push)
+				}
+			}(id)
+		}
+		wg.Wait()
+		fmt.Printf("N=%d final ps clock %v (rounds=%d)\n", workers, psPlat.Clock().Now(), ps.Rounds())
+		ps.Close()
+		psC.Close()
+	}
+}

@@ -1,0 +1,204 @@
+// Package fstest provides a conformance suite for fsapi.FS
+// implementations: the runtimes' syscall-interposed views, the
+// file-system shield and the plain backends must all behave like the
+// same file system to the application (the paper's transparency goal).
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sort"
+	"testing"
+
+	"github.com/securetf/securetf/internal/fsapi"
+)
+
+// Conformance exercises the full fsapi surface against fsys. The file
+// system must be empty when passed in.
+func Conformance(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	conformCreateOpen(t, fsys)
+	conformRandomAccess(t, fsys)
+	conformTruncate(t, fsys)
+	conformRemoveRename(t, fsys)
+	conformStatList(t, fsys)
+	conformErrors(t, fsys)
+}
+
+func conformCreateOpen(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	f, err := fsys.Create("dir/a.bin")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if f.Name() != "dir/a.bin" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	g, err := fsys.Open("dir/a.bin")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer g.Close()
+	data, err := io.ReadAll(g)
+	if err != nil {
+		t.Fatalf("read all: %v", err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("content %q", data)
+	}
+	size, err := g.Size()
+	if err != nil || size != 11 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+
+	// Create truncates an existing file.
+	h, err := fsys.Create("dir/a.bin")
+	if err != nil {
+		t.Fatalf("re-create: %v", err)
+	}
+	if _, err := h.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	got, err := fsapi.ReadFile(fsys, "dir/a.bin")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("after re-create: %q, %v", got, err)
+	}
+}
+
+func conformRandomAccess(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	f, err := fsys.Create("rand.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("abcdefgh"), 0); err != nil {
+		t.Fatalf("write at 0: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("ZZ"), 3); err != nil {
+		t.Fatalf("write at 3: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 2); err != nil {
+		t.Fatalf("read at 2: %v", err)
+	}
+	if string(buf) != "cZZf" {
+		t.Fatalf("read at = %q", buf)
+	}
+	// Seek + sequential read agree with ReadAt.
+	if _, err := f.Seek(2, io.SeekStart); err != nil {
+		t.Fatalf("seek: %v", err)
+	}
+	buf2 := make([]byte, 4)
+	if _, err := io.ReadFull(f, buf2); err != nil {
+		t.Fatalf("read after seek: %v", err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatalf("seek-read %q != readat %q", buf2, buf)
+	}
+}
+
+func conformTruncate(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	f, err := fsys.Create("trunc.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatalf("truncate shrink: %v", err)
+	}
+	if size, _ := f.Size(); size != 4 {
+		t.Fatalf("size after shrink = %d", size)
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatalf("truncate grow: %v", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after grow: %v", err)
+	}
+	if string(buf[:4]) != "0123" || !bytes.Equal(buf[4:], make([]byte, 4)) {
+		t.Fatalf("grown content %q", buf)
+	}
+}
+
+func conformRemoveRename(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	if err := fsapi.WriteFile(fsys, "old.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename("old.bin", "new.bin"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := fsys.Stat("old.bin"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat old after rename: %v", err)
+	}
+	got, err := fsapi.ReadFile(fsys, "new.bin")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read renamed: %q, %v", got, err)
+	}
+	if err := fsys.Remove("new.bin"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := fsys.Stat("new.bin"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}
+
+func conformStatList(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	if err := fsys.MkdirAll("lst/sub"); err != nil {
+		t.Fatalf("mkdirall: %v", err)
+	}
+	for _, name := range []string{"lst/b.bin", "lst/a.bin"} {
+		if err := fsapi.WriteFile(fsys, name, []byte("z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := fsys.Stat("lst/a.bin")
+	if err != nil || info.Size != 1 {
+		t.Fatalf("stat: %+v, %v", info, err)
+	}
+	names, err := fsys.List("lst")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	sort.Strings(names)
+	for _, want := range []string{"a.bin", "b.bin"} {
+		found := false
+		for _, n := range names {
+			if n == want || n == "lst/"+want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("list missing %s: %v", want, names)
+		}
+	}
+}
+
+func conformErrors(t *testing.T, fsys fsapi.FS) {
+	t.Helper()
+	if _, err := fsys.Open("does/not/exist"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := fsys.Stat("does/not/exist"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	if err := fsys.Remove("does/not/exist"); err == nil {
+		t.Fatal("remove missing succeeded")
+	}
+}

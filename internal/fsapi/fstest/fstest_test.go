@@ -1,0 +1,15 @@
+package fstest
+
+import (
+	"testing"
+
+	"github.com/securetf/securetf/internal/fsapi"
+)
+
+func TestMemConformance(t *testing.T) {
+	Conformance(t, fsapi.NewMem())
+}
+
+func TestOSConformance(t *testing.T) {
+	Conformance(t, fsapi.NewOS(t.TempDir()))
+}

@@ -1,0 +1,178 @@
+package graphene
+
+import (
+	"net"
+
+	"github.com/securetf/securetf/internal/fsapi"
+)
+
+// sysFS routes file operations through Graphene's synchronous syscall
+// path.
+type sysFS struct {
+	rt   *Runtime
+	host fsapi.FS
+}
+
+var _ fsapi.FS = (*sysFS)(nil)
+
+func (s *sysFS) Open(name string) (fsapi.File, error) {
+	var f fsapi.File
+	var err error
+	s.rt.Syscall(func() { f, err = s.host.Open(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &sysFile{rt: s.rt, inner: f}, nil
+}
+
+func (s *sysFS) Create(name string) (fsapi.File, error) {
+	var f fsapi.File
+	var err error
+	s.rt.Syscall(func() { f, err = s.host.Create(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &sysFile{rt: s.rt, inner: f}, nil
+}
+
+func (s *sysFS) Remove(name string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.Remove(name) })
+	return err
+}
+
+func (s *sysFS) Rename(oldName, newName string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.Rename(oldName, newName) })
+	return err
+}
+
+func (s *sysFS) Stat(name string) (fsapi.FileInfo, error) {
+	var fi fsapi.FileInfo
+	var err error
+	s.rt.Syscall(func() { fi, err = s.host.Stat(name) })
+	return fi, err
+}
+
+func (s *sysFS) List(dir string) ([]string, error) {
+	var names []string
+	var err error
+	s.rt.Syscall(func() { names, err = s.host.List(dir) })
+	return names, err
+}
+
+func (s *sysFS) MkdirAll(dir string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.MkdirAll(dir) })
+	return err
+}
+
+type sysFile struct {
+	rt    *Runtime
+	inner fsapi.File
+}
+
+var _ fsapi.File = (*sysFile)(nil)
+
+func (f *sysFile) Read(p []byte) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Read(p) })
+	f.rt.CopyIn(n)
+	return n, err
+}
+
+func (f *sysFile) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.ReadAt(p, off) })
+	f.rt.CopyIn(n)
+	return n, err
+}
+
+func (f *sysFile) Write(p []byte) (int, error) {
+	var n int
+	var err error
+	f.rt.CopyOut(len(p))
+	f.rt.Syscall(func() { n, err = f.inner.Write(p) })
+	return n, err
+}
+
+func (f *sysFile) WriteAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	f.rt.CopyOut(len(p))
+	f.rt.Syscall(func() { n, err = f.inner.WriteAt(p, off) })
+	return n, err
+}
+
+func (f *sysFile) Seek(off int64, whence int) (int64, error) {
+	var pos int64
+	var err error
+	f.rt.Syscall(func() { pos, err = f.inner.Seek(off, whence) })
+	return pos, err
+}
+
+func (f *sysFile) Truncate(size int64) error {
+	var err error
+	f.rt.Syscall(func() { err = f.inner.Truncate(size) })
+	return err
+}
+
+func (f *sysFile) Size() (int64, error) {
+	var n int64
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Size() })
+	return n, err
+}
+
+func (f *sysFile) Close() error {
+	var err error
+	f.rt.Syscall(func() { err = f.inner.Close() })
+	return err
+}
+
+func (f *sysFile) Name() string { return f.inner.Name() }
+
+// sysConn wraps a network connection with synchronous syscalls.
+type sysConn struct {
+	rt *Runtime
+	net.Conn
+}
+
+func (c *sysConn) Read(p []byte) (int, error) {
+	var n int
+	var err error
+	c.rt.Syscall(func() { n, err = c.Conn.Read(p) })
+	c.rt.CopyIn(n)
+	return n, err
+}
+
+func (c *sysConn) Write(p []byte) (int, error) {
+	var n int
+	var err error
+	c.rt.CopyOut(len(p))
+	c.rt.Syscall(func() { n, err = c.Conn.Write(p) })
+	return n, err
+}
+
+func (c *sysConn) Close() error {
+	var err error
+	c.rt.Syscall(func() { err = c.Conn.Close() })
+	return err
+}
+
+type sysListener struct {
+	rt *Runtime
+	net.Listener
+}
+
+func (l *sysListener) Accept() (net.Conn, error) {
+	var conn net.Conn
+	var err error
+	l.rt.Syscall(func() { conn, err = l.Listener.Accept() })
+	if err != nil {
+		return nil, err
+	}
+	return &sysConn{rt: l.rt, Conn: conn}, nil
+}

@@ -1,0 +1,163 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+func TestModelZooShapes(t *testing.T) {
+	for name, h := range map[string]Handles{
+		"mlp":   MNISTMLP(1),
+		"cnn":   MNISTCNN(1),
+		"cifar": CIFARCNN(1),
+	} {
+		sess := tf.NewSession(h.Graph)
+		var x *tf.Tensor
+		if name == "cifar" {
+			x = tf.RandNormal(tf.Shape{2, 32, 32, 3}, 1, 2)
+		} else {
+			x = tf.RandNormal(tf.Shape{2, 28, 28, 1}, 1, 2)
+		}
+		y := tf.OneHot([]int{1, 2}, 10)
+		out, err := sess.Run(tf.Feeds{h.X: x, h.Y: y}, []*tf.Node{h.Logits, h.Loss, h.Accuracy})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !out[0].Shape().Equal(tf.Shape{2, 10}) {
+			t.Fatalf("%s: logits shape %v", name, out[0].Shape())
+		}
+		if math.IsNaN(float64(out[1].Floats()[0])) {
+			t.Fatalf("%s: loss NaN", name)
+		}
+		sess.Close()
+	}
+}
+
+func TestFreezeForInference(t *testing.T) {
+	h := MNISTMLP(3)
+	sess := tf.NewSession(h.Graph)
+	defer sess.Close()
+	frozen, fx, fl, err := FreezeForInference(h, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frozen.Variables()) != 0 {
+		t.Fatal("frozen graph has variables")
+	}
+	fs := tf.NewSession(frozen)
+	defer fs.Close()
+	x := tf.RandNormal(tf.Shape{1, 28, 28, 1}, 1, 4)
+	if _, err := fs.Run(tf.Feeds{fx: x}, []*tf.Node{fl}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperModelSizes(t *testing.T) {
+	for _, spec := range PaperModels() {
+		params := spec.Params()
+		bytes := 4 * params
+		ratio := float64(bytes) / float64(spec.FileBytes)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("%s: stand-in bytes %d vs paper %d (ratio %.3f)", spec.Name, bytes, spec.FileBytes, ratio)
+		}
+	}
+}
+
+func TestPaperModelOrdering(t *testing.T) {
+	specs := PaperModels()
+	for i := 1; i < len(specs); i++ {
+		if specs[i].FileBytes <= specs[i-1].FileBytes {
+			t.Fatal("paper models not in ascending size order")
+		}
+		if specs[i].GFLOPs <= specs[i-1].GFLOPs {
+			t.Fatal("paper models not in ascending FLOP order")
+		}
+	}
+}
+
+func TestBuildInferenceModelRuns(t *testing.T) {
+	// Use a scaled-down spec so the test stays fast while exercising the
+	// same construction path as the paper-size models.
+	small := InferenceSpec{Name: "small", FileBytes: 1 << 20, GFLOPs: 0.01, InputDim: 128, Classes: 10}
+	m := BuildInferenceModel(small)
+	ratio := float64(m.WeightBytes()) / float64(small.FileBytes)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("weight bytes %d vs target %d", m.WeightBytes(), small.FileBytes)
+	}
+	ip, err := tflite.NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	in := RandomImageInput(small, 2, 5)
+	if err := ip.SetInput(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ip.Output(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tf.Shape{2, 10}) {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	// Softmax rows sum to 1.
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 10; c++ {
+			sum += float64(out.Floats()[r*10+c])
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestTFGraphAndTFLiteStandInsAgree(t *testing.T) {
+	small := InferenceSpec{Name: "tiny", FileBytes: 256 << 10, GFLOPs: 0.001, InputDim: 64, Classes: 8}
+	m := BuildInferenceModel(small)
+	g, x, probs := BuildInferenceTFGraph(small)
+
+	in := RandomImageInput(small, 3, 6)
+	sess := tf.NewSession(g)
+	defer sess.Close()
+	want, err := sess.Run(tf.Feeds{x: in}, []*tf.Node{probs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ip, err := tflite.NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	if err := ip.SetInput(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Output(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tf.AllClose(want[0], got, 1e-4) {
+		t.Fatal("TF and TFLite stand-ins disagree on identical weights")
+	}
+}
+
+func TestCostScaleMatchesDeclaredFLOPs(t *testing.T) {
+	for _, spec := range PaperModels() {
+		scale := spec.costScale()
+		charged := scale * float64(2*spec.Params())
+		declared := spec.GFLOPs * 1e9
+		if math.Abs(charged-declared)/declared > 0.01 {
+			t.Errorf("%s: charged %g FLOPs vs declared %g", spec.Name, charged, declared)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package models
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// InferenceSpec describes a pre-trained classification network by the two
+// properties the paper's experiments depend on: its on-disk byte size
+// (EPC pressure) and its per-image forward FLOPs (base latency).
+type InferenceSpec struct {
+	// Name matches the paper's figures.
+	Name string
+	// FileBytes is the model size the paper reports.
+	FileBytes int64
+	// GFLOPs is the per-image forward cost of the real architecture.
+	GFLOPs float64
+	// InputDim is the flattened input width of the stand-in network.
+	InputDim int
+	// Classes is the output class count.
+	Classes int
+}
+
+// The three pre-trained models of Figures 5 and 6. FLOP counts are the
+// published per-image costs of the architectures.
+var (
+	Densenet    = InferenceSpec{Name: "densenet", FileBytes: 42 << 20, GFLOPs: 5.7, InputDim: 2048, Classes: 1000}
+	InceptionV3 = InferenceSpec{Name: "inception_v3", FileBytes: 91 << 20, GFLOPs: 11.4, InputDim: 2048, Classes: 1000}
+	InceptionV4 = InferenceSpec{Name: "inception_v4", FileBytes: 163 << 20, GFLOPs: 24.6, InputDim: 2048, Classes: 1000}
+)
+
+// PaperModels lists the Figure 5/6 models in ascending size order.
+func PaperModels() []InferenceSpec {
+	return []InferenceSpec{Densenet, InceptionV3, InceptionV4}
+}
+
+// fcStackWidths plans a dense stack whose parameter bytes approximate the
+// target. The stand-in preserves what matters to the experiments — bytes
+// on disk and in enclave memory — while the declared-FLOPs cost scale
+// (see below) preserves compute time.
+func fcStackWidths(targetParams int64, inputDim, classes int) []int {
+	const hidden = 2048
+	widths := []int{inputDim}
+	cur := inputDim
+	remaining := targetParams
+	for {
+		finalCost := int64(cur * classes)
+		if remaining <= finalCost+int64(cur*256) {
+			break
+		}
+		out := hidden
+		if int64(cur*out) > remaining-finalCost {
+			out = int((remaining - finalCost) / int64(cur))
+			if out < classes {
+				break
+			}
+		}
+		widths = append(widths, out)
+		remaining -= int64(cur * out)
+		cur = out
+	}
+	widths = append(widths, classes)
+	return widths
+}
+
+// Params returns the parameter count of the stand-in stack.
+func (s InferenceSpec) Params() int64 {
+	widths := fcStackWidths(s.FileBytes/4, s.InputDim, s.Classes)
+	var p int64
+	for i := 0; i+1 < len(widths); i++ {
+		p += int64(widths[i]) * int64(widths[i+1])
+	}
+	return p
+}
+
+// costScale is the factor by which the stand-in's real FLOPs are scaled
+// to charge the declared per-image FLOPs of the original architecture
+// (documented substitution, DESIGN.md §2).
+func (s InferenceSpec) costScale() float64 {
+	real := float64(2 * s.Params())
+	if real <= 0 {
+		return 1
+	}
+	return s.GFLOPs * 1e9 / real
+}
+
+// xorshift64 is a cheap deterministic byte stream for synthetic weights.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// syntheticWeights fills a float32 buffer with small deterministic values
+// (valid numerics, roughly N(0, 0.03)).
+func syntheticWeights(n int, seed uint64) []byte {
+	rng := xorshift64(seed | 1)
+	out := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		v := float32(int8(rng.next())) / 512
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// BuildInferenceModel constructs the flat inference model for a spec:
+// a ReLU dense stack with a softmax head, weight bytes matching the
+// paper's model size and per-op cost scales matching its FLOPs.
+func BuildInferenceModel(spec InferenceSpec) *tflite.Model {
+	widths := fcStackWidths(spec.FileBytes/4, spec.InputDim, spec.Classes)
+	scale := spec.costScale()
+	m := &tflite.Model{}
+
+	inputIdx := len(m.Tensors)
+	m.Tensors = append(m.Tensors, tflite.TensorSpec{
+		Name: "input", Type: tflite.TypeFloat32, Shape: []int{-1, spec.InputDim}, Buffer: -1,
+	})
+	m.Inputs = []int{inputIdx}
+
+	cur := inputIdx
+	for layer := 0; layer+1 < len(widths); layer++ {
+		in, out := widths[layer], widths[layer+1]
+		wBuf := syntheticWeights(in*out, uint64(layer)*0x9e3779b97f4a7c15+uint64(spec.FileBytes))
+		m.Buffers = append(m.Buffers, wBuf)
+		wIdx := len(m.Tensors)
+		m.Tensors = append(m.Tensors, tflite.TensorSpec{
+			Name: layerName(spec.Name, layer, "weights"), Type: tflite.TypeFloat32,
+			Shape: []int{in, out}, Buffer: len(m.Buffers) - 1,
+		})
+		outIdx := len(m.Tensors)
+		m.Tensors = append(m.Tensors, tflite.TensorSpec{
+			Name: layerName(spec.Name, layer, "out"), Type: tflite.TypeFloat32,
+			Shape: []int{-1, out}, Buffer: -1,
+		})
+		act := tflite.ActRelu
+		if layer+2 == len(widths) {
+			act = tflite.ActNone // logits layer
+		}
+		m.Ops = append(m.Ops, tflite.OpSpec{
+			Code: tflite.OpFullyConnected, Inputs: []int{cur, wIdx}, Outputs: []int{outIdx},
+			Activation: act, CostScale: scale,
+		})
+		cur = outIdx
+	}
+
+	probsIdx := len(m.Tensors)
+	m.Tensors = append(m.Tensors, tflite.TensorSpec{
+		Name: "probs", Type: tflite.TypeFloat32, Shape: []int{-1, spec.Classes}, Buffer: -1,
+	})
+	m.Ops = append(m.Ops, tflite.OpSpec{
+		Code: tflite.OpSoftmax, Inputs: []int{cur}, Outputs: []int{probsIdx},
+	})
+	m.Outputs = []int{probsIdx}
+	return m
+}
+
+func layerName(model string, layer int, kind string) string {
+	return model + "/fc" + string(rune('0'+layer/10)) + string(rune('0'+layer%10)) + "/" + kind
+}
+
+// BuildInferenceTFGraph constructs the same stand-in as a full-TensorFlow
+// frozen graph, for the TF-vs-TFLite comparison (§5.3 #4).
+func BuildInferenceTFGraph(spec InferenceSpec) (*tf.Graph, *tf.Node, *tf.Node) {
+	widths := fcStackWidths(spec.FileBytes/4, spec.InputDim, spec.Classes)
+	scale := spec.costScale()
+	g := tf.NewGraph()
+	x := g.Placeholder("input", tf.Float32, tf.Shape{-1, spec.InputDim})
+	cur := x
+	for layer := 0; layer+1 < len(widths); layer++ {
+		in, out := widths[layer], widths[layer+1]
+		raw := syntheticWeights(in*out, uint64(layer)*0x9e3779b97f4a7c15+uint64(spec.FileBytes))
+		vals := make([]float32, in*out)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+		wt, err := tf.FromFloats(tf.Shape{in, out}, vals)
+		if err != nil {
+			panic(err) // shape and data sizes are constructed consistently
+		}
+		w := g.Const(layerName(spec.Name, layer, "weights"), wt)
+		mm := g.MatMul(cur, w)
+		mm.SetCostScale(scale)
+		if layer+2 < len(widths) {
+			cur = g.Relu(mm)
+		} else {
+			cur = mm
+		}
+	}
+	probs := g.Softmax(cur)
+	return g, x, probs
+}
+
+// BuildQuantizedInferenceModel builds the spec's stand-in network with
+// int8 post-training weight quantization (the §7.2 model optimization):
+// the weight working set shrinks ~4×, pulling EPC-exceeding models back
+// under the limit.
+func BuildQuantizedInferenceModel(spec InferenceSpec) (*tflite.Model, error) {
+	g, x, probs := BuildInferenceTFGraph(spec)
+	m, err := tflite.Convert(g, []*tf.Node{x}, []*tf.Node{probs}, tflite.ConvertOptions{Quantize: true})
+	if err != nil {
+		return nil, fmt.Errorf("models: quantized conversion of %s: %w", spec.Name, err)
+	}
+	return m, nil
+}
+
+// RandomImageInput builds a deterministic input batch for a spec.
+func RandomImageInput(spec InferenceSpec, batch int, seed int64) *tf.Tensor {
+	return tf.RandNormal(tf.Shape{batch, spec.InputDim}, 1, seed)
+}

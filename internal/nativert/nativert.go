@@ -1,0 +1,253 @@
+// Package nativert provides the unprotected baseline runtimes the paper
+// compares against: native execution with glibc (Ubuntu) and with musl
+// libc (Alpine), no enclave, no shields.
+package nativert
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/securetf/securetf/internal/device"
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// Libc selects the C library flavor of the native baseline.
+type Libc int
+
+const (
+	// Glibc is the GNU C library (performance-tailored).
+	Glibc Libc = iota + 1
+	// Musl is the small-footprint musl libc used by Alpine.
+	Musl
+)
+
+// String returns the figure label for the libc flavor.
+func (l Libc) String() string {
+	switch l {
+	case Glibc:
+		return "glibc"
+	case Musl:
+		return "musl"
+	default:
+		return "invalid"
+	}
+}
+
+func (l Libc) factor() float64 {
+	if l == Musl {
+		return device.LibcMuslFactor
+	}
+	return device.LibcGlibcFactor
+}
+
+// Config configures a native runtime.
+type Config struct {
+	// Params supplies machine constants (core count, throughput).
+	Params sgx.Params
+	// Clock is the virtual clock to charge. Required.
+	Clock *vtime.Clock
+	// Libc selects glibc or musl. Defaults to Glibc.
+	Libc Libc
+	// HostFS is the host file system. Required.
+	HostFS fsapi.FS
+	// Threads is the default device thread count. Defaults to the
+	// physical core count.
+	Threads int
+}
+
+// Runtime is a native (unprotected) execution environment.
+type Runtime struct {
+	cfg Config
+}
+
+// Launch validates the configuration and returns the runtime.
+func Launch(cfg Config) (*Runtime, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("nativert: Config.Clock is required")
+	}
+	if cfg.HostFS == nil {
+		return nil, fmt.Errorf("nativert: Config.HostFS is required")
+	}
+	if cfg.Libc == 0 {
+		cfg.Libc = Glibc
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = cfg.Params.PhysicalCores
+	}
+	return &Runtime{cfg: cfg}, nil
+}
+
+// Name identifies the runtime, e.g. "native-glibc".
+func (r *Runtime) Name() string { return "native-" + r.cfg.Libc.String() }
+
+// Enclave returns nil: native runtimes have no enclave.
+func (r *Runtime) Enclave() *sgx.Enclave { return nil }
+
+// Device returns a CPU device with the runtime's libc factor.
+func (r *Runtime) Device(threads int) device.Device {
+	if threads <= 0 {
+		threads = r.cfg.Threads
+	}
+	return device.NewCPU(r.Name(), r.cfg.Params, r.cfg.Clock, threads, r.cfg.Libc.factor())
+}
+
+// Syscall charges an ordinary kernel crossing and runs fn.
+func (r *Runtime) Syscall(fn func()) {
+	r.cfg.Clock.Advance(r.cfg.Params.NativeSyscallCost)
+	fn()
+}
+
+// FS returns the host file system with native syscall costs.
+func (r *Runtime) FS() fsapi.FS {
+	return &sysFS{rt: r, host: r.cfg.HostFS}
+}
+
+// Dial opens a TCP connection.
+func (r *Runtime) Dial(network, addr string) (net.Conn, error) {
+	var conn net.Conn
+	var err error
+	r.Syscall(func() { conn, err = net.Dial(network, addr) })
+	if err != nil {
+		return nil, fmt.Errorf("nativert: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// Listen opens a TCP listener.
+func (r *Runtime) Listen(network, addr string) (net.Listener, error) {
+	var ln net.Listener
+	var err error
+	r.Syscall(func() { ln, err = net.Listen(network, addr) })
+	if err != nil {
+		return nil, fmt.Errorf("nativert: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// Close releases nothing; native runtimes hold no resources.
+func (r *Runtime) Close() error { return nil }
+
+// sysFS charges a native syscall per operation; contents pass through.
+type sysFS struct {
+	rt   *Runtime
+	host fsapi.FS
+}
+
+var _ fsapi.FS = (*sysFS)(nil)
+
+func (s *sysFS) Open(name string) (fsapi.File, error) {
+	var f fsapi.File
+	var err error
+	s.rt.Syscall(func() { f, err = s.host.Open(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &sysFile{rt: s.rt, inner: f}, nil
+}
+
+func (s *sysFS) Create(name string) (fsapi.File, error) {
+	var f fsapi.File
+	var err error
+	s.rt.Syscall(func() { f, err = s.host.Create(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &sysFile{rt: s.rt, inner: f}, nil
+}
+
+func (s *sysFS) Remove(name string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.Remove(name) })
+	return err
+}
+
+func (s *sysFS) Rename(oldName, newName string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.Rename(oldName, newName) })
+	return err
+}
+
+func (s *sysFS) Stat(name string) (fsapi.FileInfo, error) {
+	var fi fsapi.FileInfo
+	var err error
+	s.rt.Syscall(func() { fi, err = s.host.Stat(name) })
+	return fi, err
+}
+
+func (s *sysFS) List(dir string) ([]string, error) {
+	var names []string
+	var err error
+	s.rt.Syscall(func() { names, err = s.host.List(dir) })
+	return names, err
+}
+
+func (s *sysFS) MkdirAll(dir string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.MkdirAll(dir) })
+	return err
+}
+
+type sysFile struct {
+	rt    *Runtime
+	inner fsapi.File
+}
+
+var _ fsapi.File = (*sysFile)(nil)
+
+func (f *sysFile) Read(p []byte) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Read(p) })
+	return n, err
+}
+
+func (f *sysFile) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.ReadAt(p, off) })
+	return n, err
+}
+
+func (f *sysFile) Write(p []byte) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Write(p) })
+	return n, err
+}
+
+func (f *sysFile) WriteAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.WriteAt(p, off) })
+	return n, err
+}
+
+func (f *sysFile) Seek(off int64, whence int) (int64, error) {
+	var pos int64
+	var err error
+	f.rt.Syscall(func() { pos, err = f.inner.Seek(off, whence) })
+	return pos, err
+}
+
+func (f *sysFile) Truncate(size int64) error {
+	var err error
+	f.rt.Syscall(func() { err = f.inner.Truncate(size) })
+	return err
+}
+
+func (f *sysFile) Size() (int64, error) {
+	var n int64
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Size() })
+	return n, err
+}
+
+func (f *sysFile) Close() error {
+	var err error
+	f.rt.Syscall(func() { err = f.inner.Close() })
+	return err
+}
+
+func (f *sysFile) Name() string { return f.inner.Name() }

@@ -1,0 +1,135 @@
+package scone
+
+import (
+	"github.com/securetf/securetf/internal/fsapi"
+)
+
+// sysFS is the runtime's syscall-interposed view of the host file system:
+// every operation is routed through the asynchronous syscall queue and
+// data crossing the enclave boundary is charged.
+type sysFS struct {
+	rt   *Runtime
+	host fsapi.FS
+}
+
+var _ fsapi.FS = (*sysFS)(nil)
+
+func (s *sysFS) Open(name string) (fsapi.File, error) {
+	var f fsapi.File
+	var err error
+	s.rt.Syscall(func() { f, err = s.host.Open(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &sysFile{rt: s.rt, inner: f}, nil
+}
+
+func (s *sysFS) Create(name string) (fsapi.File, error) {
+	var f fsapi.File
+	var err error
+	s.rt.Syscall(func() { f, err = s.host.Create(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &sysFile{rt: s.rt, inner: f}, nil
+}
+
+func (s *sysFS) Remove(name string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.Remove(name) })
+	return err
+}
+
+func (s *sysFS) Rename(oldName, newName string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.Rename(oldName, newName) })
+	return err
+}
+
+func (s *sysFS) Stat(name string) (fsapi.FileInfo, error) {
+	var fi fsapi.FileInfo
+	var err error
+	s.rt.Syscall(func() { fi, err = s.host.Stat(name) })
+	return fi, err
+}
+
+func (s *sysFS) List(dir string) ([]string, error) {
+	var names []string
+	var err error
+	s.rt.Syscall(func() { names, err = s.host.List(dir) })
+	return names, err
+}
+
+func (s *sysFS) MkdirAll(dir string) error {
+	var err error
+	s.rt.Syscall(func() { err = s.host.MkdirAll(dir) })
+	return err
+}
+
+// sysFile wraps a host file; reads and writes cross the enclave boundary.
+type sysFile struct {
+	rt    *Runtime
+	inner fsapi.File
+}
+
+var _ fsapi.File = (*sysFile)(nil)
+
+func (f *sysFile) Read(p []byte) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Read(p) })
+	f.rt.CopyIn(n)
+	return n, err
+}
+
+func (f *sysFile) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.ReadAt(p, off) })
+	f.rt.CopyIn(n)
+	return n, err
+}
+
+func (f *sysFile) Write(p []byte) (int, error) {
+	var n int
+	var err error
+	f.rt.CopyOut(len(p))
+	f.rt.Syscall(func() { n, err = f.inner.Write(p) })
+	return n, err
+}
+
+func (f *sysFile) WriteAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	f.rt.CopyOut(len(p))
+	f.rt.Syscall(func() { n, err = f.inner.WriteAt(p, off) })
+	return n, err
+}
+
+func (f *sysFile) Seek(off int64, whence int) (int64, error) {
+	var pos int64
+	var err error
+	f.rt.Syscall(func() { pos, err = f.inner.Seek(off, whence) })
+	return pos, err
+}
+
+func (f *sysFile) Truncate(size int64) error {
+	var err error
+	f.rt.Syscall(func() { err = f.inner.Truncate(size) })
+	return err
+}
+
+func (f *sysFile) Size() (int64, error) {
+	var n int64
+	var err error
+	f.rt.Syscall(func() { n, err = f.inner.Size() })
+	return n, err
+}
+
+func (f *sysFile) Close() error {
+	var err error
+	f.rt.Syscall(func() { err = f.inner.Close() })
+	return err
+}
+
+func (f *sysFile) Name() string { return f.inner.Name() }

@@ -1,0 +1,50 @@
+package scone
+
+import (
+	"net"
+)
+
+// sysConn wraps a network connection: reads and writes go through the
+// asynchronous syscall queue and charge the boundary copy.
+type sysConn struct {
+	rt *Runtime
+	net.Conn
+}
+
+func (c *sysConn) Read(p []byte) (int, error) {
+	var n int
+	var err error
+	c.rt.Syscall(func() { n, err = c.Conn.Read(p) })
+	c.rt.CopyIn(n)
+	return n, err
+}
+
+func (c *sysConn) Write(p []byte) (int, error) {
+	var n int
+	var err error
+	c.rt.CopyOut(len(p))
+	c.rt.Syscall(func() { n, err = c.Conn.Write(p) })
+	return n, err
+}
+
+func (c *sysConn) Close() error {
+	var err error
+	c.rt.Syscall(func() { err = c.Conn.Close() })
+	return err
+}
+
+// sysListener wraps a listener; Accept goes through the syscall queue.
+type sysListener struct {
+	rt *Runtime
+	net.Listener
+}
+
+func (l *sysListener) Accept() (net.Conn, error) {
+	var conn net.Conn
+	var err error
+	l.rt.Syscall(func() { conn, err = l.Listener.Accept() })
+	if err != nil {
+		return nil, err
+	}
+	return &sysConn{rt: l.rt, Conn: conn}, nil
+}

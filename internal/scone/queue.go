@@ -1,0 +1,79 @@
+package scone
+
+import (
+	"sync"
+)
+
+// SyscallQueue is SCONE's exit-less asynchronous system call interface
+// (§3.3, after FlexSC): enclave threads enqueue requests into shared
+// memory; dedicated OS threads outside the enclave dequeue and execute
+// them, so no enclave transition is required per syscall.
+//
+// Here the queue is functional: submitted closures really execute on the
+// service goroutines (the "outside threads"), and the submitting goroutine
+// blocks until completion — during which the user-level scheduler hands
+// its execution context to another application thread.
+type SyscallQueue struct {
+	requests chan *syscallRequest
+	workers  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type syscallRequest struct {
+	fn   func()
+	done chan struct{}
+}
+
+// NewSyscallQueue starts workers service goroutines.
+func NewSyscallQueue(workers int) *SyscallQueue {
+	if workers < 1 {
+		workers = 1
+	}
+	// The shared-memory request ring in SCONE is bounded; 128 slots keeps
+	// submissions from blocking while holding the queue lock.
+	q := &SyscallQueue{requests: make(chan *syscallRequest, 128)}
+	q.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.workers.Done()
+			for req := range q.requests {
+				req.fn()
+				close(req.done)
+			}
+		}()
+	}
+	return q
+}
+
+// Do submits fn and waits for its completion. If the queue has been
+// closed (runtime shutdown), fn executes inline so that teardown paths
+// still make progress.
+func (q *SyscallQueue) Do(fn func()) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		fn()
+		return
+	}
+	req := &syscallRequest{fn: fn, done: make(chan struct{})}
+	// Send under the lock so Close cannot close the channel between the
+	// closed check and the send.
+	q.requests <- req
+	q.mu.Unlock()
+	<-req.done
+}
+
+// Close stops the service threads. Pending requests complete first.
+func (q *SyscallQueue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.requests)
+	q.mu.Unlock()
+	q.workers.Wait()
+}

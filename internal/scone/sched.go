@@ -1,0 +1,97 @@
+package scone
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler is SCONE's in-enclave user-level M:N scheduler (§3.3): many
+// application threads are multiplexed onto a small number of enclave
+// execution contexts (thread control structures), so the enclave never
+// needs more OS threads than CPUs and a blocked application thread hands
+// its context to a runnable one instead of exiting the enclave.
+//
+// Application threads are goroutines; execution contexts are semaphore
+// slots. A thread holds a slot while runnable and releases it across
+// blocking regions (asynchronous syscalls), which is exactly the latency
+// masking the paper credits for SCONE's throughput.
+type Scheduler struct {
+	contexts chan struct{}
+	tasks    sync.WaitGroup
+
+	running    atomic.Int64 // threads currently holding a context
+	maxRunning atomic.Int64 // high-water mark, for tests and ablations
+	switches   atomic.Int64 // context hand-offs performed
+}
+
+// NewScheduler creates a scheduler with the given number of execution
+// contexts.
+func NewScheduler(contexts int) *Scheduler {
+	if contexts < 1 {
+		contexts = 1
+	}
+	s := &Scheduler{contexts: make(chan struct{}, contexts)}
+	for i := 0; i < contexts; i++ {
+		s.contexts <- struct{}{}
+	}
+	return s
+}
+
+// Contexts returns the number of execution contexts.
+func (s *Scheduler) Contexts() int { return cap(s.contexts) }
+
+// Go spawns an application thread. The function runs once a context is
+// available; Wait blocks until all spawned threads finish.
+func (s *Scheduler) Go(fn func()) {
+	s.tasks.Add(1)
+	go func() {
+		defer s.tasks.Done()
+		s.acquire()
+		defer s.release()
+		fn()
+	}()
+}
+
+// Blocking marks a blocking region (e.g. waiting for an asynchronous
+// syscall result): the thread releases its execution context so another
+// application thread can run, and re-acquires it afterwards. It must only
+// be called from a thread spawned with Go, which holds a context.
+func (s *Scheduler) Blocking(fn func()) {
+	s.release()
+	defer s.acquire()
+	fn()
+}
+
+// Yield cooperatively hands the context to another runnable thread.
+func (s *Scheduler) Yield() {
+	s.release()
+	s.acquire()
+}
+
+// Wait blocks until all application threads spawned with Go have
+// finished.
+func (s *Scheduler) Wait() { s.tasks.Wait() }
+
+// MaxRunning reports the maximum number of threads that simultaneously
+// held execution contexts — never more than Contexts().
+func (s *Scheduler) MaxRunning() int64 { return s.maxRunning.Load() }
+
+// Switches reports how many context hand-offs occurred.
+func (s *Scheduler) Switches() int64 { return s.switches.Load() }
+
+func (s *Scheduler) acquire() {
+	<-s.contexts
+	n := s.running.Add(1)
+	for {
+		max := s.maxRunning.Load()
+		if n <= max || s.maxRunning.CompareAndSwap(max, n) {
+			break
+		}
+	}
+}
+
+func (s *Scheduler) release() {
+	s.running.Add(-1)
+	s.switches.Add(1)
+	s.contexts <- struct{}{}
+}

@@ -1,0 +1,168 @@
+// Package seccrypto collects the cryptographic primitives shared by the
+// secureTF substrate: authenticated encryption (AES-256-GCM), HKDF-SHA256
+// key derivation, and ECDSA P-256 signing as used for enclave quotes and
+// TLS identities.
+//
+// Everything here wraps the Go standard library; no custom cryptography is
+// implemented beyond composition.
+package seccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key size in bytes (AES-256).
+const KeySize = 32
+
+// Key is a symmetric encryption key.
+type Key [KeySize]byte
+
+var (
+	// ErrCiphertextTooShort reports a ciphertext shorter than a nonce.
+	ErrCiphertextTooShort = errors.New("seccrypto: ciphertext too short")
+	// ErrAuthentication reports a failed GCM tag check, i.e. tampering.
+	ErrAuthentication = errors.New("seccrypto: message authentication failed")
+)
+
+// NewRandomKey generates a fresh random key.
+func NewRandomKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("seccrypto: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// Seal encrypts and authenticates plaintext with the key, binding the
+// additional data aad. The returned ciphertext embeds a random nonce as a
+// prefix and can be decrypted with Open.
+func Seal(key Key, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize(), aead.NonceSize()+len(plaintext)+aead.Overhead())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("seccrypto: generating nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal with the
+// same key and additional data. It returns ErrAuthentication if the
+// ciphertext or aad were modified.
+func Open(key Key, ciphertext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrCiphertextTooShort
+	}
+	nonce, ct := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, aad)
+	if err != nil {
+		return nil, ErrAuthentication
+	}
+	return pt, nil
+}
+
+// SealDeterministic encrypts with a caller-provided nonce. It exists for
+// chunk stores that derive a unique nonce per (file, chunk, epoch) and must
+// not pay the ciphertext expansion of a stored nonce. The caller is
+// responsible for nonce uniqueness per key.
+func SealDeterministic(key Key, nonce [12]byte, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Seal(nil, nonce[:], plaintext, aad), nil
+}
+
+// OpenDeterministic reverses SealDeterministic.
+func OpenDeterministic(key Key, nonce [12]byte, ciphertext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, nonce[:], ciphertext, aad)
+	if err != nil {
+		return nil, ErrAuthentication
+	}
+	return pt, nil
+}
+
+func newGCM(key Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: creating cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: creating GCM: %w", err)
+	}
+	return aead, nil
+}
+
+// HKDF derives a key of KeySize bytes from the input keying material using
+// HKDF-SHA256 (RFC 5869) with the given salt and info strings.
+func HKDF(ikm []byte, salt, info string) Key {
+	// Extract.
+	ext := hmac.New(sha256.New, []byte(salt))
+	ext.Write(ikm)
+	prk := ext.Sum(nil)
+	// Expand: a single block suffices for 32-byte output.
+	exp := hmac.New(sha256.New, prk)
+	exp.Write([]byte(info))
+	exp.Write([]byte{1})
+	var k Key
+	copy(k[:], exp.Sum(nil))
+	return k
+}
+
+// SigningKey is an ECDSA P-256 private key used for quotes and
+// certificates.
+type SigningKey struct {
+	priv *ecdsa.PrivateKey
+}
+
+// NewSigningKey generates a fresh P-256 signing key.
+func NewSigningKey() (*SigningKey, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: generating signing key: %w", err)
+	}
+	return &SigningKey{priv: priv}, nil
+}
+
+// Public returns the public half of the key.
+func (k *SigningKey) Public() *ecdsa.PublicKey { return &k.priv.PublicKey }
+
+// Private exposes the underlying private key for x509 certificate
+// issuance. Callers must not mutate it.
+func (k *SigningKey) Private() *ecdsa.PrivateKey { return k.priv }
+
+// Sign produces an ASN.1 ECDSA signature over SHA-256(msg).
+func (k *SigningKey) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, k.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: signing: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks an ASN.1 ECDSA signature over SHA-256(msg).
+func Verify(pub *ecdsa.PublicKey, msg, sig []byte) bool {
+	digest := sha256.Sum256(msg)
+	return ecdsa.VerifyASN1(pub, digest[:], sig)
+}

@@ -1,0 +1,117 @@
+package sgx
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ReportDataSize is the size of the user-supplied report data field
+// (64 bytes in real SGX reports; typically a hash binding the quote to a
+// TLS channel or nonce).
+const ReportDataSize = 64
+
+// Report is the EREPORT-equivalent structure: the enclave's identity plus
+// caller-chosen report data, produced inside the enclave.
+type Report struct {
+	Measurement Measurement
+	Mode        Mode // HW or SIM; verifiers may reject SIM quotes
+	Platform    string
+	ReportData  [ReportDataSize]byte
+}
+
+// Quote is a signed report: the platform quoting key vouches that the
+// report was produced by an enclave with the stated measurement on this
+// platform. QEVendor distinguishes the DCAP-style local quoting used with
+// CAS from the EPID-style quoting verified by the Intel Attestation
+// Service baseline.
+type Quote struct {
+	Report    Report
+	QEVendor  string // "dcap" or "epid"
+	Signature []byte
+}
+
+// Quote vendor identifiers.
+const (
+	QEVendorDCAP = "dcap"
+	QEVendorEPID = "epid"
+)
+
+// Attestation errors.
+var (
+	ErrBadQuoteSignature = errors.New("sgx: quote signature verification failed")
+	ErrQuoteMalformed    = errors.New("sgx: malformed quote")
+)
+
+// CreateReport produces a report with the given report data, charging the
+// EREPORT cost.
+func (e *Enclave) CreateReport(reportData []byte) (Report, error) {
+	if err := e.checkAlive(); err != nil {
+		return Report{}, err
+	}
+	if len(reportData) > ReportDataSize {
+		return Report{}, fmt.Errorf("sgx: report data must be at most %d bytes, got %d", ReportDataSize, len(reportData))
+	}
+	e.platform.clock.Advance(e.platform.params.ReportCost)
+	r := Report{
+		Measurement: e.measurement,
+		Mode:        e.mode,
+		Platform:    e.platform.name,
+	}
+	copy(r.ReportData[:], reportData)
+	return r, nil
+}
+
+// GetQuote turns a report into a quote signed by the platform quoting key.
+// vendor selects the quoting infrastructure being modelled.
+func (e *Enclave) GetQuote(reportData []byte, vendor string) (Quote, error) {
+	r, err := e.CreateReport(reportData)
+	if err != nil {
+		return Quote{}, err
+	}
+	if vendor != QEVendorDCAP && vendor != QEVendorEPID {
+		return Quote{}, fmt.Errorf("sgx: unknown quoting vendor %q", vendor)
+	}
+	// Quote generation requires a local report exchange with the quoting
+	// enclave: one transition each way.
+	e.Transition()
+	sig, err := e.platform.signQuote(encodeReport(r, vendor))
+	if err != nil {
+		return Quote{}, fmt.Errorf("sgx: signing quote: %w", err)
+	}
+	return Quote{Report: r, QEVendor: vendor, Signature: sig}, nil
+}
+
+// VerifyQuote checks a quote against the platform attestation public key.
+// It does not charge verification cost; verifiers (CAS, IAS) charge their
+// own costs, which is exactly the difference Figure 4 measures.
+func VerifyQuote(q Quote, platformKey *ecdsa.PublicKey) error {
+	if q.QEVendor != QEVendorDCAP && q.QEVendor != QEVendorEPID {
+		return fmt.Errorf("%w: unknown vendor %q", ErrQuoteMalformed, q.QEVendor)
+	}
+	if len(q.Signature) == 0 {
+		return fmt.Errorf("%w: empty signature", ErrQuoteMalformed)
+	}
+	if !verifySig(platformKey, encodeReport(q.Report, q.QEVendor), q.Signature) {
+		return ErrBadQuoteSignature
+	}
+	return nil
+}
+
+// encodeReport serializes a report deterministically for signing.
+func encodeReport(r Report, vendor string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("securetf-quote-v1\x00")
+	buf.WriteString(vendor)
+	buf.WriteByte(0)
+	buf.Write(r.Measurement[:])
+	var mode [4]byte
+	binary.LittleEndian.PutUint32(mode[:], uint32(r.Mode))
+	buf.Write(mode[:])
+	buf.WriteString(r.Platform)
+	buf.WriteByte(0)
+	buf.Write(r.ReportData[:])
+	return buf.Bytes()
+}

@@ -1,0 +1,601 @@
+package sgx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform("test-node", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	img := Image{Name: "app", Content: []byte("binary bytes"), HeapSize: 1024}
+	if img.Measure() != img.Measure() {
+		t.Fatal("measurement not deterministic")
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	base := Image{Name: "app", Content: []byte("binary bytes"), HeapSize: 1024}
+	m := base.Measure()
+
+	changedContent := base
+	changedContent.Content = []byte("binary bytez")
+	if changedContent.Measure() == m {
+		t.Fatal("content change not reflected in measurement")
+	}
+
+	changedName := base
+	changedName.Name = "app2"
+	if changedName.Measure() == m {
+		t.Fatal("name change not reflected in measurement")
+	}
+
+	changedHeap := base
+	changedHeap.HeapSize = 2048
+	if changedHeap.Measure() == m {
+		t.Fatal("heap size change not reflected in measurement")
+	}
+}
+
+func TestSyntheticImageSizeAndIdentity(t *testing.T) {
+	a := SyntheticImage("tensorflow", 87<<20, 1<<20)
+	if a.Size() != 87<<20 {
+		t.Fatalf("Size() = %d, want %d", a.Size(), 87<<20)
+	}
+	b := SyntheticImage("tensorflow", 87<<20, 1<<20)
+	if a.Measure() != b.Measure() {
+		t.Fatal("same synthetic image must measure identically")
+	}
+	c := SyntheticImage("tensorflow", 88<<20, 1<<20)
+	if a.Measure() == c.Measure() {
+		t.Fatal("different size must change the measurement")
+	}
+}
+
+func TestParseMeasurementRoundTrip(t *testing.T) {
+	img := Image{Name: "x", Content: []byte("y")}
+	m := img.Measure()
+	got, err := ParseMeasurement(m.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatal("hex round trip mismatch")
+	}
+	if _, err := ParseMeasurement("zz"); err == nil {
+		t.Fatal("invalid hex accepted")
+	}
+	if _, err := ParseMeasurement("abcd"); err == nil {
+		t.Fatal("short measurement accepted")
+	}
+}
+
+func TestCreateEnclaveChargesMoreInHW(t *testing.T) {
+	img := SyntheticImage("app", 10<<20, 1<<20)
+
+	pHW := newTestPlatform(t)
+	if _, err := pHW.CreateEnclave(img, ModeHW); err != nil {
+		t.Fatal(err)
+	}
+	hwCost := pHW.Clock().Now()
+
+	pSIM := newTestPlatform(t)
+	if _, err := pSIM.CreateEnclave(img, ModeSIM); err != nil {
+		t.Fatal(err)
+	}
+	simCost := pSIM.Clock().Now()
+
+	if hwCost <= simCost {
+		t.Fatalf("HW creation (%v) should cost more than SIM (%v)", hwCost, simCost)
+	}
+}
+
+func TestCreateEnclaveInvalidMode(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.CreateEnclave(Image{Name: "x"}, Mode(0)); err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+}
+
+func TestTransitionCostOnlyInHW(t *testing.T) {
+	p := newTestPlatform(t)
+	hw, err := p.CreateEnclave(Image{Name: "hw", Content: []byte("b")}, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Clock().Now()
+	hw.Transition()
+	if got := p.Clock().Now() - before; got != p.Params().TransitionCost {
+		t.Fatalf("HW transition charged %v, want %v", got, p.Params().TransitionCost)
+	}
+
+	sim, err := p.CreateEnclave(Image{Name: "sim", Content: []byte("b")}, ModeSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = p.Clock().Now()
+	sim.Transition()
+	if got := p.Clock().Now() - before; got != 0 {
+		t.Fatalf("SIM transition charged %v, want 0", got)
+	}
+	if sim.Stats().Transitions != 1 {
+		t.Fatal("SIM transition not counted")
+	}
+}
+
+func TestAccessWithinEPCNoFaults(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(SyntheticImage("small", 1<<20, 1<<20), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Access(10<<20, AccessRandom)
+	if f := e.Stats().PageFaults; f != 0 {
+		t.Fatalf("page faults within EPC = %d, want 0", f)
+	}
+}
+
+func TestAccessOverEPCFaults(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(SyntheticImage("huge", 150<<20, 10<<20), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Access(20<<20, AccessRandom)
+	if f := e.Stats().PageFaults; f == 0 {
+		t.Fatal("no page faults despite working set over EPC")
+	}
+}
+
+func TestStreamingCheaperThanThrashing(t *testing.T) {
+	mk := func(pattern AccessPattern) time.Duration {
+		p, err := NewPlatform("n", DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := p.CreateEnclave(SyntheticImage("big", 170<<20, 0), ModeHW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := p.Clock().Now()
+		e.Access(170<<20, pattern)
+		return p.Clock().Now() - start
+	}
+	stream := mk(AccessStreaming)
+	thrash := mk(AccessRandom)
+	if stream >= thrash {
+		t.Fatalf("streaming (%v) should be cheaper than thrashing (%v)", stream, thrash)
+	}
+	// The gap should be substantial — this is what separates TFLite from
+	// full TF in the paper's HW results.
+	if thrash < 3*stream {
+		t.Fatalf("thrashing (%v) should dominate streaming (%v) by a wide margin", thrash, stream)
+	}
+}
+
+func TestSIMModeNoEPCCosts(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(SyntheticImage("huge", 300<<20, 0), ModeSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Access(50<<20, AccessRandom)
+	if f := e.Stats().PageFaults; f != 0 {
+		t.Fatalf("SIM mode charged %d page faults", f)
+	}
+}
+
+func TestAllocFreeAdjustsResidency(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(SyntheticImage("app", 1<<20, 0), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := e.ResidentBytes()
+	e.Alloc("weights", 40<<20)
+	if got := e.ResidentBytes(); got != base+40<<20 {
+		t.Fatalf("resident = %d, want %d", got, base+40<<20)
+	}
+	e.Alloc("weights", 20<<20) // replace
+	if got := e.ResidentBytes(); got != base+20<<20 {
+		t.Fatalf("after replace: resident = %d, want %d", got, base+20<<20)
+	}
+	e.Free("weights")
+	if got := e.ResidentBytes(); got != base {
+		t.Fatalf("after free: resident = %d, want %d", got, base)
+	}
+	e.Free("weights") // double free is a no-op
+	if got := e.ResidentBytes(); got != base {
+		t.Fatalf("after double free: resident = %d, want %d", got, base)
+	}
+}
+
+func TestPlatformSharedEPCPressure(t *testing.T) {
+	p := newTestPlatform(t)
+	// First enclave occupies most of the EPC.
+	big, err := p.CreateEnclave(SyntheticImage("big", 80<<20, 0), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = big
+	// Second enclave alone would fit, but the platform EPC is shared.
+	small, err := p.CreateEnclave(SyntheticImage("small", 30<<20, 0), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Access(10<<20, AccessRandom)
+	if f := small.Stats().PageFaults; f == 0 {
+		t.Fatal("expected paging pressure from sharing the EPC with another enclave")
+	}
+}
+
+func TestDestroyReleasesEPC(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(SyntheticImage("app", 50<<20, 0), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.residentTotal(); got != 50<<20 {
+		t.Fatalf("resident = %d, want %d", got, 50<<20)
+	}
+	e.Destroy()
+	if got := p.residentTotal(); got != 0 {
+		t.Fatalf("after destroy: resident = %d, want 0", got)
+	}
+	e.Destroy() // idempotent
+	if _, err := e.CreateReport(nil); err == nil {
+		t.Fatal("report from destroyed enclave accepted")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := newTestPlatform(t)
+	img := Image{Name: "app", Content: []byte("bin")}
+	e1, err := p.CreateEnclave(img, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("sealed secret")
+	ct, err := e1.Seal(pt, []byte("ctx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same measurement on the same platform can unseal.
+	e2, err := p.CreateEnclave(img, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.Unseal(ct, []byte("ctx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("unseal mismatch")
+	}
+
+	// Different measurement cannot.
+	other, err := p.CreateEnclave(Image{Name: "evil", Content: []byte("bin")}, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Unseal(ct, []byte("ctx")); err == nil {
+		t.Fatal("different enclave unsealed data")
+	}
+
+	// Different platform cannot.
+	p2 := newTestPlatform(t)
+	e3, err := p2.CreateEnclave(img, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e3.Unseal(ct, []byte("ctx")); err == nil {
+		t.Fatal("different platform unsealed data")
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(Image{Name: "app", Content: []byte("bin")}, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.GetQuote([]byte("nonce"), QEVendorDCAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(q, p.AttestationKey()); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if q.Report.Measurement != e.Measurement() {
+		t.Fatal("quote carries wrong measurement")
+	}
+
+	// Tampered measurement must fail verification.
+	forged := q
+	forged.Report.Measurement[0] ^= 0xff
+	if err := VerifyQuote(forged, p.AttestationKey()); err == nil {
+		t.Fatal("forged quote accepted")
+	}
+
+	// Tampered report data must fail verification.
+	forged = q
+	forged.Report.ReportData[0] ^= 0xff
+	if err := VerifyQuote(forged, p.AttestationKey()); err == nil {
+		t.Fatal("forged report data accepted")
+	}
+
+	// Wrong platform key must fail.
+	p2 := newTestPlatform(t)
+	if err := VerifyQuote(q, p2.AttestationKey()); err == nil {
+		t.Fatal("quote verified under wrong platform key")
+	}
+}
+
+func TestQuoteRejectsBadInputs(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(Image{Name: "app", Content: []byte("bin")}, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GetQuote(make([]byte, ReportDataSize+1), QEVendorDCAP); err == nil {
+		t.Fatal("oversized report data accepted")
+	}
+	if _, err := e.GetQuote(nil, "bogus"); err == nil {
+		t.Fatal("unknown vendor accepted")
+	}
+	q, _ := e.GetQuote(nil, QEVendorEPID)
+	q.Signature = nil
+	if err := VerifyQuote(q, p.AttestationKey()); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+	q2, _ := e.GetQuote(nil, QEVendorEPID)
+	q2.QEVendor = "bogus"
+	if err := VerifyQuote(q2, p.AttestationKey()); err == nil {
+		t.Fatal("unknown vendor verified")
+	}
+}
+
+func TestComputeTimeScalesWithCores(t *testing.T) {
+	params := DefaultParams()
+	one := params.ComputeTime(1e9, 1)
+	four := params.ComputeTime(1e9, 4)
+	if four >= one {
+		t.Fatalf("4 cores (%v) should beat 1 core (%v)", four, one)
+	}
+	if got, want := one/four, time.Duration(4); got != want {
+		t.Fatalf("scaling 1->4 cores = %v, want %vx", got, want)
+	}
+	// Hyper-threads help less than physical cores.
+	eight := params.ComputeTime(1e9, 8)
+	if eight >= four {
+		t.Fatal("8 threads should still beat 4 cores")
+	}
+	if ratio := float64(four) / float64(eight); ratio > 1.9 {
+		t.Fatalf("hyper-thread speedup %0.2f too close to linear", ratio)
+	}
+}
+
+func TestEnclaveComputeChargesClock(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(Image{Name: "a", Content: []byte("b")}, ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Clock().Now()
+	e.Compute(20e9, 1) // 20 GFLOPs at 20 GFLOP/s = 1 s, times the HW factor
+	got := p.Clock().Now() - before
+	want := time.Duration(float64(time.Second) * p.Params().HWComputeFactor)
+	if got != want {
+		t.Fatalf("Compute charged %v, want %v (HW factor applied)", got, want)
+	}
+
+	sim, err := p.CreateEnclave(Image{Name: "s", Content: []byte("b")}, ModeSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = p.Clock().Now()
+	sim.Compute(20e9, 1)
+	if got := p.Clock().Now() - before; got != time.Second {
+		t.Fatalf("SIM Compute charged %v, want 1s (no HW factor)", got)
+	}
+}
+
+func TestDirtyEvictionsMakeStreamingExpensive(t *testing.T) {
+	// Two enclaves with identical oversized working sets: one streams
+	// read-only weights over a small dirty set (SCONE+TFLite), the other
+	// carries a large writable resident segment (Graphene's libOS). The
+	// dirty one must pay more per streamed page.
+	run := func(dirtyExtra bool) time.Duration {
+		p := newTestPlatform(t)
+		e, err := p.CreateEnclave(SyntheticImage("app", 2<<20, 2<<20), ModeHW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dirtyExtra {
+			e.Alloc("libos", 45<<20)
+			e.AllocReadOnly("weights", 120<<20)
+		} else {
+			e.AllocReadOnly("weights", 165<<20)
+		}
+		start := p.Clock().Now()
+		e.Access(120<<20, AccessStreaming)
+		return p.Clock().Now() - start
+	}
+	clean := run(false)
+	dirty := run(true)
+	if dirty <= clean {
+		t.Fatalf("dirty-resident streaming (%v) should cost more than clean (%v)", dirty, clean)
+	}
+}
+
+func TestAccessPropertyMonotonicInSize(t *testing.T) {
+	p := newTestPlatform(t)
+	e, err := p.CreateEnclave(SyntheticImage("big", 120<<20, 0), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint32) bool {
+		small, big := int64(a%(1<<20))+1, int64(b%(1<<20))+1
+		if small > big {
+			small, big = big, small
+		}
+		c1 := p.Clock().Start()
+		e.Access(small, AccessRandom)
+		d1 := c1.Stop()
+		c2 := p.Clock().Start()
+		e.Access(big, AccessRandom)
+		d2 := c2.Stop()
+		return d1 <= d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeHW.String() != "HW" || ModeSIM.String() != "SIM" {
+		t.Fatal("mode names changed; figures depend on them")
+	}
+	if Mode(0).String() != "invalid" {
+		t.Fatal("zero mode should render as invalid")
+	}
+}
+
+func TestEnclaveCreationOvercommitLimit(t *testing.T) {
+	p := newTestPlatform(t)
+	// Fill the platform beyond the overcommit allowance.
+	huge := SyntheticImage("huge", p.Params().EPCSize*maxOvercommit, 0)
+	if _, err := p.CreateEnclave(huge, ModeHW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateEnclave(SyntheticImage("one-more", 1<<20, 0), ModeHW); err == nil {
+		t.Fatal("enclave creation beyond overcommit limit accepted")
+	}
+}
+
+func TestMonotonicCounters(t *testing.T) {
+	platform, err := NewPlatform("ctr-node", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := platform.CreateEnclave(SyntheticImage("app", 1<<20, 1<<20), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	if got := enclave.CounterRead("epoch"); got != 0 {
+		t.Fatalf("fresh counter = %d", got)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		if got := enclave.CounterIncrement("epoch"); got != want {
+			t.Fatalf("increment -> %d, want %d", got, want)
+		}
+	}
+	if got := enclave.CounterRead("epoch"); got != 3 {
+		t.Fatalf("read = %d, want 3", got)
+	}
+	if got := enclave.CounterRead("other"); got != 0 {
+		t.Fatalf("independent counter = %d", got)
+	}
+
+	// Monotonic counters are a *platform* resource: they survive the
+	// enclave (that is what makes them useful against rollback). A new
+	// enclave with the same measurement sees the advanced value.
+	enclave.Destroy()
+	again, err := platform.CreateEnclave(SyntheticImage("app", 1<<20, 1<<20), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Destroy()
+	if got := again.CounterRead("epoch"); got != 3 {
+		t.Fatalf("counter after restart = %d, want 3 (must survive the enclave)", got)
+	}
+}
+
+func TestEnclaveAccessors(t *testing.T) {
+	platform, err := NewPlatform("acc-node", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := SyntheticImage("app", 1<<20, 1<<20)
+	enclave, err := platform.CreateEnclave(img, ModeSIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+	if enclave.Mode() != ModeSIM {
+		t.Fatalf("mode = %v", enclave.Mode())
+	}
+	if enclave.Platform() != platform {
+		t.Fatal("platform accessor mismatch")
+	}
+	if enclave.Clock() != platform.Clock() {
+		t.Fatal("clock accessor mismatch")
+	}
+	if enclave.Image().Name != img.Name {
+		t.Fatal("image accessor mismatch")
+	}
+	if platform.Name() != "acc-node" {
+		t.Fatalf("platform name %q", platform.Name())
+	}
+	if enclave.Measurement().String() == "" {
+		t.Fatal("empty measurement string")
+	}
+}
+
+func TestAsyncSyscallAndCryptoOpCharge(t *testing.T) {
+	params := DefaultParams()
+	platform, err := NewPlatform("chg-node", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := platform.CreateEnclave(SyntheticImage("app", 1<<20, 1<<20), ModeHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enclave.Destroy()
+
+	base := platform.Clock().Now()
+	enclave.AsyncSyscall()
+	asyncCost := platform.Clock().Now() - base
+	if asyncCost != params.AsyncSyscallCost {
+		t.Fatalf("async syscall charged %v, want %v", asyncCost, params.AsyncSyscallCost)
+	}
+	if got := enclave.Stats().AsyncSyscalls; got != 1 {
+		t.Fatalf("async syscall count = %d", got)
+	}
+	// An exit-less syscall must be far cheaper than a transition.
+	if asyncCost >= params.TransitionCost {
+		t.Fatalf("async cost %v not below transition cost %v", asyncCost, params.TransitionCost)
+	}
+
+	base = platform.Clock().Now()
+	enclave.CryptoOp(int64(params.AESThroughput)) // one second of AES-NI
+	cryptoCost := platform.Clock().Now() - base
+	if cryptoCost < 900*time.Millisecond || cryptoCost > 1100*time.Millisecond {
+		t.Fatalf("one AES-second charged %v", cryptoCost)
+	}
+}
+
+func TestTimeAtThroughput(t *testing.T) {
+	if got := TimeAtThroughput(0, 1e9); got != 0 {
+		t.Fatalf("zero bytes charged %v", got)
+	}
+	if got := TimeAtThroughput(2e9, 1e9); got < 1900*time.Millisecond || got > 2100*time.Millisecond {
+		t.Fatalf("2 GB at 1 GB/s = %v", got)
+	}
+	if got := TimeAtThroughput(100, 0); got != 0 {
+		t.Fatalf("zero throughput charged %v (must not divide by zero)", got)
+	}
+}

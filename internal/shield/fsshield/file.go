@@ -1,0 +1,387 @@
+package fsshield
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/seccrypto"
+)
+
+// shieldFile is an open protected file. Chunks are decrypted on first
+// access and cached in (enclave) memory; dirty chunks are re-encrypted
+// with bumped write counters and flushed on Close.
+//
+// Like os.File, a shieldFile must not be used concurrently.
+type shieldFile struct {
+	shield *Shield
+	path   string
+	level  Level
+	data   fsapi.File
+	meta   *metadata
+	key    seccrypto.Key
+
+	cache  map[int64][]byte
+	dirty  map[int64]bool
+	off    int64
+	closed bool
+}
+
+var _ fsapi.File = (*shieldFile)(nil)
+
+func newShieldFile(s *Shield, path string, level Level, data fsapi.File, meta *metadata) *shieldFile {
+	return &shieldFile{
+		shield: s,
+		path:   path,
+		level:  level,
+		data:   data,
+		meta:   meta,
+		key:    s.chunkKey(path, meta.Generation),
+		cache:  make(map[int64][]byte),
+		dirty:  make(map[int64]bool),
+	}
+}
+
+// overhead is the per-chunk storage overhead for this file's level.
+func (f *shieldFile) overhead() int64 {
+	if f.level == LevelEncrypted {
+		return 16 // GCM tag
+	}
+	return sha256.Size // HMAC tag
+}
+
+func (f *shieldFile) chunkSize() int64 { return int64(f.meta.ChunkSize) }
+func (f *shieldFile) slotSize() int64  { return f.chunkSize() + f.overhead() }
+
+// plainLen returns the plaintext length of chunk i given the logical file
+// size.
+func (f *shieldFile) plainLen(i int64) int64 {
+	start := i * f.chunkSize()
+	if start >= f.meta.FileSize {
+		return 0
+	}
+	n := f.meta.FileSize - start
+	if n > f.chunkSize() {
+		n = f.chunkSize()
+	}
+	return n
+}
+
+// loadChunk returns the plaintext of chunk i, reading and verifying it
+// from the untrusted file if not cached.
+func (f *shieldFile) loadChunk(i int64) ([]byte, error) {
+	if c, ok := f.cache[i]; ok {
+		return c, nil
+	}
+	plain := f.plainLen(i)
+	if plain == 0 {
+		buf := make([]byte, 0, f.chunkSize())
+		f.cache[i] = buf
+		return buf, nil
+	}
+	stored := make([]byte, plain+f.overhead())
+	n, err := f.data.ReadAt(stored, i*f.slotSize())
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("fsshield: reading chunk %d of %q: %w", i, f.path, err)
+	}
+	if int64(n) != int64(len(stored)) {
+		// Iago check: the host returned fewer bytes than the
+		// authenticated metadata says must exist.
+		return nil, fmt.Errorf("%w: chunk %d of %q is %d bytes, metadata requires %d", ErrIago, i, f.path, n, len(stored))
+	}
+	f.shield.chargeCrypto(int64(len(stored)))
+
+	counter := f.meta.Counters[i]
+	aad := chunkAAD(f.path, i, counter)
+	var pt []byte
+	switch f.level {
+	case LevelEncrypted:
+		var err error
+		pt, err = seccrypto.OpenDeterministic(f.key, chunkNonce(i, counter), stored, aad)
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk %d of %q failed authentication", ErrTampered, i, f.path)
+		}
+	case LevelAuthenticated:
+		body := stored[:plain]
+		tag := stored[plain:]
+		mac := hmac.New(sha256.New, f.key[:])
+		mac.Write(aad)
+		mac.Write(body)
+		if !hmac.Equal(tag, mac.Sum(nil)) {
+			return nil, fmt.Errorf("%w: chunk %d of %q failed authentication", ErrTampered, i, f.path)
+		}
+		pt = append([]byte(nil), body...)
+	default:
+		return nil, fmt.Errorf("fsshield: invalid level %v", f.level)
+	}
+	f.cache[i] = pt
+	return pt, nil
+}
+
+// ReadAt implements io.ReaderAt over the plaintext view.
+func (f *shieldFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("fsshield: %q is closed", f.path)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fsshield: negative offset")
+	}
+	total := 0
+	for total < len(p) && off < f.meta.FileSize {
+		i := off / f.chunkSize()
+		chunk, err := f.loadChunk(i)
+		if err != nil {
+			return total, err
+		}
+		rel := off - i*f.chunkSize()
+		if rel >= int64(len(chunk)) {
+			break
+		}
+		n := copy(p[total:], chunk[rel:])
+		total += n
+		off += int64(n)
+	}
+	if total < len(p) {
+		return total, io.EOF
+	}
+	return total, nil
+}
+
+// WriteAt implements io.WriterAt over the plaintext view, growing the
+// file (zero-filled) as needed.
+func (f *shieldFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("fsshield: %q is closed", f.path)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fsshield: negative offset")
+	}
+	// Writing past EOF zero-fills the gap first so every chunk up to the
+	// write is materialized and flushed.
+	if off > f.meta.FileSize {
+		if err := f.Truncate(off); err != nil {
+			return 0, err
+		}
+	}
+	total := 0
+	for total < len(p) {
+		i := (off + int64(total)) / f.chunkSize()
+		chunk, err := f.loadChunk(i)
+		if err != nil {
+			return total, err
+		}
+		rel := off + int64(total) - i*f.chunkSize()
+		end := rel + int64(len(p)-total)
+		if end > f.chunkSize() {
+			end = f.chunkSize()
+		}
+		// Grow the chunk buffer (zero-filled) to cover [0, end).
+		if int64(len(chunk)) < end {
+			grown := make([]byte, end)
+			copy(grown, chunk)
+			chunk = grown
+		}
+		n := copy(chunk[rel:end], p[total:])
+		f.cache[i] = chunk
+		f.dirty[i] = true
+		total += n
+		if newEnd := i*f.chunkSize() + int64(len(chunk)); newEnd > f.meta.FileSize {
+			f.meta.FileSize = newEnd
+		}
+	}
+	return total, nil
+}
+
+// Read implements io.Reader at the file's seek offset.
+func (f *shieldFile) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.off)
+	f.off += int64(n)
+	if n > 0 && err == io.EOF {
+		return n, nil
+	}
+	return n, err
+}
+
+// Write implements io.Writer at the file's seek offset.
+func (f *shieldFile) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker over the plaintext view.
+func (f *shieldFile) Seek(off int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		base = f.meta.FileSize
+	default:
+		return 0, fmt.Errorf("fsshield: invalid whence %d", whence)
+	}
+	if base+off < 0 {
+		return 0, fmt.Errorf("fsshield: negative seek")
+	}
+	f.off = base + off
+	return f.off, nil
+}
+
+// Truncate changes the logical size. Shrinking to mid-chunk loads the
+// boundary chunk first so its tail can be discarded and re-authenticated.
+func (f *shieldFile) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("fsshield: negative truncate size")
+	}
+	switch {
+	case size == f.meta.FileSize:
+		return nil
+	case size < f.meta.FileSize:
+		boundary := size / f.chunkSize()
+		rel := size - boundary*f.chunkSize()
+		if rel > 0 {
+			chunk, err := f.loadChunk(boundary)
+			if err != nil {
+				return err
+			}
+			if int64(len(chunk)) > rel {
+				f.cache[boundary] = chunk[:rel]
+				f.dirty[boundary] = true
+			}
+		}
+		// Drop cache and dirt beyond the new end.
+		first := boundary
+		if rel > 0 {
+			first = boundary + 1
+		}
+		for i := range f.cache {
+			if i >= first {
+				delete(f.cache, i)
+				delete(f.dirty, i)
+			}
+		}
+		f.meta.FileSize = size
+		// Counters are deliberately NOT trimmed: if the file grows again,
+		// a re-written chunk must never reuse a (nonce, key) pair from a
+		// previous incarnation.
+	case size > f.meta.FileSize:
+		// Zero-fill by touching the last chunk; intermediate chunks of
+		// zeros materialize lazily as all-zero plaintext.
+		old := f.meta.FileSize
+		f.meta.FileSize = size
+		firstNew := old / f.chunkSize()
+		lastNew := (size - 1) / f.chunkSize()
+		for i := firstNew; i <= lastNew; i++ {
+			chunk := f.cache[i]
+			want := f.plainLen(i)
+			if int64(len(chunk)) < want {
+				grown := make([]byte, want)
+				copy(grown, chunk)
+				f.cache[i] = grown
+			}
+			f.dirty[i] = true
+		}
+	}
+	return nil
+}
+
+// Size returns the logical file size.
+func (f *shieldFile) Size() (int64, error) { return f.meta.FileSize, nil }
+
+// Name returns the logical path.
+func (f *shieldFile) Name() string { return f.path }
+
+// Close flushes dirty chunks and metadata, advancing the file epoch and
+// registering the new root with the audit service.
+func (f *shieldFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	if err := f.flush(); err != nil {
+		return err
+	}
+	f.closed = true
+	return f.data.Close()
+}
+
+// flush writes all dirty chunks and the metadata file.
+func (f *shieldFile) flush() error {
+	n := divCeil(f.meta.FileSize, f.chunkSize())
+	f.meta.ensureChunks(int(n))
+
+	for i := int64(0); i < n; i++ {
+		if !f.dirty[i] {
+			continue
+		}
+		chunk, err := f.loadChunk(i)
+		if err != nil {
+			return err
+		}
+		// Pad the cached buffer to the chunk's full plaintext length.
+		if want := f.plainLen(i); int64(len(chunk)) < want {
+			grown := make([]byte, want)
+			copy(grown, chunk)
+			chunk = grown
+			f.cache[i] = chunk
+		}
+		f.meta.Counters[i]++
+		counter := f.meta.Counters[i]
+		aad := chunkAAD(f.path, i, counter)
+		f.shield.chargeCrypto(int64(len(chunk)))
+
+		var stored []byte
+		switch f.level {
+		case LevelEncrypted:
+			ct, err := seccrypto.SealDeterministic(f.key, chunkNonce(i, counter), chunk, aad)
+			if err != nil {
+				return fmt.Errorf("fsshield: sealing chunk %d of %q: %w", i, f.path, err)
+			}
+			stored = ct
+		case LevelAuthenticated:
+			mac := hmac.New(sha256.New, f.key[:])
+			mac.Write(aad)
+			mac.Write(chunk)
+			stored = append(append([]byte(nil), chunk...), mac.Sum(nil)...)
+		}
+		if _, err := f.data.WriteAt(stored, i*f.slotSize()); err != nil {
+			return fmt.Errorf("fsshield: writing chunk %d of %q: %w", i, f.path, err)
+		}
+		delete(f.dirty, i)
+	}
+
+	// Trim the data file to the exact stored size.
+	storedSize := int64(0)
+	if n > 0 {
+		storedSize = (n-1)*f.slotSize() + f.plainLen(n-1) + f.overhead()
+	}
+	if err := f.data.Truncate(storedSize); err != nil {
+		return fmt.Errorf("fsshield: truncating %q: %w", f.path, err)
+	}
+
+	f.meta.Epoch++
+	raw, err := encodeMetadata(f.meta, f.shield.metaKey(f.path), f.path)
+	if err != nil {
+		return err
+	}
+	f.shield.chargeCrypto(int64(len(raw)))
+	if err := fsapi.WriteFile(f.shield.cfg.Inner, f.path+metaSuffix, raw); err != nil {
+		return fmt.Errorf("fsshield: writing metadata for %q: %w", f.path, err)
+	}
+	if f.shield.cfg.Audit != nil {
+		if err := f.shield.cfg.Audit.AdvanceRoot(f.path, f.meta.Epoch, sha256.Sum256(raw)); err != nil {
+			return fmt.Errorf("fsshield: advancing audit root for %q: %w", f.path, err)
+		}
+	}
+	return nil
+}
+
+func divCeil(a, b int64) int64 {
+	if a == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,619 @@
+package fsshield
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/fsapi/fstest"
+	"github.com/securetf/securetf/internal/seccrypto"
+)
+
+func newTestShield(t *testing.T, inner fsapi.FS, opts ...func(*Config)) *Shield {
+	t.Helper()
+	key, err := seccrypto.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Inner:     inner,
+		VolumeKey: key,
+		Rules: []Rule{
+			{Prefix: "secret/", Level: LevelEncrypted},
+			{Prefix: "signed/", Level: LevelAuthenticated},
+			{Prefix: "plain/", Level: LevelPassthrough},
+		},
+		ChunkSize: 256, // small chunks exercise multi-chunk paths
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing inner FS accepted")
+	}
+	if _, err := New(Config{Inner: fsapi.NewMem(), Rules: []Rule{{Prefix: "x", Level: Level(99)}}}); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+}
+
+func TestLevelForLongestPrefixWins(t *testing.T) {
+	s := newTestShield(t, fsapi.NewMem(), func(c *Config) {
+		c.Rules = []Rule{
+			{Prefix: "data/", Level: LevelAuthenticated},
+			{Prefix: "data/secret/", Level: LevelEncrypted},
+		}
+	})
+	if got := s.LevelFor("data/x"); got != LevelAuthenticated {
+		t.Fatalf("LevelFor(data/x) = %v", got)
+	}
+	if got := s.LevelFor("data/secret/x"); got != LevelEncrypted {
+		t.Fatalf("LevelFor(data/secret/x) = %v", got)
+	}
+	if got := s.LevelFor("elsewhere"); got != LevelPassthrough {
+		t.Fatalf("LevelFor(elsewhere) = %v", got)
+	}
+}
+
+func TestRoundTripAllLevels(t *testing.T) {
+	for _, path := range []string{"secret/model.bin", "signed/model.bin", "plain/model.bin"} {
+		inner := fsapi.NewMem()
+		s := newTestShield(t, inner)
+		data := bytes.Repeat([]byte("0123456789abcdef"), 100) // 1600 B > 6 chunks
+		if err := fsapi.WriteFile(s, path, data); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		got, err := fsapi.ReadFile(s, path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: round trip mismatch", path)
+		}
+	}
+}
+
+func TestCiphertextActuallyEncrypted(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	plaintext := bytes.Repeat([]byte("SENSITIVE"), 200)
+	if err := fsapi.WriteFile(s, "secret/f", plaintext); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fsapi.ReadFile(inner, "secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("SENSITIVE")) {
+		t.Fatal("plaintext visible on the untrusted file system")
+	}
+}
+
+func TestAuthenticatedLevelLeavesPlaintextReadable(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "signed/f", []byte("PUBLIC-BUT-SIGNED")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fsapi.ReadFile(inner, "signed/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("PUBLIC-BUT-SIGNED")) {
+		t.Fatal("authenticate-only file should keep plaintext visible")
+	}
+}
+
+func TestTamperDetectionData(t *testing.T) {
+	for _, path := range []string{"secret/f", "signed/f"} {
+		inner := fsapi.NewMem()
+		s := newTestShield(t, inner)
+		if err := fsapi.WriteFile(s, path, bytes.Repeat([]byte("x"), 1000)); err != nil {
+			t.Fatal(err)
+		}
+		// Flip one byte of the stored data.
+		raw, _ := fsapi.ReadFile(inner, path)
+		raw[len(raw)/2] ^= 0x01
+		if err := fsapi.WriteFile(inner, path, raw); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsapi.ReadFile(s, path); !errors.Is(err, ErrTampered) {
+			t.Fatalf("%s: err = %v, want ErrTampered", path, err)
+		}
+	}
+}
+
+func TestTamperDetectionMetadata(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := fsapi.ReadFile(inner, "secret/f"+metaSuffix)
+	raw[len(raw)-1] ^= 0x01
+	if err := fsapi.WriteFile(inner, "secret/f"+metaSuffix, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.ReadFile(s, "secret/f"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+}
+
+func TestMissingMetadataIsTampering(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Remove("secret/f" + metaSuffix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("secret/f"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+}
+
+func TestChunkSwapDetected(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	// Two chunks of identical plaintext: swapping their ciphertexts must
+	// still be detected because the chunk index is in the AAD.
+	data := append(bytes.Repeat([]byte("A"), 256), bytes.Repeat([]byte("A"), 256)...)
+	if err := fsapi.WriteFile(s, "secret/f", data); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := fsapi.ReadFile(inner, "secret/f")
+	slot := 256 + 16
+	chunk0 := append([]byte(nil), raw[:slot]...)
+	copy(raw[:slot], raw[slot:2*slot])
+	copy(raw[slot:2*slot], chunk0)
+	if err := fsapi.WriteFile(inner, "secret/f", raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.ReadFile(s, "secret/f"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered for swapped chunks", err)
+	}
+}
+
+func TestChunkReplayOldVersionDetected(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", bytes.Repeat([]byte("v1"), 128)); err != nil {
+		t.Fatal(err)
+	}
+	oldData, _ := fsapi.ReadFile(inner, "secret/f")
+
+	// Rewrite the file (epoch and counters advance).
+	if err := fsapi.WriteFile(s, "secret/f", bytes.Repeat([]byte("v2"), 128)); err != nil {
+		t.Fatal(err)
+	}
+	// Replay only the old data file, keeping the new metadata.
+	if err := fsapi.WriteFile(inner, "secret/f", oldData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.ReadFile(s, "secret/f"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered for replayed chunk", err)
+	}
+}
+
+func TestRollbackDetectedWithAudit(t *testing.T) {
+	inner := fsapi.NewMem()
+	audit := NewLocalAudit()
+	s := newTestShield(t, inner, func(c *Config) { c.Audit = audit })
+
+	if err := fsapi.WriteFile(s, "secret/f", []byte("version-1")); err != nil {
+		t.Fatal(err)
+	}
+	oldData, _ := fsapi.ReadFile(inner, "secret/f")
+	oldMeta, _ := fsapi.ReadFile(inner, "secret/f"+metaSuffix)
+
+	if err := fsapi.WriteFile(s, "secret/f", []byte("version-2")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Roll back BOTH files to the old consistent snapshot: only the audit
+	// service can catch this.
+	if err := fsapi.WriteFile(inner, "secret/f", oldData); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsapi.WriteFile(inner, "secret/f"+metaSuffix, oldMeta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsapi.ReadFile(s, "secret/f"); !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("err = %v, want ErrRolledBack", err)
+	}
+}
+
+func TestRollbackUndetectedWithoutAudit(t *testing.T) {
+	// Documents the security boundary: without the audit service a full
+	// consistent-snapshot rollback is NOT detectable (this is why the CAS
+	// freshness service exists).
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", []byte("version-1")); err != nil {
+		t.Fatal(err)
+	}
+	oldData, _ := fsapi.ReadFile(inner, "secret/f")
+	oldMeta, _ := fsapi.ReadFile(inner, "secret/f"+metaSuffix)
+	if err := fsapi.WriteFile(s, "secret/f", []byte("version-2")); err != nil {
+		t.Fatal(err)
+	}
+	fsapi.WriteFile(inner, "secret/f", oldData)
+	fsapi.WriteFile(inner, "secret/f"+metaSuffix, oldMeta)
+	got, err := fsapi.ReadFile(s, "secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version-1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTruncationAttackDetected(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", bytes.Repeat([]byte("z"), 1024)); err != nil {
+		t.Fatal(err)
+	}
+	// The host silently truncates the data file.
+	f, err := inner.Open("secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := fsapi.ReadFile(s, "secret/f"); !errors.Is(err, ErrIago) {
+		t.Fatalf("err = %v, want ErrIago for truncated data", err)
+	}
+}
+
+func TestStatReportsLogicalSize(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := s.Stat("secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 1000 {
+		t.Fatalf("logical size = %d, want 1000", fi.Size)
+	}
+	rawFi, err := inner.Stat("secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawFi.Size <= 1000 {
+		t.Fatalf("stored size = %d, want > 1000 (tags)", rawFi.Size)
+	}
+}
+
+func TestListHidesMetadata(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List("secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "f" {
+		t.Fatalf("List = %v, want [f]", names)
+	}
+}
+
+func TestRenameReencrypts(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s, "secret/a", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("secret/a", "secret/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("secret/a"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("old name still present")
+	}
+	got, err := fsapi.ReadFile(s, "secret/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRandomAccessReadWrite(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	f, err := s.Create("secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("world"), 600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := s.Open("secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 600); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt(600) = %q", buf)
+	}
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("ReadAt(0) = %q", buf)
+	}
+	// The zero-filled gap must read as zeros.
+	gap := make([]byte, 10)
+	if _, err := g.ReadAt(gap, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gap, make([]byte, 10)) {
+		t.Fatalf("gap = %v, want zeros", gap)
+	}
+}
+
+func TestTruncateShrinkGrow(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	f, err := s.Create("secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte("abcd"), 200)); err != nil { // 800 B
+		t.Fatal(err)
+	}
+	if err := f.Truncate(300); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsapi.ReadFile(s, "secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("len = %d, want 500", len(got))
+	}
+	want := append(bytes.Repeat([]byte("abcd"), 75), make([]byte, 200)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content after shrink+grow mismatch")
+	}
+}
+
+func TestNoNonceReuseAfterShrinkGrow(t *testing.T) {
+	// Shrinking then growing a file must produce different ciphertext for
+	// the re-written chunk even with identical plaintext (counters are
+	// high-water marks).
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	payload := bytes.Repeat([]byte("p"), 256)
+
+	write := func() []byte {
+		if err := fsapi.WriteFile(s, "secret/f", payload); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := fsapi.ReadFile(inner, "secret/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), raw...)
+	}
+	first := write()
+	second := write()
+	if bytes.Equal(first, second) {
+		t.Fatal("identical ciphertext for rewritten chunk: nonce reuse")
+	}
+}
+
+func TestWrongVolumeKeyFails(t *testing.T) {
+	inner := fsapi.NewMem()
+	s1 := newTestShield(t, inner)
+	if err := fsapi.WriteFile(s1, "secret/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestShield(t, inner) // different random volume key
+	if _, err := fsapi.ReadFile(s2, "secret/f"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered with wrong key", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		n := int(seed%4096) + 1
+		if n < 0 {
+			n = -n + 1
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		if err := fsapi.WriteFile(s, "secret/prop", data); err != nil {
+			return false
+		}
+		got, err := fsapi.ReadFile(s, "secret/prop")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseWriteProperty(t *testing.T) {
+	// Arbitrary WriteAt sequences must equal the same writes applied to a
+	// plain in-memory buffer.
+	type op struct {
+		Off  uint16
+		Data []byte
+	}
+	inner := fsapi.NewMem()
+	s := newTestShield(t, inner)
+	check := func(ops []op) bool {
+		_ = s.Remove("secret/sparse")
+		f, err := s.Create("secret/sparse")
+		if err != nil {
+			return false
+		}
+		var ref []byte
+		for _, o := range ops {
+			off := int(o.Off % 2048)
+			if len(o.Data) > 512 {
+				o.Data = o.Data[:512]
+			}
+			if _, err := f.WriteAt(o.Data, int64(off)); err != nil {
+				return false
+			}
+			if need := off + len(o.Data); need > len(ref) {
+				grown := make([]byte, need)
+				copy(grown, ref)
+				ref = grown
+			}
+			copy(ref[off:], o.Data)
+		}
+		if err := f.Close(); err != nil {
+			return false
+		}
+		got, err := fsapi.ReadFile(s, "secret/sparse")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditEpochMonotonic(t *testing.T) {
+	a := NewLocalAudit()
+	var root [32]byte
+	if err := a.AdvanceRoot("f", 1, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AdvanceRoot("f", 1, root); err == nil {
+		t.Fatal("repeated epoch accepted")
+	}
+	if err := a.AdvanceRoot("f", 0, root); err == nil {
+		t.Fatal("regressing epoch accepted")
+	}
+	if err := a.AdvanceRoot("f", 5, root); err != nil {
+		t.Fatal(err)
+	}
+	epoch, _, ok, err := a.CheckRoot("f")
+	if err != nil || !ok || epoch != 5 {
+		t.Fatalf("CheckRoot = %d %v %v", epoch, ok, err)
+	}
+}
+
+func TestRecreateCannotReplayEpoch(t *testing.T) {
+	inner := fsapi.NewMem()
+	audit := NewLocalAudit()
+	s := newTestShield(t, inner, func(c *Config) { c.Audit = audit })
+	if err := fsapi.WriteFile(s, "secret/f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsapi.WriteFile(s, "secret/f", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Recreating continues the epoch sequence: the audit service must not
+	// see a regression.
+	if err := fsapi.WriteFile(s, "secret/f", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsapi.ReadFile(s, "secret/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFSConformanceUnderEveryLevel(t *testing.T) {
+	// The shield must be indistinguishable from a plain file system to
+	// the application (the transparency goal), at every protection
+	// level — the conformance suite writes under unruled paths too.
+	for _, prefix := range []string{"secret/", "signed/", "plain/", ""} {
+		t.Run("prefix="+prefix, func(t *testing.T) {
+			shield := newTestShield(t, fsapi.NewMem())
+			fstest.Conformance(t, prefixFS{inner: shield, prefix: prefix})
+		})
+	}
+}
+
+// prefixFS maps the conformance suite's paths under a shield prefix.
+type prefixFS struct {
+	inner  fsapi.FS
+	prefix string
+}
+
+func (p prefixFS) Open(name string) (fsapi.File, error) {
+	f, err := p.inner.Open(p.prefix + name)
+	if err != nil {
+		return nil, err
+	}
+	return prefixFile{File: f, prefix: p.prefix}, nil
+}
+
+func (p prefixFS) Create(name string) (fsapi.File, error) {
+	f, err := p.inner.Create(p.prefix + name)
+	if err != nil {
+		return nil, err
+	}
+	return prefixFile{File: f, prefix: p.prefix}, nil
+}
+
+// prefixFile strips the mapping prefix from Name so the conformance
+// suite sees the paths it opened.
+type prefixFile struct {
+	fsapi.File
+	prefix string
+}
+
+func (f prefixFile) Name() string           { return strings.TrimPrefix(f.File.Name(), f.prefix) }
+func (p prefixFS) Remove(name string) error { return p.inner.Remove(p.prefix + name) }
+func (p prefixFS) Rename(oldName, newName string) error {
+	return p.inner.Rename(p.prefix+oldName, p.prefix+newName)
+}
+func (p prefixFS) Stat(name string) (fsapi.FileInfo, error) { return p.inner.Stat(p.prefix + name) }
+func (p prefixFS) List(dir string) ([]string, error)        { return p.inner.List(p.prefix + dir) }
+func (p prefixFS) MkdirAll(dir string) error                { return p.inner.MkdirAll(p.prefix + dir) }

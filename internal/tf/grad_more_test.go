@@ -1,0 +1,261 @@
+package tf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGradientsStackedConv backpropagates through two convolution
+// layers: the second conv's input gradient (kernelConv2DGradInput) must
+// flow to the first layer's filter.
+func TestGradientsStackedConv(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x", Float32, Shape{2, 6, 6, 1})
+	f1 := g.Variable("f1", RandNormal(Shape{3, 3, 1, 2}, 0.4, 40))
+	f2 := g.Variable("f2", RandNormal(Shape{3, 3, 2, 2}, 0.4, 41))
+	labels := g.Placeholder("y", Float32, Shape{2, 2})
+
+	h1 := g.Relu(g.Conv2D(x, f1, 1, PaddingSame))
+	h2 := g.Relu(g.Conv2D(h1, f2, 1, PaddingSame))
+	flat := g.Flatten(h2)
+	w := g.Variable("w", RandNormal(Shape{72, 2}, 0.3, 42))
+	logits := g.MatMul(flat, w)
+	loss := g.ReduceMean(g.SoftmaxCrossEntropy(logits, labels))
+
+	s := NewSession(g)
+	defer s.Close()
+	feeds := Feeds{
+		x:      RandNormal(Shape{2, 6, 6, 1}, 1, 43),
+		labels: OneHot([]int{0, 1}, 2),
+	}
+	checkGradients(t, g, s, feeds, loss, 5e-2)
+}
+
+// TestGradientsStridedConvValid exercises the input-gradient kernel's
+// stride and VALID-padding paths.
+func TestGradientsStridedConvValid(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x", Float32, Shape{1, 8, 8, 1})
+	f1 := g.Variable("f1", RandNormal(Shape{3, 3, 1, 2}, 0.4, 50))
+	f2 := g.Variable("f2", RandNormal(Shape{3, 3, 2, 1}, 0.4, 51))
+	labels := g.Placeholder("y", Float32, Shape{1, 1})
+
+	h1 := g.Relu(g.Conv2D(x, f1, 2, PaddingValid))
+	h2 := g.Conv2D(h1, f2, 1, PaddingValid)
+	loss := g.ReduceMean(g.Square(g.Sub(g.Flatten(h2), labels)))
+
+	s := NewSession(g)
+	defer s.Close()
+	feeds := Feeds{
+		x:      RandNormal(Shape{1, 8, 8, 1}, 1, 52),
+		labels: Fill(Shape{1, 1}, 0.5),
+	}
+	checkGradients(t, g, s, feeds, loss, 5e-2)
+}
+
+// TestDropoutTrainingAndInference verifies the two behaviours of
+// Dropout: a pass-through at inference, stochastic scaling (with a
+// gradient) in training mode.
+func TestDropoutTrainingAndInference(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x", Float32, Shape{-1, 16})
+	w := g.Variable("w", RandNormal(Shape{16, 4}, 0.5, 60))
+	dropped := g.Dropout(g.MatMul(x, w), 0.5)
+	labels := g.Placeholder("y", Float32, Shape{-1, 4})
+	loss := g.ReduceMean(g.SoftmaxCrossEntropy(dropped, labels))
+
+	s := NewSession(g, WithSeed(7))
+	defer s.Close()
+	input := RandNormal(Shape{4, 16}, 1, 61)
+
+	// Inference: dropout is the identity, so two runs agree exactly.
+	a, err := s.Run(Feeds{x: input}, []*Node{dropped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(Feeds{x: input}, []*Node{dropped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(a[0], b[0], 0) {
+		t.Fatal("inference-mode dropout is not deterministic identity")
+	}
+
+	// Training: some activations must be zeroed, and training steps
+	// must still reduce the loss.
+	trainOut, err := s.Run(Feeds{x: input, labels: OneHot([]int{0, 1, 2, 3}, 4)},
+		[]*Node{dropped, loss}, Training())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range trainOut[0].Floats() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("training-mode dropout zeroed nothing")
+	}
+
+	trainOp, err := Minimize(g, Adam{LR: 0.05}, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := Feeds{x: input, labels: OneHot([]int{0, 1, 2, 3}, 4)}
+	var first, last float64
+	for i := 0; i < 30; i++ {
+		out, err := s.Run(feeds, []*Node{loss, trainOp}, Training())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = float64(out[0].Floats()[0])
+		}
+		last = float64(out[0].Floats()[0])
+	}
+	if !(last < first) {
+		t.Fatalf("dropout training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+// TestGradientNodes exercises the exported gradient-extraction helper.
+func TestGradientNodes(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x", Float32, Shape{-1, 3})
+	w := g.Variable("w", RandNormal(Shape{3, 2}, 0.5, 70))
+	b := g.Variable("b", RandNormal(Shape{2}, 0.5, 71))
+	labels := g.Placeholder("y", Float32, Shape{-1, 2})
+	loss := g.ReduceMean(g.SoftmaxCrossEntropy(g.BiasAdd(g.MatMul(x, w), b), labels))
+
+	vars, grads, err := GradientNodes(g, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || len(grads) != 2 {
+		t.Fatalf("got %d vars, %d grads", len(vars), len(grads))
+	}
+	s := NewSession(g)
+	defer s.Close()
+	out, err := s.Run(Feeds{
+		x:      RandNormal(Shape{4, 3}, 1, 72),
+		labels: OneHot([]int{0, 1, 0, 1}, 2),
+	}, grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gradVal := range out {
+		if !gradVal.Shape().Equal(vars[i].Shape()) {
+			t.Fatalf("grad %d shape %v vs var shape %v", i, gradVal.Shape(), vars[i].Shape())
+		}
+		var norm float64
+		for _, v := range gradVal.Floats() {
+			norm += float64(v) * float64(v)
+		}
+		if norm == 0 {
+			t.Fatalf("grad %d identically zero", i)
+		}
+	}
+}
+
+// TestNodeIntrospection covers the node accessor surface.
+func TestNodeIntrospection(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x", Float32, Shape{-1, 4})
+	c := g.Const("k", Fill(Shape{4, 2}, 2))
+	y := g.MatMul(x, c)
+
+	if y.Op() != OpMatMul {
+		t.Fatalf("op = %q", y.Op())
+	}
+	if y.DType() != Float32 {
+		t.Fatalf("dtype = %v", y.DType())
+	}
+	if ins := y.Inputs(); len(ins) != 2 || ins[0] != x || ins[1] != c {
+		t.Fatalf("inputs = %v", ins)
+	}
+	if got := c.ConstValue(); got == nil || got.Floats()[0] != 2 {
+		t.Fatal("const value not retrievable")
+	}
+	if x.ConstValue() != nil {
+		t.Fatal("placeholder has a const value")
+	}
+	if y.AttrInt("missing", 42) != 42 {
+		t.Fatal("AttrInt default")
+	}
+	if y.AttrString("missing", "d") != "d" {
+		t.Fatal("AttrString default")
+	}
+	if y.AttrInts("missing") != nil {
+		t.Fatal("AttrInts default")
+	}
+	y.SetCostScale(3.5)
+	if y.CostScale() != 3.5 {
+		t.Fatal("cost scale round trip")
+	}
+	conv := g.Conv2D(g.Placeholder("img", Float32, Shape{-1, 4, 4, 1}),
+		g.Const("f", Fill(Shape{3, 3, 1, 1}, 1)), 2, PaddingValid)
+	if conv.AttrInt("stride", 0) != 2 {
+		t.Fatalf("stride attr = %d", conv.AttrInt("stride", 0))
+	}
+	if conv.AttrString("padding", "") != PaddingValid {
+		t.Fatalf("padding attr = %q", conv.AttrString("padding", ""))
+	}
+}
+
+// TestGlorotUniform checks the initializer's range and determinism.
+func TestGlorotUniform(t *testing.T) {
+	a := GlorotUniform(Shape{64, 32}, 64, 32, 5)
+	b := GlorotUniform(Shape{64, 32}, 64, 32, 5)
+	if !AllClose(a, b, 0) {
+		t.Fatal("same seed produced different tensors")
+	}
+	limit := math.Sqrt(6.0 / float64(64+32))
+	var mean float64
+	for _, v := range a.Floats() {
+		if math.Abs(float64(v)) > limit+1e-6 {
+			t.Fatalf("value %v outside Glorot limit %v", v, limit)
+		}
+		mean += float64(v)
+	}
+	mean /= float64(a.NumElements())
+	if math.Abs(mean) > limit/4 {
+		t.Fatalf("mean %v too far from zero", mean)
+	}
+	c := GlorotUniform(Shape{64, 32}, 64, 32, 6)
+	if AllClose(a, c, 0) {
+		t.Fatal("different seeds produced identical tensors")
+	}
+}
+
+// TestDTypeAndOptimizerNames covers the small String surfaces.
+func TestDTypeAndOptimizerNames(t *testing.T) {
+	if Float32.String() == "" || Int32.String() == "" {
+		t.Fatal("empty dtype name")
+	}
+	if Float32.String() == Int32.String() {
+		t.Fatal("dtype names collide")
+	}
+	names := map[string]bool{}
+	for _, opt := range []Optimizer{SGD{LR: 1}, Momentum{LR: 1}, Adam{LR: 1}} {
+		name := opt.Name()
+		if name == "" || names[name] {
+			t.Fatalf("optimizer name %q empty or duplicate", name)
+		}
+		names[name] = true
+	}
+}
+
+// TestSessionAccessors covers Graph and Device.
+func TestSessionAccessors(t *testing.T) {
+	g := NewGraph()
+	g.Variable("v", Fill(Shape{2}, 1))
+	s := NewSession(g)
+	defer s.Close()
+	if s.Graph() != g {
+		t.Fatal("session graph mismatch")
+	}
+	if s.Device() == nil {
+		t.Fatal("session has no device")
+	}
+}

@@ -1,0 +1,576 @@
+package tf
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// execCtx is the per-Run evaluation context: computed values, forward
+// caches used by gradient kernels (dropout masks, pooling argmaxes,
+// softmax probabilities), the RNG, and the device charged for the work.
+type execCtx struct {
+	sess     *Session
+	training bool
+	values   map[*Node]*Tensor
+	extras   map[string]any
+}
+
+// charge reports work to the session's device. The node's cost scale
+// (see Node.SetCostScale) applies to FLOPs only: a stand-in layer charges
+// the declared architecture's arithmetic, but its memory traffic is the
+// real bytes it moves — weights are streamed once per pass either way.
+func (ctx *execCtx) charge(n *Node, flops, bytes int64, streaming bool) {
+	if flops > 0 {
+		ctx.sess.device.Compute(int64(float64(flops) * n.CostScale()))
+	}
+	if bytes > 0 {
+		ctx.sess.device.Access(bytes, streaming)
+	}
+}
+
+// kernelFunc computes a node's output from its input tensors.
+type kernelFunc func(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error)
+
+// kernels maps op names to implementations. Populated once at package
+// initialization and read-only afterwards.
+var kernels = map[string]kernelFunc{
+	OpAdd:           kernelBinary(func(a, b float32) float32 { return a + b }),
+	OpSub:           kernelBinary(func(a, b float32) float32 { return a - b }),
+	OpMul:           kernelBinary(func(a, b float32) float32 { return a * b }),
+	OpDiv:           kernelBinary(func(a, b float32) float32 { return a / b }),
+	OpNeg:           kernelUnary(func(x float32) float32 { return -x }),
+	OpSquare:        kernelUnary(func(x float32) float32 { return x * x }),
+	OpSqrt:          kernelUnary(func(x float32) float32 { return float32(math.Sqrt(float64(x))) }),
+	OpExp:           kernelUnary(func(x float32) float32 { return float32(math.Exp(float64(x))) }),
+	OpLog:           kernelUnary(func(x float32) float32 { return float32(math.Log(float64(x))) }),
+	OpRelu:          kernelUnary(func(x float32) float32 { return max32(x, 0) }),
+	OpSigmoid:       kernelUnary(sigmoid32),
+	OpTanh:          kernelUnary(func(x float32) float32 { return float32(math.Tanh(float64(x))) }),
+	OpMatMul:        kernelMatMul,
+	OpBiasAdd:       kernelBiasAdd,
+	OpConv2D:        kernelConv2D,
+	OpMaxPool:       kernelMaxPool,
+	OpAvgPool:       kernelAvgPool,
+	OpSoftmax:       kernelSoftmax,
+	OpSoftmaxXent:   kernelSoftmaxXent,
+	OpReshape:       kernelReshape,
+	OpDropout:       kernelDropout,
+	OpReduceMean:    kernelReduce(true),
+	OpReduceSum:     kernelReduce(false),
+	OpArgMax:        kernelArgMax,
+	OpEqual:         kernelEqual,
+	OpBroadcastLike: kernelBroadcastLike,
+	OpGroup:         kernelGroup,
+
+	OpReluGrad:         kernelReluGrad,
+	OpSigmoidGrad:      kernelSigmoidGrad,
+	OpTanhGrad:         kernelTanhGrad,
+	OpBiasAddGrad:      kernelBiasAddGrad,
+	OpMaxPoolGrad:      kernelMaxPoolGrad,
+	OpAvgPoolGrad:      kernelAvgPoolGrad,
+	OpConv2DGradInput:  kernelConv2DGradInput,
+	OpConv2DGradFilter: kernelConv2DGradFilter,
+	OpSoftmaxXentGrad:  kernelSoftmaxXentGrad,
+	OpDropoutGrad:      kernelDropoutGrad,
+
+	OpApplySGD:      kernelApplySGD,
+	OpApplyMomentum: kernelApplyMomentum,
+	OpApplyAdam:     kernelApplyAdam,
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sigmoid32(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// kernelUnary lifts an elementwise function.
+func kernelUnary(f func(float32) float32) kernelFunc {
+	return func(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+		x := in[0]
+		out := NewTensor(Float32, x.Shape())
+		for i, v := range x.f32 {
+			out.f32[i] = f(v)
+		}
+		ctx.charge(n, int64(len(x.f32)), 2*x.Bytes(), false)
+		return out, nil
+	}
+}
+
+// kernelBinary lifts an elementwise function with scalar broadcasting on
+// either side.
+func kernelBinary(f func(a, b float32) float32) kernelFunc {
+	return func(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+		a, b := in[0], in[1]
+		switch {
+		case a.NumElements() == 1 && b.NumElements() == 1:
+			// Both single-element (possibly different ranks, e.g. a
+			// scalar gradient seed against a [1,1,1,1] activation): the
+			// result takes the higher-rank shape.
+			shape := a.Shape()
+			if len(b.Shape()) > len(shape) {
+				shape = b.Shape()
+			}
+			out := NewTensor(Float32, shape)
+			out.f32[0] = f(a.f32[0], b.f32[0])
+			ctx.charge(n, 1, 12, false)
+			return out, nil
+		case a.NumElements() == 1 && b.NumElements() > 1:
+			out := NewTensor(Float32, b.Shape())
+			av := a.f32[0]
+			for i, bv := range b.f32 {
+				out.f32[i] = f(av, bv)
+			}
+			ctx.charge(n, int64(len(b.f32)), 2*b.Bytes(), false)
+			return out, nil
+		case b.NumElements() == 1 && a.NumElements() > 1:
+			out := NewTensor(Float32, a.Shape())
+			bv := b.f32[0]
+			for i, av := range a.f32 {
+				out.f32[i] = f(av, bv)
+			}
+			ctx.charge(n, int64(len(a.f32)), 2*a.Bytes(), false)
+			return out, nil
+		default:
+			if !a.Shape().Equal(b.Shape()) {
+				return nil, fmt.Errorf("tf: %s: runtime shape mismatch %v vs %v", n.op, a.Shape(), b.Shape())
+			}
+			out := NewTensor(Float32, a.Shape())
+			for i := range a.f32 {
+				out.f32[i] = f(a.f32[i], b.f32[i])
+			}
+			ctx.charge(n, int64(len(a.f32)), 3*a.Bytes(), false)
+			return out, nil
+		}
+	}
+}
+
+func kernelMatMul(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	a, b := in[0], in[1]
+	if len(a.Shape()) != 2 || len(b.Shape()) != 2 {
+		return nil, fmt.Errorf("tf: MatMul: runtime shapes %v x %v", a.Shape(), b.Shape())
+	}
+	if n.attrBool("transpose_a", false) {
+		a = transpose2D(a)
+	}
+	if n.attrBool("transpose_b", false) {
+		b = transpose2D(b)
+	}
+	if a.Shape()[1] != b.Shape()[0] {
+		return nil, fmt.Errorf("tf: MatMul: inner dims %v x %v", a.Shape(), b.Shape())
+	}
+	m, k, nn := a.Shape()[0], a.Shape()[1], b.Shape()[1]
+	out := NewTensor(Float32, Shape{m, nn})
+	matmulInto(out.f32, a.f32, b.f32, m, k, nn, ctx.sess.device.Threads())
+	ctx.charge(n, 2*int64(m)*int64(k)*int64(nn), a.Bytes()+b.Bytes()+out.Bytes(), false)
+	return out, nil
+}
+
+// transpose2D materializes the transpose of a [m,n] tensor.
+func transpose2D(t *Tensor) *Tensor {
+	m, n := t.Shape()[0], t.Shape()[1]
+	out := NewTensor(Float32, Shape{n, m})
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.f32[j*m+i] = t.f32[i*n+j]
+		}
+	}
+	return out
+}
+
+// matmulInto computes C = A×B with row-parallelism across threads.
+func matmulInto(c, a, b []float32, m, k, n, threads int) {
+	rowsPer := m
+	if threads > 1 && m >= 2*threads {
+		rowsPer = (m + threads - 1) / threads
+	}
+	var wg sync.WaitGroup
+	for start := 0; start < m; start += rowsPer {
+		end := start + rowsPer
+		if end > m {
+			end = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				crow := c[i*n : (i+1)*n]
+				for kk, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+func kernelBiasAdd(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x, bias := in[0], in[1]
+	c := bias.NumElements()
+	if x.NumElements()%c != 0 {
+		return nil, fmt.Errorf("tf: BiasAdd: %d elements not divisible by %d channels", x.NumElements(), c)
+	}
+	out := NewTensor(Float32, x.Shape())
+	for i, v := range x.f32 {
+		out.f32[i] = v + bias.f32[i%c]
+	}
+	ctx.charge(n, int64(len(x.f32)), 2*x.Bytes(), false)
+	return out, nil
+}
+
+// convGeometry resolves convolution/pool geometry at run time.
+type convGeom struct {
+	n, h, w, c      int
+	kh, kw, f       int
+	stride          int
+	oh, ow          int
+	padTop, padLeft int
+}
+
+func conv2DGeom(x, filter *Tensor, stride int, padding string) (convGeom, error) {
+	xs, fs := x.Shape(), filter.Shape()
+	if len(xs) != 4 || len(fs) != 4 || xs[3] != fs[2] {
+		return convGeom{}, fmt.Errorf("tf: Conv2D: runtime shapes %v, %v", xs, fs)
+	}
+	geo := convGeom{
+		n: xs[0], h: xs[1], w: xs[2], c: xs[3],
+		kh: fs[0], kw: fs[1], f: fs[3],
+		stride: stride,
+		oh:     convOut(xs[1], fs[0], stride, padding),
+		ow:     convOut(xs[2], fs[1], stride, padding),
+	}
+	if padding == PaddingSame {
+		padH := max(0, (geo.oh-1)*stride+geo.kh-geo.h)
+		padW := max(0, (geo.ow-1)*stride+geo.kw-geo.w)
+		geo.padTop = padH / 2
+		geo.padLeft = padW / 2
+	}
+	return geo, nil
+}
+
+func kernelConv2D(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x, filter := in[0], in[1]
+	geo, err := conv2DGeom(x, filter, int(n.attrInt("stride", 1)), n.attrString("padding", PaddingValid))
+	if err != nil {
+		return nil, err
+	}
+	out := NewTensor(Float32, Shape{geo.n, geo.oh, geo.ow, geo.f})
+	xd, fd, od := x.f32, filter.f32, out.f32
+	for b := 0; b < geo.n; b++ {
+		for oy := 0; oy < geo.oh; oy++ {
+			for ox := 0; ox < geo.ow; ox++ {
+				outBase := ((b*geo.oh+oy)*geo.ow + ox) * geo.f
+				for ky := 0; ky < geo.kh; ky++ {
+					iy := oy*geo.stride + ky - geo.padTop
+					if iy < 0 || iy >= geo.h {
+						continue
+					}
+					for kx := 0; kx < geo.kw; kx++ {
+						ix := ox*geo.stride + kx - geo.padLeft
+						if ix < 0 || ix >= geo.w {
+							continue
+						}
+						inBase := ((b*geo.h+iy)*geo.w + ix) * geo.c
+						fBase := (ky*geo.kw + kx) * geo.c * geo.f
+						for cc := 0; cc < geo.c; cc++ {
+							xv := xd[inBase+cc]
+							if xv == 0 {
+								continue
+							}
+							fRow := fd[fBase+cc*geo.f : fBase+(cc+1)*geo.f]
+							oRow := od[outBase : outBase+geo.f]
+							for ff, fv := range fRow {
+								oRow[ff] += xv * fv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	flops := 2 * int64(geo.n) * int64(geo.oh) * int64(geo.ow) * int64(geo.f) * int64(geo.kh) * int64(geo.kw) * int64(geo.c)
+	ctx.charge(n, flops, x.Bytes()+filter.Bytes()+out.Bytes(), false)
+	return out, nil
+}
+
+func poolGeom(x *Tensor, k, stride int) (convGeom, error) {
+	xs := x.Shape()
+	if len(xs) != 4 {
+		return convGeom{}, fmt.Errorf("tf: pool: runtime shape %v", xs)
+	}
+	return convGeom{
+		n: xs[0], h: xs[1], w: xs[2], c: xs[3],
+		kh: k, kw: k, stride: stride,
+		oh: convOut(xs[1], k, stride, PaddingValid),
+		ow: convOut(xs[2], k, stride, PaddingValid),
+	}, nil
+}
+
+func kernelMaxPool(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x := in[0]
+	geo, err := poolGeom(x, int(n.attrInt("k", 2)), int(n.attrInt("stride", 2)))
+	if err != nil {
+		return nil, err
+	}
+	out := NewTensor(Float32, Shape{geo.n, geo.oh, geo.ow, geo.c})
+	argmax := make([]int32, out.NumElements())
+	for b := 0; b < geo.n; b++ {
+		for oy := 0; oy < geo.oh; oy++ {
+			for ox := 0; ox < geo.ow; ox++ {
+				for cc := 0; cc < geo.c; cc++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < geo.kh; ky++ {
+						iy := oy*geo.stride + ky
+						if iy >= geo.h {
+							continue
+						}
+						for kx := 0; kx < geo.kw; kx++ {
+							ix := ox*geo.stride + kx
+							if ix >= geo.w {
+								continue
+							}
+							idx := ((b*geo.h+iy)*geo.w+ix)*geo.c + cc
+							if x.f32[idx] > best {
+								best = x.f32[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oIdx := ((b*geo.oh+oy)*geo.ow+ox)*geo.c + cc
+					out.f32[oIdx] = best
+					argmax[oIdx] = int32(bestIdx)
+				}
+			}
+		}
+	}
+	ctx.extras[n.name] = argmax
+	ctx.charge(n, int64(out.NumElements())*int64(geo.kh*geo.kw), x.Bytes()+out.Bytes(), false)
+	return out, nil
+}
+
+func kernelAvgPool(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x := in[0]
+	geo, err := poolGeom(x, int(n.attrInt("k", 2)), int(n.attrInt("stride", 2)))
+	if err != nil {
+		return nil, err
+	}
+	out := NewTensor(Float32, Shape{geo.n, geo.oh, geo.ow, geo.c})
+	for b := 0; b < geo.n; b++ {
+		for oy := 0; oy < geo.oh; oy++ {
+			for ox := 0; ox < geo.ow; ox++ {
+				for cc := 0; cc < geo.c; cc++ {
+					var sum float32
+					count := 0
+					for ky := 0; ky < geo.kh; ky++ {
+						iy := oy*geo.stride + ky
+						if iy >= geo.h {
+							continue
+						}
+						for kx := 0; kx < geo.kw; kx++ {
+							ix := ox*geo.stride + kx
+							if ix >= geo.w {
+								continue
+							}
+							sum += x.f32[((b*geo.h+iy)*geo.w+ix)*geo.c+cc]
+							count++
+						}
+					}
+					if count > 0 {
+						out.f32[((b*geo.oh+oy)*geo.ow+ox)*geo.c+cc] = sum / float32(count)
+					}
+				}
+			}
+		}
+	}
+	ctx.charge(n, int64(out.NumElements())*int64(geo.kh*geo.kw), x.Bytes()+out.Bytes(), false)
+	return out, nil
+}
+
+// softmaxRows computes row-wise softmax of a [rows, cols] buffer.
+func softmaxRows(dst, src []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		row := src[r*cols : (r+1)*cols]
+		out := dst[r*cols : (r+1)*cols]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			out[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+}
+
+func rowsCols(t *Tensor) (int, int) {
+	s := t.Shape()
+	cols := s[len(s)-1]
+	rows := t.NumElements() / cols
+	return rows, cols
+}
+
+func kernelSoftmax(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x := in[0]
+	rows, cols := rowsCols(x)
+	out := NewTensor(Float32, x.Shape())
+	softmaxRows(out.f32, x.f32, rows, cols)
+	ctx.charge(n, 4*int64(x.NumElements()), 2*x.Bytes(), false)
+	return out, nil
+}
+
+func kernelSoftmaxXent(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	logits, labels := in[0], in[1]
+	if !logits.Shape().Equal(labels.Shape()) {
+		return nil, fmt.Errorf("tf: SoftmaxCrossEntropy: %v vs %v", logits.Shape(), labels.Shape())
+	}
+	rows, cols := rowsCols(logits)
+	probs := make([]float32, rows*cols)
+	softmaxRows(probs, logits.f32, rows, cols)
+	out := NewTensor(Float32, Shape{rows})
+	for r := 0; r < rows; r++ {
+		var loss float64
+		for c := 0; c < cols; c++ {
+			l := labels.f32[r*cols+c]
+			if l != 0 {
+				p := math.Max(float64(probs[r*cols+c]), 1e-12)
+				loss -= float64(l) * math.Log(p)
+			}
+		}
+		out.f32[r] = float32(loss)
+	}
+	ctx.extras[n.name] = probs
+	ctx.charge(n, 6*int64(rows)*int64(cols), 2*logits.Bytes(), false)
+	return out, nil
+}
+
+func kernelReshape(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x := in[0]
+	ints := n.attrInts("shape")
+	shape := make(Shape, len(ints))
+	for i, d := range ints {
+		shape[i] = int(d)
+	}
+	out, err := x.Reshape(shape)
+	if err != nil {
+		return nil, err
+	}
+	ctx.charge(n, 0, 0, false)
+	return out, nil
+}
+
+func kernelDropout(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x := in[0]
+	if !ctx.training {
+		return x, nil
+	}
+	rate := n.attrFloat("rate", 0.5)
+	keep := 1 - rate
+	scale := float32(1 / keep)
+	out := NewTensor(Float32, x.Shape())
+	mask := make([]float32, x.NumElements())
+	for i, v := range x.f32 {
+		if ctx.sess.rng.Float64() < keep {
+			mask[i] = scale
+			out.f32[i] = v * scale
+		}
+	}
+	ctx.extras[n.name] = mask
+	ctx.charge(n, int64(len(x.f32)), 3*x.Bytes(), false)
+	return out, nil
+}
+
+func kernelReduce(mean bool) kernelFunc {
+	return func(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+		x := in[0]
+		var sum float64
+		for _, v := range x.f32 {
+			sum += float64(v)
+		}
+		if mean && x.NumElements() > 0 {
+			sum /= float64(x.NumElements())
+		}
+		ctx.charge(n, int64(x.NumElements()), x.Bytes(), true)
+		return Scalar(float32(sum)), nil
+	}
+}
+
+func kernelArgMax(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	x := in[0]
+	rows, cols := rowsCols(x)
+	out := NewTensor(Int32, Shape{rows})
+	for r := 0; r < rows; r++ {
+		best, bestIdx := x.f32[r*cols], 0
+		for c := 1; c < cols; c++ {
+			if v := x.f32[r*cols+c]; v > best {
+				best, bestIdx = v, c
+			}
+		}
+		out.i32[r] = int32(bestIdx)
+	}
+	ctx.charge(n, int64(x.NumElements()), x.Bytes(), true)
+	return out, nil
+}
+
+func kernelEqual(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	a, b := in[0], in[1]
+	if a.NumElements() != b.NumElements() {
+		return nil, fmt.Errorf("tf: Equal: %d vs %d elements", a.NumElements(), b.NumElements())
+	}
+	out := NewTensor(Float32, a.Shape())
+	for i := 0; i < a.NumElements(); i++ {
+		var eq bool
+		if a.DType() == Int32 && b.DType() == Int32 {
+			eq = a.i32[i] == b.i32[i]
+		} else if a.DType() == Float32 && b.DType() == Float32 {
+			eq = a.f32[i] == b.f32[i]
+		} else {
+			return nil, fmt.Errorf("tf: Equal: mixed dtypes %v vs %v", a.DType(), b.DType())
+		}
+		if eq {
+			out.f32[i] = 1
+		}
+	}
+	ctx.charge(n, int64(a.NumElements()), 3*a.Bytes(), false)
+	return out, nil
+}
+
+func kernelBroadcastLike(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	src, like := in[0], in[1]
+	if src.NumElements() != 1 {
+		return nil, fmt.Errorf("tf: BroadcastLike: source must be scalar, got %v", src.Shape())
+	}
+	v := src.f32[0]
+	if n.attrString("scale", "") == "mean" && like.NumElements() > 0 {
+		// Gradient of ReduceMean: each element receives grad/N.
+		v /= float32(like.NumElements())
+	}
+	out := Fill(like.Shape(), v)
+	ctx.charge(n, 0, out.Bytes(), true)
+	return out, nil
+}
+
+func kernelGroup(ctx *execCtx, n *Node, in []*Tensor) (*Tensor, error) {
+	return Scalar(0), nil
+}

@@ -1,0 +1,264 @@
+// Package tf is a from-scratch reimplementation of the TensorFlow 1.x
+// execution model that secureTF wraps: a statically built dataflow graph
+// of operations executed by a session, with reverse-mode automatic
+// differentiation, optimizers, frozen-graph export and checkpoints.
+//
+// The engine performs real numerics — training genuinely converges — and
+// reports its work (FLOPs, bytes) to a device.Device so the enclave cost
+// model sees the same workload shape the paper's TensorFlow did.
+package tf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DType is a tensor element type.
+type DType uint8
+
+// Supported element types.
+const (
+	Float32 DType = iota + 1
+	Int32
+)
+
+// String names the dtype.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Int32:
+		return "int32"
+	default:
+		return "invalid"
+	}
+}
+
+// Shape is a tensor shape; -1 marks an unknown (batch) dimension in graph
+// building, but concrete tensors always have fully known shapes.
+type Shape []int
+
+// NumElements returns the element count, or -1 if any dimension is
+// unknown.
+func (s Shape) NumElements() int {
+	n := 1
+	for _, d := range s {
+		if d < 0 {
+			return -1
+		}
+		n *= d
+	}
+	return n
+}
+
+// Equal reports exact shape equality.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the shape.
+func (s Shape) Clone() Shape {
+	out := make(Shape, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the shape like [2 3 4].
+func (s Shape) String() string { return fmt.Sprint([]int(s)) }
+
+// Tensor is a dense tensor of Float32 or Int32 elements in row-major
+// order.
+type Tensor struct {
+	dtype DType
+	shape Shape
+	f32   []float32
+	i32   []int32
+}
+
+// NewTensor allocates a zero-filled tensor.
+func NewTensor(dtype DType, shape Shape) *Tensor {
+	n := shape.NumElements()
+	if n < 0 {
+		panic(fmt.Sprintf("tf: cannot allocate tensor with unknown shape %v", shape))
+	}
+	t := &Tensor{dtype: dtype, shape: shape.Clone()}
+	switch dtype {
+	case Int32:
+		t.i32 = make([]int32, n)
+	default:
+		t.f32 = make([]float32, n)
+	}
+	return t
+}
+
+// FromFloats builds a Float32 tensor from data (copied).
+func FromFloats(shape Shape, data []float32) (*Tensor, error) {
+	if shape.NumElements() != len(data) {
+		return nil, fmt.Errorf("tf: shape %v needs %d elements, got %d", shape, shape.NumElements(), len(data))
+	}
+	t := NewTensor(Float32, shape)
+	copy(t.f32, data)
+	return t, nil
+}
+
+// FromInts builds an Int32 tensor from data (copied).
+func FromInts(shape Shape, data []int32) (*Tensor, error) {
+	if shape.NumElements() != len(data) {
+		return nil, fmt.Errorf("tf: shape %v needs %d elements, got %d", shape, shape.NumElements(), len(data))
+	}
+	t := NewTensor(Int32, shape)
+	copy(t.i32, data)
+	return t, nil
+}
+
+// Scalar builds a rank-0 Float32 tensor.
+func Scalar(v float32) *Tensor {
+	t := NewTensor(Float32, Shape{})
+	t.f32[0] = v
+	return t
+}
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Shape returns the tensor shape (caller must not mutate).
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// NumElements returns the element count.
+func (t *Tensor) NumElements() int {
+	if t.dtype == Int32 {
+		return len(t.i32)
+	}
+	return len(t.f32)
+}
+
+// Bytes returns the storage size in bytes.
+func (t *Tensor) Bytes() int64 { return int64(t.NumElements()) * 4 }
+
+// Floats exposes the Float32 backing slice (shared, not copied).
+func (t *Tensor) Floats() []float32 {
+	if t.dtype != Float32 {
+		panic("tf: Floats on non-float tensor")
+	}
+	return t.f32
+}
+
+// Ints exposes the Int32 backing slice (shared, not copied).
+func (t *Tensor) Ints() []int32 {
+	if t.dtype != Int32 {
+		panic("tf: Ints on non-int tensor")
+	}
+	return t.i32
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.dtype, t.shape)
+	copy(out.f32, t.f32)
+	copy(out.i32, t.i32)
+	return out
+}
+
+// Reshape returns a view with a new shape of equal element count. A -1
+// dimension is inferred.
+func (t *Tensor) Reshape(shape Shape) (*Tensor, error) {
+	resolved, err := resolveReshape(t.NumElements(), shape)
+	if err != nil {
+		return nil, err
+	}
+	out := &Tensor{dtype: t.dtype, shape: resolved, f32: t.f32, i32: t.i32}
+	return out, nil
+}
+
+func resolveReshape(numElements int, shape Shape) (Shape, error) {
+	resolved := shape.Clone()
+	infer := -1
+	known := 1
+	for i, d := range resolved {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				return nil, fmt.Errorf("tf: reshape with multiple -1 dims: %v", shape)
+			}
+			infer = i
+		case d <= 0:
+			return nil, fmt.Errorf("tf: invalid reshape dim %d", d)
+		default:
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || numElements%known != 0 {
+			return nil, fmt.Errorf("tf: cannot infer -1 dim reshaping %d elements to %v", numElements, shape)
+		}
+		resolved[infer] = numElements / known
+	} else if known != numElements {
+		return nil, fmt.Errorf("tf: reshape %d elements to %v", numElements, shape)
+	}
+	return resolved, nil
+}
+
+// RandNormal fills a new Float32 tensor with N(0, stddev) values from the
+// given seed (deterministic).
+func RandNormal(shape Shape, stddev float64, seed int64) *Tensor {
+	t := NewTensor(Float32, shape)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.f32 {
+		t.f32[i] = float32(rng.NormFloat64() * stddev)
+	}
+	return t
+}
+
+// GlorotUniform fills a new Float32 tensor with Glorot/Xavier-uniform
+// values for the given fan-in/fan-out (deterministic per seed).
+func GlorotUniform(shape Shape, fanIn, fanOut int, seed int64) *Tensor {
+	t := NewTensor(Float32, shape)
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.f32 {
+		t.f32[i] = float32((rng.Float64()*2 - 1) * limit)
+	}
+	return t
+}
+
+// Fill returns a Float32 tensor filled with v.
+func Fill(shape Shape, v float32) *Tensor {
+	t := NewTensor(Float32, shape)
+	for i := range t.f32 {
+		t.f32[i] = v
+	}
+	return t
+}
+
+// OneHot builds a [len(labels), depth] Float32 one-hot tensor.
+func OneHot(labels []int, depth int) *Tensor {
+	t := NewTensor(Float32, Shape{len(labels), depth})
+	for i, l := range labels {
+		if l >= 0 && l < depth {
+			t.f32[i*depth+l] = 1
+		}
+	}
+	return t
+}
+
+// AllClose reports whether two Float32 tensors match within tol.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if a.dtype != Float32 || b.dtype != Float32 || !a.shape.Equal(b.shape) {
+		return false
+	}
+	for i := range a.f32 {
+		if math.Abs(float64(a.f32[i]-b.f32[i])) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package tf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 1},
+		{Shape{3}, 3},
+		{Shape{2, 3, 4}, 24},
+		{Shape{2, -1}, -1},
+	}
+	for _, c := range cases {
+		if got := c.shape.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestFromFloatsValidates(t *testing.T) {
+	if _, err := FromFloats(Shape{2, 2}, []float32{1, 2, 3}); err == nil {
+		t.Fatal("wrong element count accepted")
+	}
+	tt, err := FromFloats(Shape{2, 2}, []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Floats()[3] != 4 {
+		t.Fatal("data not copied correctly")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x, _ := FromFloats(Shape{2, 6}, make([]float32, 12))
+	y, err := x.Reshape(Shape{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.Shape().Equal(Shape{3, 4}) {
+		t.Fatalf("shape = %v", y.Shape())
+	}
+	z, err := x.Reshape(Shape{-1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.Shape().Equal(Shape{4, 3}) {
+		t.Fatalf("inferred shape = %v", z.Shape())
+	}
+	if _, err := x.Reshape(Shape{5, -1}); err == nil {
+		t.Fatal("non-divisible -1 reshape accepted")
+	}
+	if _, err := x.Reshape(Shape{-1, -1}); err == nil {
+		t.Fatal("double -1 reshape accepted")
+	}
+	if _, err := x.Reshape(Shape{7}); err == nil {
+		t.Fatal("wrong element count reshape accepted")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x, _ := FromFloats(Shape{4}, []float32{1, 2, 3, 4})
+	y, _ := x.Reshape(Shape{2, 2})
+	y.Floats()[0] = 99
+	if x.Floats()[0] != 99 {
+		t.Fatal("reshape copied data; must be a view")
+	}
+}
+
+func TestRandNormalDeterministic(t *testing.T) {
+	a := RandNormal(Shape{100}, 0.1, 42)
+	b := RandNormal(Shape{100}, 0.1, 42)
+	if !AllClose(a, b, 0) {
+		t.Fatal("same seed produced different tensors")
+	}
+	c := RandNormal(Shape{100}, 0.1, 43)
+	if AllClose(a, c, 0) {
+		t.Fatal("different seeds produced identical tensors")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	oh := OneHot([]int{2, 0, 9, -1}, 10)
+	if !oh.Shape().Equal(Shape{4, 10}) {
+		t.Fatalf("shape = %v", oh.Shape())
+	}
+	if oh.Floats()[2] != 1 || oh.Floats()[10] != 1 || oh.Floats()[29] != 1 {
+		t.Fatal("hot positions wrong")
+	}
+	var sum float32
+	for _, v := range oh.Floats() {
+		sum += v
+	}
+	if sum != 3 { // -1 label contributes nothing
+		t.Fatalf("sum = %v, want 3", sum)
+	}
+}
+
+func TestTensorEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			vals = []float32{0}
+		}
+		src, err := FromFloats(Shape{len(vals)}, vals)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTensor(EncodeTensor(src))
+		if err != nil {
+			return false
+		}
+		return AllClose(src, got, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorEncodeDecodeInt32(t *testing.T) {
+	src, _ := FromInts(Shape{2, 3}, []int32{1, -2, 3, -4, 5, -6})
+	got, err := DecodeTensor(EncodeTensor(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DType() != Int32 || !got.Shape().Equal(src.Shape()) {
+		t.Fatalf("decoded %v %v", got.DType(), got.Shape())
+	}
+	for i := range src.Ints() {
+		if src.Ints()[i] != got.Ints()[i] {
+			t.Fatal("int data mismatch")
+		}
+	}
+}
+
+func TestDecodeTensorRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTensor([]byte("short")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	raw := EncodeTensor(Scalar(1))
+	raw[6] = 99 // dtype byte
+	if _, err := DecodeTensor(raw); err == nil {
+		t.Fatal("bad dtype accepted")
+	}
+}

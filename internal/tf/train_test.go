@@ -1,0 +1,176 @@
+package tf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticClassification builds a linearly separable 2-class dataset.
+func syntheticClassification(n int, seed int64) (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	x := NewTensor(Float32, Shape{n, 2})
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		cx, cy := -1.0, -1.0
+		if cls == 1 {
+			cx, cy = 1.0, 1.0
+		}
+		x.Floats()[i*2] = float32(cx + rng.NormFloat64()*0.3)
+		x.Floats()[i*2+1] = float32(cy + rng.NormFloat64()*0.3)
+	}
+	return x, OneHot(labels, 2)
+}
+
+// buildLogreg builds a tiny softmax regression and returns (x, y, loss,
+// accuracy).
+func buildLogreg(g *Graph) (x, y, loss, acc *Node) {
+	x = g.Placeholder("x", Float32, Shape{-1, 2})
+	y = g.Placeholder("y", Float32, Shape{-1, 2})
+	w := g.Variable("w", RandNormal(Shape{2, 2}, 0.1, 5))
+	b := g.Variable("b", NewTensor(Float32, Shape{2}))
+	logits := g.BiasAdd(g.MatMul(x, w), b)
+	loss = g.ReduceMean(g.SoftmaxCrossEntropy(logits, y))
+	pred := g.ArgMax(logits)
+	truth := g.ArgMax(y)
+	acc = g.ReduceMean(g.Equal(pred, truth))
+	return
+}
+
+func trainAndEval(t *testing.T, opt Optimizer, steps int) (lossStart, lossEnd, accEnd float64) {
+	t.Helper()
+	g := NewGraph()
+	x, y, loss, acc := buildLogreg(g)
+	train, err := Minimize(g, opt, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(g)
+	defer s.Close()
+
+	xs, ys := syntheticClassification(128, 7)
+	feeds := Feeds{x: xs, y: ys}
+
+	out, err := s.Run(feeds, []*Node{loss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossStart = float64(out[0].Floats()[0])
+	for i := 0; i < steps; i++ {
+		if _, err := s.Run(feeds, []*Node{train}, Training()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err = s.Run(feeds, []*Node{loss, acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lossStart, float64(out[0].Floats()[0]), float64(out[1].Floats()[0])
+}
+
+func TestSGDConverges(t *testing.T) {
+	start, end, acc := trainAndEval(t, SGD{LR: 0.5}, 200)
+	if end >= start {
+		t.Fatalf("loss did not decrease: %v -> %v", start, end)
+	}
+	if acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestMomentumConverges(t *testing.T) {
+	start, end, acc := trainAndEval(t, Momentum{LR: 0.1, Momentum: 0.9}, 200)
+	if end >= start {
+		t.Fatalf("loss did not decrease: %v -> %v", start, end)
+	}
+	if acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	start, end, acc := trainAndEval(t, Adam{LR: 0.05}, 200)
+	if end >= start {
+		t.Fatalf("loss did not decrease: %v -> %v", start, end)
+	}
+	if acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestAdamBeatsSGDEarly(t *testing.T) {
+	// Not a strict theorem, but on this convex problem with matched small
+	// step counts Adam's per-parameter scaling should not be wildly worse.
+	_, sgdEnd, _ := trainAndEval(t, SGD{LR: 0.05}, 30)
+	_, adamEnd, _ := trainAndEval(t, Adam{LR: 0.05}, 30)
+	if math.IsNaN(sgdEnd) || math.IsNaN(adamEnd) {
+		t.Fatal("training diverged to NaN")
+	}
+}
+
+func TestMinimizeRequiresVariables(t *testing.T) {
+	g := NewGraph()
+	c := g.Const("c", Scalar(1))
+	loss := g.ReduceMean(c)
+	if _, err := Minimize(g, SGD{LR: 0.1}, loss); err == nil {
+		t.Fatal("Minimize with no variables accepted")
+	}
+}
+
+func TestConvNetTrainsOnPatterns(t *testing.T) {
+	// A small CNN must learn to separate a vertical-bar class from a
+	// horizontal-bar class — the end-to-end check that conv gradients,
+	// pooling gradients and the optimizer compose.
+	g := NewGraph()
+	x := g.Placeholder("x", Float32, Shape{-1, 8, 8, 1})
+	y := g.Placeholder("y", Float32, Shape{-1, 2})
+	f1 := g.Variable("f1", RandNormal(Shape{3, 3, 1, 4}, 0.3, 60))
+	b1 := g.Variable("b1", NewTensor(Float32, Shape{4}))
+	conv := g.Relu(g.BiasAdd(g.Conv2D(x, f1, 1, PaddingSame), b1))
+	pool := g.MaxPool(conv, 2, 2)
+	flat := g.Flatten(pool)
+	w := g.Variable("w", RandNormal(Shape{64, 2}, 0.2, 61))
+	logits := g.MatMul(flat, w)
+	loss := g.ReduceMean(g.SoftmaxCrossEntropy(logits, y))
+	acc := g.ReduceMean(g.Equal(g.ArgMax(logits), g.ArgMax(y)))
+	train, err := Minimize(g, Adam{LR: 0.01}, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 32
+	xs := NewTensor(Float32, Shape{n, 8, 8, 1})
+	labels := make([]int, n)
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		pos := rng.Intn(8)
+		for j := 0; j < 8; j++ {
+			if cls == 0 {
+				xs.Floats()[i*64+j*8+pos] = 1 // vertical bar
+			} else {
+				xs.Floats()[i*64+pos*8+j] = 1 // horizontal bar
+			}
+		}
+	}
+	ys := OneHot(labels, 2)
+
+	s := NewSession(g)
+	defer s.Close()
+	feeds := Feeds{x: xs, y: ys}
+	for i := 0; i < 60; i++ {
+		if _, err := s.Run(feeds, []*Node{train}, Training()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.Run(feeds, []*Node{acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Floats()[0]; got < 0.9 {
+		t.Fatalf("CNN accuracy = %v, want >= 0.9", got)
+	}
+}

@@ -1,0 +1,324 @@
+package tflite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/securetf/securetf/internal/tf"
+)
+
+// ConvertOptions configures the frozen-graph converter.
+type ConvertOptions struct {
+	// Quantize enables int8 post-training weight quantization (§7.2
+	// model optimization): weight matrices/filters are stored as int8
+	// plus a per-tensor scale, shrinking the model ~4× and with it the
+	// enclave working set.
+	Quantize bool
+}
+
+// Convert lowers a frozen tf graph to a flat inference model. The graph
+// must contain no variables (freeze first); inputs are the feed
+// placeholders and outputs the fetch nodes.
+//
+// The converter performs the optimizations the paper attributes to
+// TensorFlow Lite and to §7.2: dead nodes are pruned (only ops reachable
+// from the outputs are emitted), MatMul/Conv2D+BiasAdd+ReLU chains are
+// fused into single operators, and dropout becomes the identity.
+func Convert(g *tf.Graph, inputs, outputs []*tf.Node, opts ConvertOptions) (*Model, error) {
+	for _, n := range g.Nodes() {
+		if n.Op() == tf.OpVariable {
+			return nil, fmt.Errorf("tflite: graph has variable %q; freeze before converting", n.Name())
+		}
+	}
+	c := &converter{
+		opts:      opts,
+		model:     &Model{},
+		tensorOf:  make(map[*tf.Node]int),
+		consumers: make(map[*tf.Node]int),
+	}
+	// Consumer counts over the reachable subgraph gate fusion: an inner
+	// node consumed elsewhere cannot be folded away.
+	seen := make(map[*tf.Node]bool)
+	var walk func(n *tf.Node)
+	walk = func(n *tf.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Inputs() {
+			c.consumers[in]++
+			walk(in)
+		}
+	}
+	for _, out := range outputs {
+		walk(out)
+	}
+
+	for _, in := range inputs {
+		if in.Op() != tf.OpPlaceholder {
+			return nil, fmt.Errorf("tflite: input %q is %s, want placeholder", in.Name(), in.Op())
+		}
+		idx := c.addTensor(in.Name(), in.Shape(), -1, 0)
+		c.tensorOf[in] = idx
+		c.model.Inputs = append(c.model.Inputs, idx)
+	}
+
+	for _, out := range outputs {
+		idx, err := c.emit(out)
+		if err != nil {
+			return nil, err
+		}
+		c.model.Outputs = append(c.model.Outputs, idx)
+	}
+	return c.model, nil
+}
+
+type converter struct {
+	opts      ConvertOptions
+	model     *Model
+	tensorOf  map[*tf.Node]int
+	consumers map[*tf.Node]int
+}
+
+func (c *converter) addTensor(name string, shape tf.Shape, buffer int, scale float64) int {
+	c.model.Tensors = append(c.model.Tensors, TensorSpec{
+		Name:   name,
+		Type:   TypeFloat32,
+		Shape:  append([]int(nil), shape...),
+		Buffer: buffer,
+		Scale:  scale,
+	})
+	return len(c.model.Tensors) - 1
+}
+
+// addConst materializes a constant node as a weight buffer, quantizing
+// rank>=2 float weights when enabled.
+func (c *converter) addConst(n *tf.Node) (int, error) {
+	if idx, ok := c.tensorOf[n]; ok {
+		return idx, nil
+	}
+	t := n.ConstValue()
+	if t == nil {
+		return 0, fmt.Errorf("tflite: %q is not a constant", n.Name())
+	}
+	if t.DType() != tf.Float32 {
+		return 0, fmt.Errorf("tflite: constant %q has unsupported dtype %v", n.Name(), t.DType())
+	}
+	var idx int
+	if c.opts.Quantize && len(t.Shape()) >= 2 {
+		raw, scale := quantizeInt8(t.Floats())
+		c.model.Buffers = append(c.model.Buffers, raw)
+		c.model.Tensors = append(c.model.Tensors, TensorSpec{
+			Name:   n.Name(),
+			Type:   TypeInt8,
+			Shape:  append([]int(nil), t.Shape()...),
+			Buffer: len(c.model.Buffers) - 1,
+			Scale:  scale,
+		})
+		idx = len(c.model.Tensors) - 1
+	} else {
+		raw := make([]byte, 4*t.NumElements())
+		for i, v := range t.Floats() {
+			binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+		}
+		c.model.Buffers = append(c.model.Buffers, raw)
+		idx = c.addTensor(n.Name(), t.Shape(), len(c.model.Buffers)-1, 0)
+	}
+	c.tensorOf[n] = idx
+	return idx, nil
+}
+
+func (c *converter) emit(n *tf.Node) (int, error) {
+	if idx, ok := c.tensorOf[n]; ok {
+		return idx, nil
+	}
+	var idx int
+	var err error
+	switch {
+	case n.Op() == tf.OpConst:
+		return c.addConst(n)
+	case n.Op() == tf.OpRelu && c.fusable(n.Inputs()[0], tf.OpBiasAdd):
+		idx, err = c.emitLinear(n, n.Inputs()[0].Inputs()[0], n.Inputs()[0].Inputs()[1], ActRelu)
+	case n.Op() == tf.OpRelu && c.fusable(n.Inputs()[0], tf.OpMatMul, tf.OpConv2D):
+		idx, err = c.emitLinear(n, n.Inputs()[0], nil, ActRelu)
+	case n.Op() == tf.OpBiasAdd && c.fusable(n.Inputs()[0], tf.OpMatMul, tf.OpConv2D):
+		idx, err = c.emitLinear(n, n.Inputs()[0], n.Inputs()[1], ActNone)
+	case n.Op() == tf.OpMatMul || n.Op() == tf.OpConv2D:
+		idx, err = c.emitLinear(n, n, nil, ActNone)
+	case n.Op() == tf.OpRelu:
+		idx, err = c.emitSimple(n, OpRelu, n.Inputs()[0])
+	case n.Op() == tf.OpSoftmax:
+		idx, err = c.emitSimple(n, OpSoftmax, n.Inputs()[0])
+	case n.Op() == tf.OpMaxPool, n.Op() == tf.OpAvgPool:
+		idx, err = c.emitPool(n)
+	case n.Op() == tf.OpReshape:
+		idx, err = c.emitReshape(n)
+	case n.Op() == tf.OpDropout:
+		// Inference identity: reuse the input tensor.
+		return c.emit(n.Inputs()[0])
+	case n.Op() == tf.OpAdd:
+		idx, err = c.emitAdd(n)
+	case n.Op() == tf.OpArgMax:
+		idx, err = c.emitSimple(n, OpArgMax, n.Inputs()[0])
+	case n.Op() == tf.OpPlaceholder:
+		return 0, fmt.Errorf("tflite: placeholder %q not declared as an input", n.Name())
+	default:
+		return 0, fmt.Errorf("tflite: unsupported op %s (node %q)", n.Op(), n.Name())
+	}
+	if err != nil {
+		return 0, err
+	}
+	c.tensorOf[n] = idx
+	return idx, nil
+}
+
+// fusable reports whether inner is one of the given ops and is consumed
+// only by the node being fused (so folding it away is safe). For BiasAdd
+// chains the MatMul/Conv2D below must also be single-consumer.
+func (c *converter) fusable(inner *tf.Node, ops ...string) bool {
+	if c.consumers[inner] != 1 {
+		return false
+	}
+	for _, op := range ops {
+		if inner.Op() == op {
+			if op == tf.OpBiasAdd {
+				lin := inner.Inputs()[0]
+				return c.consumers[lin] == 1 && (lin.Op() == tf.OpMatMul || lin.Op() == tf.OpConv2D)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// emitLinear emits a FullyConnected or fused Conv2D. outNode is the
+// outermost node of the fused chain; lin is the MatMul/Conv2D; bias may
+// be nil.
+func (c *converter) emitLinear(outNode, lin *tf.Node, bias *tf.Node, act Activation) (int, error) {
+	xIdx, err := c.emit(lin.Inputs()[0])
+	if err != nil {
+		return 0, err
+	}
+	wIdx, err := c.addConst(lin.Inputs()[1])
+	if err != nil {
+		return 0, fmt.Errorf("tflite: weights of %q: %w", lin.Name(), err)
+	}
+	inputs := []int{xIdx, wIdx}
+	if bias != nil {
+		bIdx, err := c.addConst(bias)
+		if err != nil {
+			return 0, fmt.Errorf("tflite: bias of %q: %w", outNode.Name(), err)
+		}
+		inputs = append(inputs, bIdx)
+	}
+	outIdx := c.addTensor(outNode.Name(), outNode.Shape(), -1, 0)
+	op := OpSpec{
+		Inputs:     inputs,
+		Outputs:    []int{outIdx},
+		Activation: act,
+		CostScale:  lin.CostScale(),
+	}
+	if lin.Op() == tf.OpMatMul {
+		op.Code = OpFullyConnected
+	} else {
+		op.Code = OpConv2D
+		op.Stride = int(lin.AttrInt("stride", 1))
+		if lin.AttrString("padding", tf.PaddingValid) == tf.PaddingSame {
+			op.Padding = PadSame
+		}
+	}
+	c.model.Ops = append(c.model.Ops, op)
+	return outIdx, nil
+}
+
+func (c *converter) emitSimple(n *tf.Node, code OpCode, input *tf.Node) (int, error) {
+	xIdx, err := c.emit(input)
+	if err != nil {
+		return 0, err
+	}
+	outIdx := c.addTensor(n.Name(), n.Shape(), -1, 0)
+	c.model.Ops = append(c.model.Ops, OpSpec{
+		Code: code, Inputs: []int{xIdx}, Outputs: []int{outIdx}, CostScale: n.CostScale(),
+	})
+	return outIdx, nil
+}
+
+func (c *converter) emitPool(n *tf.Node) (int, error) {
+	xIdx, err := c.emit(n.Inputs()[0])
+	if err != nil {
+		return 0, err
+	}
+	code := OpMaxPool
+	if n.Op() == tf.OpAvgPool {
+		code = OpAvgPool
+	}
+	outIdx := c.addTensor(n.Name(), n.Shape(), -1, 0)
+	c.model.Ops = append(c.model.Ops, OpSpec{
+		Code:    code,
+		Inputs:  []int{xIdx},
+		Outputs: []int{outIdx},
+		K:       int(n.AttrInt("k", 2)),
+		Stride:  int(n.AttrInt("stride", 2)),
+	})
+	return outIdx, nil
+}
+
+func (c *converter) emitReshape(n *tf.Node) (int, error) {
+	xIdx, err := c.emit(n.Inputs()[0])
+	if err != nil {
+		return 0, err
+	}
+	ints := n.AttrInts("shape")
+	target := make([]int, len(ints))
+	for i, v := range ints {
+		target[i] = int(v)
+	}
+	outIdx := c.addTensor(n.Name(), n.Shape(), -1, 0)
+	c.model.Ops = append(c.model.Ops, OpSpec{
+		Code: OpReshape, Inputs: []int{xIdx}, Outputs: []int{outIdx}, NewShape: target,
+	})
+	return outIdx, nil
+}
+
+func (c *converter) emitAdd(n *tf.Node) (int, error) {
+	aIdx, err := c.emit(n.Inputs()[0])
+	if err != nil {
+		return 0, err
+	}
+	bIdx, err := c.emit(n.Inputs()[1])
+	if err != nil {
+		return 0, err
+	}
+	outIdx := c.addTensor(n.Name(), n.Shape(), -1, 0)
+	c.model.Ops = append(c.model.Ops, OpSpec{
+		Code: OpAdd, Inputs: []int{aIdx, bIdx}, Outputs: []int{outIdx},
+	})
+	return outIdx, nil
+}
+
+// quantizeInt8 performs symmetric per-tensor quantization.
+func quantizeInt8(vals []float32) ([]byte, float64) {
+	var maxAbs float64
+	for _, v := range vals {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	scale := maxAbs / 127
+	out := make([]byte, len(vals))
+	for i, v := range vals {
+		q := math.RoundToEven(float64(v) / scale)
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		out[i] = byte(int8(q))
+	}
+	return out, scale
+}

@@ -1,0 +1,112 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	var c Clock
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got, want := c.Now(), 5*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got, want := c.Now(), time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceToMovesForwardOnly(t *testing.T) {
+	var c Clock
+	c.Advance(10 * time.Millisecond)
+	c.AdvanceTo(5 * time.Millisecond) // behind: no-op
+	if got, want := c.Now(), 10*time.Millisecond; got != want {
+		t.Fatalf("after backwards AdvanceTo: Now() = %v, want %v", got, want)
+	}
+	c.AdvanceTo(25 * time.Millisecond)
+	if got, want := c.Now(), 25*time.Millisecond; got != want {
+		t.Fatalf("after forwards AdvanceTo: Now() = %v, want %v", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Advance(time.Minute)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("after Reset: Now() = %v, want 0", got)
+	}
+}
+
+func TestSpanMeasuresElapsed(t *testing.T) {
+	var c Clock
+	c.Advance(time.Millisecond)
+	sp := c.Start()
+	c.Advance(7 * time.Millisecond)
+	if got, want := sp.Stop(), 7*time.Millisecond; got != want {
+		t.Fatalf("Span = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	var c Clock
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), workers*perWorker*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentAdvanceTo(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 1; i <= 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.AdvanceTo(time.Duration(i) * time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	if got, want := c.Now(), 100*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want max %v", got, want)
+	}
+}
+
+func TestStopwatchVirtual(t *testing.T) {
+	var c Clock
+	sw := NewStopwatch(&c)
+	c.Advance(42 * time.Millisecond)
+	if got, want := sw.Virtual(), 42*time.Millisecond; got != want {
+		t.Fatalf("Virtual() = %v, want %v", got, want)
+	}
+	if sw.Wall() < 0 {
+		t.Fatalf("Wall() negative")
+	}
+}

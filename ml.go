@@ -1,0 +1,433 @@
+package securetf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/securetf/securetf/internal/models"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// Tensor is a dense typed multi-dimensional array.
+type Tensor = tf.Tensor
+
+// Shape is a tensor shape (row-major dimensions).
+type Shape = tf.Shape
+
+// Graph is a TensorFlow-style static dataflow graph.
+type Graph = tf.Graph
+
+// Node is one operation instance in a Graph.
+type Node = tf.Node
+
+// Tensor constructors, re-exported from the engine.
+var (
+	// TensorFromFloats builds a Float32 tensor from a flat slice.
+	TensorFromFloats = tf.FromFloats
+	// TensorFromInts builds an Int32 tensor from a flat slice.
+	TensorFromInts = tf.FromInts
+	// OneHot encodes integer labels as a [len(labels), depth] one-hot
+	// Float32 tensor.
+	OneHot = tf.OneHot
+	// RandNormal draws a deterministic pseudo-normal tensor.
+	RandNormal = tf.RandNormal
+	// Fill builds a tensor of one repeated value.
+	Fill = tf.Fill
+	// Scalar builds a zero-dimensional tensor.
+	Scalar = tf.Scalar
+	// EncodeTensor serializes a tensor to its wire format (parameter
+	// exchange, checkpoints).
+	EncodeTensor = tf.EncodeTensor
+	// DecodeTensor parses a tensor from its wire format.
+	DecodeTensor = tf.DecodeTensor
+)
+
+// SliceRows returns rows [lo, hi) of a tensor's leading dimension as a
+// new tensor (minibatching helper).
+func SliceRows(t *Tensor, lo, hi int) (*Tensor, error) {
+	shape := t.Shape()
+	if len(shape) == 0 {
+		return nil, errors.New("securetf: cannot slice a scalar")
+	}
+	if lo < 0 || hi > shape[0] || lo >= hi {
+		return nil, fmt.Errorf("securetf: slice [%d, %d) out of range for leading dimension %d", lo, hi, shape[0])
+	}
+	rowElems := 1
+	for _, d := range shape[1:] {
+		rowElems *= d
+	}
+	newShape := append(Shape{hi - lo}, shape[1:]...)
+	switch t.DType() {
+	case tf.Float32:
+		return tf.FromFloats(newShape, t.Floats()[lo*rowElems:hi*rowElems])
+	case tf.Int32:
+		return tf.FromInts(newShape, t.Ints()[lo*rowElems:hi*rowElems])
+	default:
+		return nil, fmt.Errorf("securetf: slice of unsupported dtype %v", t.DType())
+	}
+}
+
+// Optimizer updates model variables from gradients. The concrete types
+// are SGD, Momentum and Adam.
+type (
+	// Optimizer is the update rule interface.
+	Optimizer = tf.Optimizer
+	// SGD is plain stochastic gradient descent.
+	SGD = tf.SGD
+	// Momentum is SGD with classical momentum.
+	Momentum = tf.Momentum
+	// Adam is the Adam optimizer.
+	Adam = tf.Adam
+)
+
+// Model bundles the standard node set of a trainable classification
+// model (placeholders, logits, loss, predictions, accuracy).
+type Model = models.Handles
+
+// NewMNISTCNN builds the small convolutional MNIST classifier used in
+// the paper's §5.4 distributed-training experiment. The same seed
+// produces identical initial weights — required for data-parallel
+// replicas.
+func NewMNISTCNN(seed int64) Model { return models.MNISTCNN(seed) }
+
+// NewMNISTMLP builds a two-layer perceptron MNIST classifier.
+func NewMNISTMLP(seed int64) Model { return models.MNISTMLP(seed) }
+
+// NewCIFARCNN builds a convolutional CIFAR-10 classifier.
+func NewCIFARCNN(seed int64) Model { return models.CIFARCNN(seed) }
+
+// ModelSpec describes a pre-trained network by the two properties the
+// paper's inference experiments depend on: on-disk byte size (enclave
+// memory pressure) and per-image forward FLOPs (base latency).
+type ModelSpec = models.InferenceSpec
+
+// PaperModels returns the three networks of Figures 5 and 6: Densenet
+// (42 MB), Inception-v3 (91 MB) and Inception-v4 (163 MB).
+func PaperModels() []ModelSpec { return models.PaperModels() }
+
+// BuildInferenceModel synthesizes a Lite model matching a spec's size
+// and FLOPs (the stand-in for downloading pre-trained weights).
+func BuildInferenceModel(spec ModelSpec) *LiteModel { return models.BuildInferenceModel(spec) }
+
+// BuildQuantizedInferenceModel synthesizes the spec's network with int8
+// weight quantization (§7.2 model optimization), shrinking the enclave
+// working set ~4×.
+func BuildQuantizedInferenceModel(spec ModelSpec) (*LiteModel, error) {
+	return models.BuildQuantizedInferenceModel(spec)
+}
+
+// RandomImageInput builds a deterministic input batch for a spec.
+func RandomImageInput(spec ModelSpec, batch int, seed int64) *Tensor {
+	return models.RandomImageInput(spec, batch, seed)
+}
+
+// TrainConfig configures a training run.
+type TrainConfig struct {
+	// Container hosts the computation; its device charges the enclave
+	// cost model. Nil trains unmetered on the local process (tests).
+	Container *Container
+	// Model is the trainable model. Required.
+	Model Model
+	// XS and YS are the training inputs and one-hot labels. Required.
+	XS, YS *Tensor
+	// BatchSize is the minibatch size (the paper uses 100). Required.
+	BatchSize int
+	// Steps is the number of minibatch steps. Required.
+	Steps int
+	// Optimizer defaults to SGD with the paper's learning rate 0.0005.
+	Optimizer Optimizer
+	// Threads bounds compute parallelism (0 uses the container default).
+	Threads int
+	// Seed seeds variable initialization.
+	Seed int64
+	// Log, when set, receives one line per step.
+	Log io.Writer
+}
+
+// TrainedModel is a model with a live session: variable state that can
+// be trained, evaluated, snapshotted, frozen and exchanged.
+type TrainedModel struct {
+	sess    *tf.Session
+	model   Model
+	trainOp *tf.Node
+	log     io.Writer
+	loss    float64
+}
+
+// OpenModel wraps a model in a live session without training it —
+// install weights with SetVariables or RestoreCheckpoint, evaluate with
+// Accuracy, or train with TrainMore. A nil optimizer defaults to SGD
+// with the paper's learning rate 0.0005; a nil container runs unmetered
+// on the local process. Each Model value may be opened at most once
+// (opening adds the optimizer's update operations to its graph).
+func OpenModel(c *Container, model Model, opt Optimizer, threads int, seed int64) (*TrainedModel, error) {
+	if model.Graph == nil {
+		return nil, errors.New("securetf: OpenModel requires a model")
+	}
+	if opt == nil {
+		opt = SGD{LR: 0.0005}
+	}
+	trainOp, err := tf.Minimize(model.Graph, opt, model.Loss)
+	if err != nil {
+		return nil, fmt.Errorf("securetf: build train op: %w", err)
+	}
+	sessOpts := []tf.SessionOption{tf.WithSeed(seed)}
+	if c != nil {
+		sessOpts = append(sessOpts, tf.WithDevice(c.Device(threads)))
+	}
+	return &TrainedModel{
+		sess:    tf.NewSession(model.Graph, sessOpts...),
+		model:   model,
+		trainOp: trainOp,
+	}, nil
+}
+
+// Train opens a model and runs minibatch training — the one-call form of
+// OpenModel followed by TrainMore. Training is a real computation: the
+// loss genuinely decreases on learnable data.
+func Train(cfg TrainConfig) (*TrainedModel, error) {
+	if cfg.XS == nil || cfg.YS == nil {
+		return nil, errors.New("securetf: TrainConfig.XS and YS are required")
+	}
+	if cfg.BatchSize <= 0 || cfg.Steps <= 0 {
+		return nil, errors.New("securetf: TrainConfig.BatchSize and Steps must be positive")
+	}
+	tm, err := OpenModel(cfg.Container, cfg.Model, cfg.Optimizer, cfg.Threads, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tm.log = cfg.Log
+	if err := tm.TrainMore(cfg.XS, cfg.YS, cfg.BatchSize, cfg.Steps); err != nil {
+		tm.Close()
+		return nil, err
+	}
+	return tm, nil
+}
+
+// TrainMore runs additional minibatch steps on the live session,
+// continuing from the current variable state (federated rounds, warm
+// restarts).
+func (m *TrainedModel) TrainMore(xs, ys *Tensor, batchSize, steps int) error {
+	if xs == nil || ys == nil {
+		return errors.New("securetf: TrainMore requires inputs and labels")
+	}
+	if batchSize <= 0 || steps <= 0 {
+		return errors.New("securetf: TrainMore batch size and steps must be positive")
+	}
+	n := xs.Shape()[0]
+	for step := 0; step < steps; step++ {
+		lo := (step * batchSize) % n
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		bx, err := SliceRows(xs, lo, hi)
+		if err != nil {
+			return fmt.Errorf("securetf: slice inputs: %w", err)
+		}
+		by, err := SliceRows(ys, lo, hi)
+		if err != nil {
+			return fmt.Errorf("securetf: slice labels: %w", err)
+		}
+		out, err := m.sess.Run(tf.Feeds{m.model.X: bx, m.model.Y: by},
+			[]*tf.Node{m.model.Loss, m.trainOp}, tf.Training())
+		if err != nil {
+			return fmt.Errorf("securetf: training step %d: %w", step, err)
+		}
+		m.loss = float64(out[0].Floats()[0])
+		if m.log != nil {
+			fmt.Fprintf(m.log, "step %4d loss %.4f\n", step, m.loss)
+		}
+	}
+	return nil
+}
+
+// LastLoss returns the loss of the final training step.
+func (m *TrainedModel) LastLoss() float64 { return m.loss }
+
+// Accuracy evaluates classification accuracy on a labelled set.
+func (m *TrainedModel) Accuracy(xs, ys *Tensor) (float64, error) {
+	out, err := m.sess.Run(tf.Feeds{m.model.X: xs, m.model.Y: ys}, []*tf.Node{m.model.Accuracy})
+	if err != nil {
+		return 0, fmt.Errorf("securetf: evaluate: %w", err)
+	}
+	return float64(out[0].Floats()[0]), nil
+}
+
+// Variables snapshots the current variable values by name (federated
+// learning shares these instead of raw data).
+func (m *TrainedModel) Variables() (map[string]*Tensor, error) {
+	vars := make(map[string]*Tensor)
+	for _, name := range m.sess.VariableNames() {
+		v, err := m.sess.Variable(name)
+		if err != nil {
+			return nil, err
+		}
+		vars[name] = v
+	}
+	return vars, nil
+}
+
+// SetVariables overwrites variable values by name (installing an
+// aggregated federated model, or parameters pulled from a server).
+func (m *TrainedModel) SetVariables(vars map[string]*Tensor) error {
+	for name, v := range vars {
+		if err := m.sess.SetVariable(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint serializes the variable state (the paper's §4.1 checkpoint
+// files).
+func (m *TrainedModel) Checkpoint() []byte { return tf.SaveCheckpoint(m.sess) }
+
+// RestoreCheckpoint loads variable state saved by Checkpoint.
+func (m *TrainedModel) RestoreCheckpoint(data []byte) error {
+	return tf.RestoreCheckpoint(m.sess, data)
+}
+
+// Freeze folds the variables into constants and returns the frozen
+// inference graph (the paper's §4.1 frozen-graph workflow).
+func (m *TrainedModel) Freeze() (*FrozenModel, error) {
+	g, x, logits, err := models.FreezeForInference(m.model, m.sess)
+	if err != nil {
+		return nil, fmt.Errorf("securetf: freeze: %w", err)
+	}
+	return &FrozenModel{Graph: g, Input: x, Output: logits}, nil
+}
+
+// Close releases the session.
+func (m *TrainedModel) Close() { m.sess.Close() }
+
+// FrozenModel is a frozen inference graph with its I/O nodes.
+type FrozenModel struct {
+	Graph  *Graph
+	Input  *Node
+	Output *Node
+}
+
+// Marshal serializes the frozen graph with its interface (the Protocol
+// Buffers exchange-format role of the paper's §4.1).
+func (f *FrozenModel) Marshal() ([]byte, error) {
+	data, err := tf.MarshalGraph(f.Graph)
+	if err != nil {
+		return nil, err
+	}
+	header := fmt.Sprintf("%s\x00%s\x00", f.Input.Name(), f.Output.Name())
+	return append([]byte(header), data...), nil
+}
+
+// UnmarshalFrozenModel parses a frozen model saved by Marshal.
+func UnmarshalFrozenModel(data []byte) (*FrozenModel, error) {
+	var input, output string
+	for i := 0; i < 2; i++ {
+		j := -1
+		for k, b := range data {
+			if b == 0 {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return nil, errors.New("securetf: truncated frozen model header")
+		}
+		if i == 0 {
+			input = string(data[:j])
+		} else {
+			output = string(data[:j])
+		}
+		data = data[j+1:]
+	}
+	g, err := tf.UnmarshalGraph(data)
+	if err != nil {
+		return nil, fmt.Errorf("securetf: unmarshal frozen graph: %w", err)
+	}
+	in, out := g.Node(input), g.Node(output)
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("securetf: frozen model interface nodes %q/%q not found", input, output)
+	}
+	return &FrozenModel{Graph: g, Input: in, Output: out}, nil
+}
+
+// ConvertOptions configures frozen-graph → Lite conversion.
+type ConvertOptions = tflite.ConvertOptions
+
+// LiteModel is the compact flat inference format (TensorFlow Lite role).
+type LiteModel = tflite.Model
+
+// ConvertToLite converts the frozen graph to the Lite format, running
+// the §7.2 optimizations (pruning, operator fusion, optional int8
+// quantization).
+func (f *FrozenModel) ConvertToLite(opts ConvertOptions) (*LiteModel, error) {
+	m, err := tflite.Convert(f.Graph, []*tf.Node{f.Input}, []*tf.Node{f.Output}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("securetf: convert to lite: %w", err)
+	}
+	return m, nil
+}
+
+// UnmarshalLiteModel parses a Lite model from its wire format.
+func UnmarshalLiteModel(data []byte) (*LiteModel, error) { return tflite.Unmarshal(data) }
+
+// Classifier runs Lite-model inference inside a container.
+type Classifier struct {
+	ip *tflite.Interpreter
+}
+
+// NewClassifier loads a Lite model into an interpreter whose compute and
+// memory traffic are charged to the container's cost model.
+func NewClassifier(c *Container, model *LiteModel, threads int) (*Classifier, error) {
+	var opts []tflite.Option
+	if c != nil {
+		opts = append(opts, tflite.WithDevice(c.Device(threads)))
+	}
+	ip, err := tflite.NewInterpreter(model, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("securetf: new classifier: %w", err)
+	}
+	return &Classifier{ip: ip}, nil
+}
+
+// Run feeds a batch and returns the raw output tensor (class
+// probabilities for the zoo models).
+func (cl *Classifier) Run(batch *Tensor) (*Tensor, error) {
+	if err := cl.ip.SetInput(0, batch); err != nil {
+		return nil, err
+	}
+	if err := cl.ip.Invoke(); err != nil {
+		return nil, err
+	}
+	return cl.ip.Output(0)
+}
+
+// Classify feeds a batch and returns the argmax class per row.
+func (cl *Classifier) Classify(batch *Tensor) ([]int, error) {
+	out, err := cl.Run(batch)
+	if err != nil {
+		return nil, err
+	}
+	shape := out.Shape()
+	if len(shape) != 2 {
+		return nil, fmt.Errorf("securetf: classifier output shape %v is not [batch, classes]", shape)
+	}
+	rows, cols := shape[0], shape[1]
+	classes := make([]int, rows)
+	probs := out.Floats()
+	for r := 0; r < rows; r++ {
+		best, bestV := 0, probs[r*cols]
+		for c := 1; c < cols; c++ {
+			if v := probs[r*cols+c]; v > bestV {
+				best, bestV = c, v
+			}
+		}
+		classes[r] = best
+	}
+	return classes, nil
+}
+
+// Close releases the interpreter.
+func (cl *Classifier) Close() { cl.ip.Close() }

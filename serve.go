@@ -1,0 +1,24 @@
+package securetf
+
+import "github.com/securetf/securetf/internal/core"
+
+// InferenceService is the paper's §4.2 classifier service: it takes
+// classification requests over the network (through the network shield
+// when the container is provisioned) and answers with TensorFlow Lite.
+type InferenceService = core.InferenceService
+
+// InferenceClient talks to an InferenceService.
+type InferenceClient = core.InferenceClient
+
+// ServeInference loads a Lite model and serves classification requests
+// on addr through the container's (possibly shielded) listener.
+func ServeInference(c *Container, model *LiteModel, addr string, threads int) (*InferenceService, error) {
+	return core.NewInferenceService(c, model, addr, threads)
+}
+
+// DialInference connects a container to an inference service, using the
+// container's shielded dial when the network shield is provisioned.
+// serverName must match the service identity issued by the CAS.
+func DialInference(c *Container, addr, serverName string) (*InferenceClient, error) {
+	return core.NewInferenceClient(c, addr, serverName)
+}
