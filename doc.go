@@ -41,6 +41,18 @@
 //	classifier, _ := securetf.NewClassifier(container, lite, 1)
 //	classes, _ := classifier.Classify(batch)
 //
+// Distributed training (§5.4) follows the classic TF1 between-graph
+// data-parallel architecture: StartParameterServer seeds a parameter
+// server with InitialVariables(model), and StartTrainingWorker connects
+// worker replicas that pull parameters, compute gradients on their
+// private shard and push them back each synchronous round. Connections
+// dial through the container, so the network shield's TLS wraps the
+// parameter traffic exactly as in the paper's Figure 8 "w/ TLS" series;
+// WithRoundTimeout bounds how long a round may wait on a straggler
+// before aborting (the elasticity concern of §3.2). Workers report
+// their per-phase virtual time (pull / compute / push) in
+// TrainingWorker.LastBreakdown.
+//
 // All enclave costs (EPC paging, transitions, crypto, WAN round trips)
 // are charged to a per-platform virtual clock, so programs built on this
 // package are deterministic and fast while preserving the performance

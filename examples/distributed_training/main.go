@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	securetf "github.com/securetf/securetf"
 )
@@ -104,9 +105,13 @@ func run() error {
 	}
 
 	// --- Parameter server. ---
+	// WithRoundTimeout bounds how long a synchronous round may wait on a
+	// straggler (§3.2 fault tolerance): if a worker dies mid-round the
+	// survivors get an error instead of hanging forever.
 	ref := securetf.NewMNISTCNN(1)
 	ps, addr, err := securetf.StartParameterServer(
-		nodes[0].container, "127.0.0.1:0", securetf.InitialVariables(ref), workers, lr)
+		nodes[0].container, "127.0.0.1:0", securetf.InitialVariables(ref), workers, lr,
+		securetf.WithRoundTimeout(30*time.Second))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module github.com/securetf/securetf
+
+go 1.24

@@ -14,7 +14,9 @@ type sysConn struct {
 func (c *sysConn) Read(p []byte) (int, error) {
 	var n int
 	var err error
-	c.rt.Syscall(func() { n, err = c.Conn.Read(p) })
+	// Reads park until the peer sends; keep them out of the request
+	// ring so they cannot starve other threads' syscalls.
+	c.rt.BlockingSyscall(func() { n, err = c.Conn.Read(p) })
 	c.rt.CopyIn(n)
 	return n, err
 }
@@ -42,7 +44,8 @@ type sysListener struct {
 func (l *sysListener) Accept() (net.Conn, error) {
 	var conn net.Conn
 	var err error
-	l.rt.Syscall(func() { conn, err = l.Listener.Accept() })
+	// Accept parks until a client dials; same reasoning as Read.
+	l.rt.BlockingSyscall(func() { conn, err = l.Listener.Accept() })
 	if err != nil {
 		return nil, err
 	}

@@ -116,6 +116,18 @@ func (r *Runtime) Syscall(fn func()) {
 	r.queue.Do(fn)
 }
 
+// BlockingSyscall submits a request that may park indefinitely — a
+// socket read with no data, a listener accept with no client. SCONE
+// parks those on the network poller, not in the bounded request ring:
+// a ring slot held for an unbounded wait would starve every other
+// thread's syscalls (and deadlock outright when a server and its
+// client share one runtime). The submission cost is charged exactly
+// like Syscall; only the wait happens outside the ring.
+func (r *Runtime) BlockingSyscall(fn func()) {
+	r.enclave.AsyncSyscall()
+	fn()
+}
+
 // CopyIn charges the cost of moving n bytes across the enclave boundary
 // into protected memory (syscall results are copied and sanity-checked).
 // The evaluated SCONE version suffered a scheduling pathology on the SIM

@@ -1,0 +1,68 @@
+// Package dist implements the distributed training architecture of the
+// paper's §5.4: synchronous between-graph data-parallel SGD with a
+// parameter server, the classic TF1 deployment secureTF runs inside SGX
+// enclaves.
+//
+// A ParameterServer owns the authoritative variable values and applies
+// synchronously averaged gradients; Workers hold a full model replica
+// each, train on private data shards and exchange parameters and
+// gradients over a length-prefixed wire protocol on ordinary net.Conn
+// values. Callers supply the listener and dial function, so connections
+// go through the container's network shield and Figure 8's "w/ TLS"
+// series exercises exactly the paper's setup.
+//
+// Every message carries the sender's virtual-time stamp; the receiver
+// advances its own clock to the stamp plus half a LAN round trip
+// (conservative causal sync, the same convention as the CAS protocol).
+// Because the parameter server only commits a round after receiving all
+// workers' pushes, its clock is causally behind no worker and therefore
+// carries the end-to-end training latency.
+package dist
+
+import (
+	"time"
+
+	"github.com/securetf/securetf/internal/tf"
+)
+
+// Model is a worker's local replica: the graph plus the node handles the
+// training loop needs. Build every replica from the same seed so its
+// initial variables match the state the parameter server was seeded
+// with.
+type Model struct {
+	Graph *tf.Graph
+	// X and Y are the input and one-hot label placeholders.
+	X, Y *tf.Node
+	// Loss is the scalar training loss.
+	Loss *tf.Node
+	// Logits is the pre-softmax output (optional; not used by the
+	// training loop itself but part of the standard replica handle set).
+	Logits *tf.Node
+}
+
+// InitialVars extracts the declared initial values of every variable in
+// g — the state a parameter server is seeded with. The result is a
+// fresh copy; mutating it does not affect the graph.
+func InitialVars(g *tf.Graph) map[string]*tf.Tensor {
+	out := make(map[string]*tf.Tensor)
+	if g == nil {
+		return out
+	}
+	for _, v := range g.Variables() {
+		if init := v.ConstValue(); init != nil {
+			out[v.Name()] = init
+		}
+	}
+	return out
+}
+
+// Breakdown is the per-phase virtual time of one synchronous training
+// step, the decomposition Figure 8's analysis talks about: Pull is
+// fetching current parameters from the PS, Compute the local
+// forward/backward pass, and Push sending gradients and blocking on the
+// round barrier.
+type Breakdown struct {
+	Pull    time.Duration
+	Compute time.Duration
+	Push    time.Duration
+}

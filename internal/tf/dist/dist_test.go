@@ -1,0 +1,382 @@
+package dist
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/securetf/securetf/internal/device"
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// tinyModel builds a deterministic linear softmax classifier
+// ([n,4] → [n,3]) small enough for fast protocol tests.
+func tinyModel(seed int64) Model {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float32, tf.Shape{-1, 4})
+	y := g.Placeholder("y", tf.Float32, tf.Shape{-1, 3})
+	w := g.Variable("w", tf.GlorotUniform(tf.Shape{4, 3}, 4, 3, seed))
+	b := g.Variable("b", tf.NewTensor(tf.Float32, tf.Shape{3}))
+	logits := g.BiasAdd(g.MatMul(x, w), b)
+	loss := g.ReduceMean(g.SoftmaxCrossEntropy(logits, y))
+	return Model{Graph: g, X: x, Y: y, Loss: loss, Logits: logits}
+}
+
+// tinyShard builds a learnable shard: class = argmax of the first three
+// input features.
+func tinyShard(n int, seed int64) (*tf.Tensor, *tf.Tensor) {
+	xs := tf.RandNormal(tf.Shape{n, 4}, 0.5, seed)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		labels[i] = cls
+		xs.Floats()[i*4+cls] += 2
+	}
+	return xs, tf.OneHot(labels, 3)
+}
+
+func newTestPS(t *testing.T, workers int, opts func(*PSConfig)) (*ParameterServer, string, *vtime.Clock) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &vtime.Clock{}
+	cfg := PSConfig{
+		Listener: ln,
+		Vars:     InitialVars(tinyModel(7).Graph),
+		Workers:  workers,
+		LR:       0.5,
+		Clock:    clock,
+		Params:   sgx.DefaultParams(),
+	}
+	if opts != nil {
+		opts(&cfg)
+	}
+	ps, err := NewParameterServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ps.Close() })
+	return ps, ln.Addr().String(), clock
+}
+
+func newTestWorker(t *testing.T, id int, addr string) (*Worker, *vtime.Clock) {
+	t.Helper()
+	params := sgx.DefaultParams()
+	clock := &vtime.Clock{}
+	xs, ys := tinyShard(30, int64(100+id))
+	w, err := NewWorker(WorkerConfig{
+		ID:        id,
+		Addr:      addr,
+		Model:     tinyModel(7),
+		XS:        xs,
+		YS:        ys,
+		BatchSize: 10,
+		Device:    device.NewCPU("w", params, clock, 1, 1.0),
+		Clock:     clock,
+		Params:    params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, clock
+}
+
+// TestInitialVarsDeterministic checks that replicas built from the same
+// seed produce identical initial variables — the invariant that lets
+// the PS be seeded from any replica.
+func TestInitialVarsDeterministic(t *testing.T) {
+	a := InitialVars(tinyModel(3).Graph)
+	b := InitialVars(tinyModel(3).Graph)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("expected 2 variables, got %d and %d", len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			t.Fatalf("variable %q missing from second replica", name)
+		}
+		if !tf.AllClose(av, bv, 0) {
+			t.Fatalf("variable %q differs across replicas built from the same seed", name)
+		}
+	}
+	c := InitialVars(tinyModel(4).Graph)
+	if tf.AllClose(a["w"], c["w"], 0) {
+		t.Fatal("different seeds produced identical weights")
+	}
+	// The extracted state is a copy: mutating it must not corrupt the
+	// graph's declared initials.
+	a["w"].Floats()[0] += 100
+	if tf.AllClose(a["w"], InitialVars(tinyModel(3).Graph)["w"], 0) {
+		t.Fatal("InitialVars returned a live reference to graph state")
+	}
+}
+
+// TestRoundAccounting trains two workers for several synchronous rounds
+// and checks the PS's round counter, variable movement, loss sanity and
+// the per-phase breakdown under the virtual clock.
+func TestRoundAccounting(t *testing.T) {
+	const workers, steps = 2, 4
+	var applied int64
+	ps, addr, psClock := newTestPS(t, workers, func(cfg *PSConfig) {
+		cfg.ApplyMeter = func(flops, bytes int64) { applied += flops }
+	})
+	before := ps.Vars()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	ws := make([]*Worker, workers)
+	for id := 0; id < workers; id++ {
+		ws[id], _ = newTestWorker(t, id, addr)
+	}
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = ws[id].RunSteps(steps)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+
+	if got := ps.Rounds(); got != steps {
+		t.Fatalf("Rounds() = %d, want %d", got, steps)
+	}
+	if applied == 0 {
+		t.Fatal("ApplyMeter was never charged")
+	}
+	after := ps.Vars()
+	if tf.AllClose(before["w"], after["w"], 1e-9) {
+		t.Fatal("variables did not move after committed rounds")
+	}
+	if psClock.Now() == 0 {
+		t.Fatal("PS clock did not advance")
+	}
+	for id, w := range ws {
+		if w.LastLoss <= 0 || w.LastLoss > 10 {
+			t.Fatalf("worker %d loss %v out of range", id, w.LastLoss)
+		}
+		b := w.LastBreakdown
+		if b.Pull <= 0 || b.Compute <= 0 || b.Push <= 0 {
+			t.Fatalf("worker %d breakdown has a zero phase: %+v", id, b)
+		}
+	}
+}
+
+// TestStragglerBlocks checks the barrier: with a two-worker round, the
+// first pusher stays blocked until the straggler contributes, then both
+// release.
+func TestStragglerBlocks(t *testing.T) {
+	ps, addr, _ := newTestPS(t, 2, nil)
+	fast, _ := newTestWorker(t, 0, addr)
+	slow, _ := newTestWorker(t, 1, addr)
+
+	done := make(chan error, 1)
+	go func() { done <- fast.Step() }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("fast worker released before the straggler pushed (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+		// Still blocked on the barrier, as required.
+	}
+	if ps.Rounds() != 0 {
+		t.Fatalf("round committed with one of two pushes: Rounds() = %d", ps.Rounds())
+	}
+
+	if err := slow.Step(); err != nil {
+		t.Fatalf("straggler step: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fast worker step: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fast worker still blocked after the barrier released")
+	}
+	if ps.Rounds() != 1 {
+		t.Fatalf("Rounds() = %d after one complete round", ps.Rounds())
+	}
+}
+
+// TestRoundTimeoutAborts checks §3.2 fault tolerance: when a worker of
+// the round never pushes, the blocked worker receives an error once
+// RoundTimeout elapses instead of hanging, and the partial round leaves
+// no trace on the variables.
+func TestRoundTimeoutAborts(t *testing.T) {
+	ps, addr, _ := newTestPS(t, 2, func(cfg *PSConfig) {
+		cfg.RoundTimeout = 150 * time.Millisecond
+	})
+	before := ps.Vars()
+	w, _ := newTestWorker(t, 0, addr)
+
+	done := make(chan error, 1)
+	go func() { done <- w.Step() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("incomplete round committed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker hung past RoundTimeout")
+	}
+	if ps.Rounds() != 0 {
+		t.Fatalf("aborted round was counted: Rounds() = %d", ps.Rounds())
+	}
+	if !tf.AllClose(before["w"], ps.Vars()["w"], 0) {
+		t.Fatal("aborted round mutated the variables")
+	}
+}
+
+// TestLateStragglerRejected checks that a push for a round that already
+// aborted gets an immediate error instead of silently seeding the next
+// round with a gradient computed against stale parameters.
+func TestLateStragglerRejected(t *testing.T) {
+	ps, addr, _ := newTestPS(t, 2, func(cfg *PSConfig) {
+		cfg.RoundTimeout = 100 * time.Millisecond
+	})
+	w0, _ := newTestWorker(t, 0, addr)
+	w1, _ := newTestWorker(t, 1, addr)
+
+	// w1 pulls (learning the current round generation) but stalls
+	// before pushing; w0 runs a full step and gets the timeout abort.
+	if err := w1.pull(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.Step(); err == nil {
+		t.Fatal("w0 step committed with an absent straggler")
+	}
+
+	// w1 finally computes and pushes its stale-round gradient: it must
+	// be rejected immediately, not block as the seed of a fresh round.
+	_, grads, err := w1.compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = w1.pushGrads(grads)
+	if err == nil {
+		t.Fatal("stale push accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("stale push blocked for %v instead of failing fast", elapsed)
+	}
+	if ps.Rounds() != 0 {
+		t.Fatalf("Rounds() = %d after only aborted rounds", ps.Rounds())
+	}
+}
+
+// TestCorruptFrameRejected checks that a frame with an absurd variable
+// count is rejected during decode instead of driving a huge allocation.
+func TestCorruptFrameRejected(t *testing.T) {
+	m := &message{Kind: msgPush, Vars: map[string]*tf.Tensor{"w": tf.Fill(tf.Shape{2}, 1)}}
+	payload := m.encode()
+	// The Vars count sits right after kind(1) + stamp(8) + worker(4) +
+	// round(8) + ok(1) + err string(4+0).
+	off := 1 + 8 + 4 + 8 + 1 + 4
+	payload[off], payload[off+1], payload[off+2], payload[off+3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := decode(payload); err == nil {
+		t.Fatal("corrupt variable count accepted")
+	}
+}
+
+// TestPushValidation checks that a malformed gradient push is rejected
+// with an error instead of poisoning the round.
+func TestPushValidation(t *testing.T) {
+	_, addr, _ := newTestPS(t, 1, nil)
+	params := sgx.DefaultParams()
+	clock := &vtime.Clock{}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bogus := map[string]*tf.Tensor{"no-such-var": tf.Fill(tf.Shape{2}, 1)}
+	if err := send(conn, clock, params, &message{Kind: msgPush, Vars: bogus}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := receive(conn, clock, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Err == "" {
+		t.Fatalf("push of unknown variable was accepted: %+v", resp)
+	}
+}
+
+// TestCloseReleasesBlockedWorkers checks that Close does not strand a
+// worker mid-barrier.
+func TestCloseReleasesBlockedWorkers(t *testing.T) {
+	ps, addr, _ := newTestPS(t, 2, nil)
+	w, _ := newTestWorker(t, 0, addr)
+	done := make(chan error, 1)
+	go func() { done <- w.Step() }()
+	time.Sleep(50 * time.Millisecond)
+	ps.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("step succeeded against a closed parameter server")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker still blocked after Close")
+	}
+}
+
+// TestWorkerConfigValidation spot-checks the constructor guards.
+func TestWorkerConfigValidation(t *testing.T) {
+	xs, ys := tinyShard(10, 1)
+	bad := []WorkerConfig{
+		{Addr: "x", XS: xs, YS: ys, BatchSize: 5},                     // no model
+		{Addr: "x", Model: tinyModel(1), BatchSize: 5},                // no shard
+		{Addr: "x", Model: tinyModel(1), XS: xs, YS: ys},              // no batch size
+		{Model: tinyModel(1), XS: xs, YS: ys, BatchSize: 5},           // no addr
+		{Addr: "x", Model: tinyModel(1), XS: xs, YS: tf.OneHot([]int{0}, 3), BatchSize: 5}, // shard mismatch
+	}
+	for i, cfg := range bad {
+		if _, err := NewWorker(cfg); err == nil {
+			t.Errorf("case %d: invalid WorkerConfig accepted", i)
+		}
+	}
+	if _, err := NewParameterServer(PSConfig{}); err == nil {
+		t.Error("PSConfig without listener accepted")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := NewParameterServer(PSConfig{Listener: ln, Vars: map[string]*tf.Tensor{}}); err == nil {
+		t.Error("PSConfig without variables accepted")
+	}
+	if _, err := NewParameterServer(PSConfig{Listener: ln, Vars: InitialVars(tinyModel(1).Graph), Workers: 0}); err == nil {
+		t.Error("PSConfig with zero workers accepted")
+	}
+}
+
+// TestLossDecreases trains a single worker for enough rounds to confirm
+// the distributed path genuinely learns.
+func TestLossDecreases(t *testing.T) {
+	_, addr, _ := newTestPS(t, 1, nil)
+	w, _ := newTestWorker(t, 0, addr)
+	if err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	first := w.LastLoss
+	if err := w.RunSteps(30); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastLoss >= first {
+		t.Fatalf("loss did not decrease: first %v, last %v", first, w.LastLoss)
+	}
+}

@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// Message kinds of the parameter-exchange protocol.
+const (
+	msgPull uint8 = iota + 1 // worker → PS: request current variables
+	msgVars                  // PS → worker: variable snapshot
+	msgPush                  // worker → PS: gradient contribution
+	msgAck                   // PS → worker: round committed (or aborted)
+)
+
+// maxFrame bounds protocol frames on the wire (the MNIST CNN's
+// variables are ~2 MB; 1 GiB leaves room for any model the zoo builds).
+const maxFrame = 1 << 30
+
+// message is the decoded form of one protocol frame.
+//
+// Stamp carries the sender's virtual clock (nanoseconds) at send time,
+// after charging wire serialization; the receiver advances to
+// Stamp + LANRTT/2 so virtual time is causally consistent across nodes
+// without a global clock.
+type message struct {
+	Kind   uint8
+	Stamp  int64
+	Worker uint32
+	// Round is the PS's barrier generation: handed out with each
+	// variable snapshot (msgVars) and echoed back on the matching push,
+	// so a straggler's push for a round that has already committed or
+	// aborted is rejected instead of silently seeding the next round
+	// with stale gradients.
+	Round uint64
+	// Vars carries the variable snapshot (msgVars) or the gradient
+	// contribution (msgPush), keyed by variable name.
+	Vars map[string]*tf.Tensor
+	// OK and Err report round commit or abort (msgAck).
+	OK  bool
+	Err string
+}
+
+// encode serializes the message payload (everything after the length
+// prefix).
+func (m *message) encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(m.Kind)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(m.Stamp))
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], m.Worker)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:], m.Round)
+	buf.Write(scratch[:])
+	if m.OK {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	writeString(&buf, m.Err)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(m.Vars)))
+	buf.Write(scratch[:4])
+	// Deterministic iteration is not required on the wire; the decoder
+	// rebuilds the map.
+	for name, t := range m.Vars {
+		writeString(&buf, name)
+		enc := tf.EncodeTensor(t)
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
+		buf.Write(scratch[:4])
+		buf.Write(enc)
+	}
+	return buf.Bytes()
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], uint32(len(s)))
+	buf.Write(scratch[:])
+	buf.WriteString(s)
+}
+
+// decode parses a payload produced by encode.
+func decode(payload []byte) (*message, error) {
+	r := bytes.NewReader(payload)
+	var m message
+	var err error
+	if m.Kind, err = r.ReadByte(); err != nil {
+		return nil, fmt.Errorf("dist: truncated message kind: %w", err)
+	}
+	var u64 uint64
+	if u64, err = readUint(r, 8); err != nil {
+		return nil, err
+	}
+	m.Stamp = int64(u64)
+	if u64, err = readUint(r, 4); err != nil {
+		return nil, err
+	}
+	m.Worker = uint32(u64)
+	if m.Round, err = readUint(r, 8); err != nil {
+		return nil, err
+	}
+	okByte, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dist: truncated ok flag: %w", err)
+	}
+	m.OK = okByte != 0
+	if m.Err, err = readString(r); err != nil {
+		return nil, err
+	}
+	count, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Every entry takes at least its two length prefixes; a count beyond
+	// that is a corrupt frame, not an allocation hint to honour.
+	if count > uint64(r.Len())/8 {
+		return nil, fmt.Errorf("dist: variable count %d exceeds remaining payload", count)
+	}
+	if count > 0 {
+		m.Vars = make(map[string]*tf.Tensor, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		n, err := readUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("dist: tensor %q of %d bytes exceeds remaining payload", name, n)
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, err
+		}
+		t, err := tf.DecodeTensor(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dist: tensor %q: %w", name, err)
+		}
+		m.Vars[name] = t
+	}
+	return &m, nil
+}
+
+func readUint(r *bytes.Reader, width int) (uint64, error) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(r, scratch[:width]); err != nil {
+		return 0, fmt.Errorf("dist: truncated message: %w", err)
+	}
+	if width == 4 {
+		return uint64(binary.LittleEndian.Uint32(scratch[:4])), nil
+	}
+	return binary.LittleEndian.Uint64(scratch[:]), nil
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := readUint(r, 4)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("dist: string of %d bytes exceeds remaining payload", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// send serializes m onto conn as a length-prefixed frame, charging wire
+// serialization to clock and stamping the message with the resulting
+// virtual time. The propagation half-RTT is accounted on the receiving
+// side (AdvanceTo(stamp + LANRTT/2)), matching the CAS convention so
+// latency is never double-counted.
+func send(conn net.Conn, clock *vtime.Clock, params sgx.Params, m *message) error {
+	payload := m.encode()
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds limit", len(payload))
+	}
+	clock.Advance(sgx.TimeAtThroughput(float64(len(payload)+4), params.WireBandwidth))
+	// Stamp after charging serialization; the stamp sits at a fixed
+	// offset right after the kind byte.
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(clock.Now()))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// receive reads one frame from conn and advances clock to the causally
+// consistent time (sender stamp plus half a LAN round trip).
+func receive(conn net.Conn, clock *vtime.Clock, params sgx.Params) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	m, err := decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	clock.AdvanceTo(time.Duration(m.Stamp) + params.LANRTT/2)
+	return m, nil
+}

@@ -1,0 +1,322 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// PSConfig configures a ParameterServer.
+type PSConfig struct {
+	// Listener accepts worker connections. Required; typically a
+	// container listener so the network shield's TLS wraps every
+	// connection. The parameter server owns it and closes it on Close.
+	Listener net.Listener
+	// Vars seeds the authoritative variable state (see InitialVars).
+	// Required and non-empty. The map is deep-copied; callers keep
+	// ownership of their tensors.
+	Vars map[string]*tf.Tensor
+	// Workers is the synchronous round size: a round commits only after
+	// this many gradient pushes. Required, ≥ 1.
+	Workers int
+	// LR is the learning rate applied to averaged gradients.
+	LR float64
+	// Clock is the PS node's virtual clock. Message stamps keep it
+	// causally consistent with every worker, so after training it
+	// carries the end-to-end latency. Defaults to a private clock.
+	Clock *vtime.Clock
+	// Params supplies the cost-model constants (wire bandwidth, LAN
+	// RTT). The zero value falls back to sgx.DefaultParams.
+	Params sgx.Params
+	// RoundTimeout bounds how long a round may stay incomplete after its
+	// first gradient push. When it expires — a worker died or hung, the
+	// elasticity concern of §3.2 — the round aborts and the blocked
+	// workers receive an error instead of hanging forever. Zero disables
+	// the timeout.
+	RoundTimeout time.Duration
+	// ApplyMeter, when set, is charged with the gradient-averaging and
+	// SGD-apply work (FLOPs, bytes) of each committed round, so the PS
+	// node's device sees the same workload shape as the paper's.
+	ApplyMeter func(flops, bytes int64)
+}
+
+// ParameterServer holds the authoritative model variables and applies
+// synchronously averaged gradients, one committed round per Workers
+// pushes.
+type ParameterServer struct {
+	cfg PSConfig
+
+	mu     sync.Mutex
+	vars   map[string]*tf.Tensor
+	rounds int
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	// Per-round barrier state, reset on commit or abort. gen guards the
+	// timeout callback against firing into a later round.
+	sum     map[string]*tf.Tensor
+	pushes  int
+	waiters []chan error
+	timer   *time.Timer
+	gen     uint64
+
+	wg sync.WaitGroup
+}
+
+// errRoundTimeout is what blocked workers receive when a round aborts.
+var errRoundTimeout = errors.New("dist: synchronous round aborted: timeout waiting for all workers")
+
+// NewParameterServer validates cfg, deep-copies the seed variables and
+// starts accepting worker connections.
+func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("dist: PSConfig.Listener is required")
+	}
+	if len(cfg.Vars) == 0 {
+		return nil, errors.New("dist: PSConfig.Vars must be non-empty")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: PSConfig.Workers must be ≥ 1, got %d", cfg.Workers)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &vtime.Clock{}
+	}
+	if cfg.Params.WireBandwidth == 0 {
+		cfg.Params = sgx.DefaultParams()
+	}
+	ps := &ParameterServer{
+		cfg:   cfg,
+		vars:  make(map[string]*tf.Tensor, len(cfg.Vars)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for name, t := range cfg.Vars {
+		if t == nil || t.DType() != tf.Float32 {
+			return nil, fmt.Errorf("dist: variable %q must be a Float32 tensor", name)
+		}
+		ps.vars[name] = t.Clone()
+	}
+	ps.wg.Add(1)
+	go ps.accept()
+	return ps, nil
+}
+
+// Rounds reports how many synchronous rounds have committed.
+func (ps *ParameterServer) Rounds() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.rounds
+}
+
+// Vars returns a snapshot of the current variable values.
+func (ps *ParameterServer) Vars() map[string]*tf.Tensor {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.snapshotLocked()
+}
+
+func (ps *ParameterServer) snapshotLocked() map[string]*tf.Tensor {
+	out := make(map[string]*tf.Tensor, len(ps.vars))
+	for name, t := range ps.vars {
+		out[name] = t.Clone()
+	}
+	return out
+}
+
+// Close stops the server: the listener and all worker connections are
+// closed and any workers blocked on an incomplete round receive an
+// error.
+func (ps *ParameterServer) Close() error {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return nil
+	}
+	ps.closed = true
+	ps.abortLocked(errors.New("dist: parameter server closed"))
+	for conn := range ps.conns {
+		conn.Close()
+	}
+	ps.mu.Unlock()
+	err := ps.cfg.Listener.Close()
+	ps.wg.Wait()
+	return err
+}
+
+func (ps *ParameterServer) accept() {
+	defer ps.wg.Done()
+	for {
+		conn, err := ps.cfg.Listener.Accept()
+		if err != nil {
+			return
+		}
+		ps.mu.Lock()
+		if ps.closed {
+			ps.mu.Unlock()
+			conn.Close()
+			return
+		}
+		ps.conns[conn] = struct{}{}
+		ps.mu.Unlock()
+		ps.wg.Add(1)
+		go ps.serve(conn)
+	}
+}
+
+func (ps *ParameterServer) serve(conn net.Conn) {
+	defer ps.wg.Done()
+	defer func() {
+		conn.Close()
+		ps.mu.Lock()
+		delete(ps.conns, conn)
+		ps.mu.Unlock()
+	}()
+	for {
+		msg, err := receive(conn, ps.cfg.Clock, ps.cfg.Params)
+		if err != nil {
+			return
+		}
+		var resp *message
+		switch msg.Kind {
+		case msgPull:
+			ps.mu.Lock()
+			snapshot := ps.snapshotLocked()
+			gen := ps.gen
+			ps.mu.Unlock()
+			resp = &message{Kind: msgVars, OK: true, Vars: snapshot, Round: gen}
+		case msgPush:
+			resp = &message{Kind: msgAck, OK: true}
+			if err := ps.push(msg); err != nil {
+				resp.OK = false
+				resp.Err = err.Error()
+			}
+		default:
+			resp = &message{Kind: msgAck, Err: fmt.Sprintf("dist: unknown message kind %d", msg.Kind)}
+		}
+		if err := send(conn, ps.cfg.Clock, ps.cfg.Params, resp); err != nil {
+			return
+		}
+	}
+}
+
+// push accumulates one worker's gradients and blocks until the round
+// commits (nil) or aborts (error). It is the synchronization barrier:
+// fast workers wait in here for the stragglers.
+func (ps *ParameterServer) push(msg *message) error {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return errors.New("dist: parameter server closed")
+	}
+	// A push must belong to the barrier generation its parameters were
+	// pulled from. A mismatch means the worker's round has already
+	// committed or aborted while it was computing — its gradient is
+	// against stale parameters and must not seed the next round.
+	if msg.Round != ps.gen {
+		ps.mu.Unlock()
+		return fmt.Errorf("dist: worker %d pushed for round generation %d, current is %d (round committed or aborted)", msg.Worker, msg.Round, ps.gen)
+	}
+	// Validate before accumulating so one malformed push cannot poison
+	// the round for everyone.
+	for name, g := range msg.Vars {
+		v, ok := ps.vars[name]
+		if !ok {
+			ps.mu.Unlock()
+			return fmt.Errorf("dist: worker %d pushed gradient for unknown variable %q", msg.Worker, name)
+		}
+		if g.DType() != tf.Float32 || !g.Shape().Equal(v.Shape()) {
+			ps.mu.Unlock()
+			return fmt.Errorf("dist: worker %d gradient for %q has shape %v, want %v", msg.Worker, name, g.Shape(), v.Shape())
+		}
+	}
+	if ps.sum == nil {
+		ps.sum = make(map[string]*tf.Tensor, len(ps.vars))
+	}
+	for name, g := range msg.Vars {
+		acc, ok := ps.sum[name]
+		if !ok {
+			ps.sum[name] = g.Clone()
+			continue
+		}
+		dst, src := acc.Floats(), g.Floats()
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	ps.pushes++
+	ch := make(chan error, 1)
+	ps.waiters = append(ps.waiters, ch)
+	if ps.pushes == 1 && ps.cfg.RoundTimeout > 0 {
+		gen := ps.gen
+		ps.timer = time.AfterFunc(ps.cfg.RoundTimeout, func() { ps.timeout(gen) })
+	}
+	if ps.pushes >= ps.cfg.Workers {
+		ps.commitLocked()
+	}
+	ps.mu.Unlock()
+	return <-ch
+}
+
+// commitLocked averages the round's gradients, applies them at the
+// learning rate, charges the apply meter and releases the barrier.
+func (ps *ParameterServer) commitLocked() {
+	inv := float32(1) / float32(ps.cfg.Workers)
+	lr := float32(ps.cfg.LR)
+	var elems int64
+	for name, acc := range ps.sum {
+		v := ps.vars[name].Floats()
+		g := acc.Floats()
+		for i := range v {
+			v[i] -= lr * inv * g[i]
+		}
+		elems += int64(len(g))
+	}
+	if ps.cfg.ApplyMeter != nil {
+		// Sum of Workers contributions (done incrementally on push),
+		// scale and subtract: ~(Workers+2) FLOPs per element. Traffic:
+		// read every contribution once, read+write the variables.
+		ps.cfg.ApplyMeter(elems*int64(ps.cfg.Workers+2), elems*4*int64(ps.cfg.Workers+2))
+	}
+	ps.rounds++
+	ps.finishRoundLocked(nil)
+}
+
+// timeout fires when a round stays incomplete past RoundTimeout. gen
+// identifies the round the timer was armed for; a commit that raced the
+// timer bumps the generation, making this a no-op.
+func (ps *ParameterServer) timeout(gen uint64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if gen != ps.gen || ps.pushes == 0 {
+		return
+	}
+	ps.abortLocked(errRoundTimeout)
+}
+
+func (ps *ParameterServer) abortLocked(err error) {
+	if ps.pushes == 0 && len(ps.waiters) == 0 {
+		return
+	}
+	ps.finishRoundLocked(err)
+}
+
+// finishRoundLocked releases every waiter with err and resets the
+// barrier for the next round.
+func (ps *ParameterServer) finishRoundLocked(err error) {
+	for _, ch := range ps.waiters {
+		ch <- err
+	}
+	ps.waiters = nil
+	ps.sum = nil
+	ps.pushes = 0
+	if ps.timer != nil {
+		ps.timer.Stop()
+		ps.timer = nil
+	}
+	ps.gen++
+}

@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"github.com/securetf/securetf/internal/device"
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// WorkerConfig configures a training Worker.
+type WorkerConfig struct {
+	// ID distinguishes workers in errors and PS accounting.
+	ID int
+	// Addr is the parameter server address. Required.
+	Addr string
+	// Dial opens the connection to the parameter server. Route it
+	// through the container so the network shield's TLS applies (the
+	// paper's Figure 8 "w/ TLS" series). Defaults to net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+	// Model is this worker's local replica. Graph, X, Y and Loss are
+	// required. Build every replica from the same seed as the variables
+	// the PS was seeded with.
+	Model Model
+	// XS and YS are the worker's private data shard. Required.
+	XS, YS *tf.Tensor
+	// BatchSize is the per-step minibatch size. Required, ≥ 1.
+	BatchSize int
+	// Device is charged for the local forward/backward computation.
+	// Defaults to a no-cost null device.
+	Device device.Device
+	// Clock is the worker node's virtual clock. Defaults to the device's
+	// clock.
+	Clock *vtime.Clock
+	// Params supplies cost-model constants. The zero value falls back to
+	// sgx.DefaultParams.
+	Params sgx.Params
+}
+
+// Worker runs synchronous SGD steps against a parameter server: pull
+// the current variables, compute gradients on the next minibatch of the
+// local shard, push them and block on the round barrier.
+type Worker struct {
+	cfg  WorkerConfig
+	conn net.Conn
+	sess *tf.Session
+
+	// gradient fetch plan: lossAndGrads[0] is the loss node, the rest
+	// are gradient nodes aligned with gradNames.
+	lossAndGrads []*tf.Node
+	gradNames    []string
+
+	step int
+	// round is the PS barrier generation of the last pull; pushes echo
+	// it so the PS can reject gradients from a committed/aborted round.
+	round uint64
+
+	// LastLoss is the minibatch loss of the most recent step.
+	LastLoss float64
+	// LastBreakdown is the per-phase virtual time of the most recent
+	// step.
+	LastBreakdown Breakdown
+}
+
+// NewWorker validates cfg, builds the replica's gradient subgraph and
+// connects to the parameter server.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Model.Graph == nil || cfg.Model.X == nil || cfg.Model.Y == nil || cfg.Model.Loss == nil {
+		return nil, errors.New("dist: WorkerConfig.Model requires Graph, X, Y and Loss")
+	}
+	if cfg.XS == nil || cfg.YS == nil {
+		return nil, errors.New("dist: WorkerConfig.XS and YS are required")
+	}
+	if cfg.XS.Shape()[0] != cfg.YS.Shape()[0] {
+		return nil, fmt.Errorf("dist: shard has %d inputs but %d labels", cfg.XS.Shape()[0], cfg.YS.Shape()[0])
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("dist: WorkerConfig.BatchSize must be ≥ 1, got %d", cfg.BatchSize)
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("dist: WorkerConfig.Addr is required")
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.Dial
+	}
+	if cfg.Device == nil {
+		cfg.Device = device.NewNull()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = cfg.Device.Clock()
+	}
+	if cfg.Params.WireBandwidth == 0 {
+		cfg.Params = sgx.DefaultParams()
+	}
+
+	vars, grads, err := tf.GradientNodes(cfg.Model.Graph, cfg.Model.Loss)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d gradient subgraph: %w", cfg.ID, err)
+	}
+	if len(grads) == 0 {
+		return nil, errors.New("dist: model loss depends on no variables")
+	}
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = v.Name()
+	}
+
+	conn, err := cfg.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %d dial %s: %w", cfg.ID, cfg.Addr, err)
+	}
+	w := &Worker{
+		cfg:          cfg,
+		conn:         conn,
+		sess:         tf.NewSession(cfg.Model.Graph, tf.WithDevice(cfg.Device), tf.WithSeed(int64(cfg.ID)+1)),
+		lossAndGrads: append([]*tf.Node{cfg.Model.Loss}, grads...),
+		gradNames:    names,
+	}
+	return w, nil
+}
+
+// Close disconnects from the parameter server and releases the local
+// session.
+func (w *Worker) Close() error {
+	w.sess.Close()
+	return w.conn.Close()
+}
+
+// RunSteps runs n synchronous training steps.
+func (w *Worker) RunSteps(n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step runs one synchronous training step (pull, compute, push) and
+// records its loss and per-phase virtual-time breakdown.
+func (w *Worker) Step() error {
+	clock := w.cfg.Clock
+
+	// Pull: fetch the authoritative variables and install them in the
+	// local session, so this round's gradients are taken at the same
+	// point for every worker.
+	span := clock.Start()
+	if err := w.pull(); err != nil {
+		return fmt.Errorf("dist: worker %d pull: %w", w.cfg.ID, err)
+	}
+	w.LastBreakdown.Pull = span.Stop()
+
+	// Compute: forward/backward over the next minibatch of the shard.
+	span = clock.Start()
+	loss, grads, err := w.compute()
+	if err != nil {
+		return fmt.Errorf("dist: worker %d compute: %w", w.cfg.ID, err)
+	}
+	w.LastBreakdown.Compute = span.Stop()
+
+	// Push: contribute gradients and block on the round barrier.
+	span = clock.Start()
+	if err := w.pushGrads(grads); err != nil {
+		return fmt.Errorf("dist: worker %d push: %w", w.cfg.ID, err)
+	}
+	w.LastBreakdown.Push = span.Stop()
+
+	w.LastLoss = loss
+	w.step++
+	return nil
+}
+
+func (w *Worker) pull() error {
+	req := &message{Kind: msgPull, Worker: uint32(w.cfg.ID)}
+	if err := send(w.conn, w.cfg.Clock, w.cfg.Params, req); err != nil {
+		return err
+	}
+	// The request is in flight; time passes on this node while it
+	// travels (the response stamp covers the rest of the round trip).
+	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
+	resp, err := receive(w.conn, w.cfg.Clock, w.cfg.Params)
+	if err != nil {
+		return err
+	}
+	if resp.Kind != msgVars {
+		return fmt.Errorf("unexpected response kind %d", resp.Kind)
+	}
+	w.round = resp.Round
+	var bytes int64
+	for name, t := range resp.Vars {
+		if err := w.sess.SetVariable(name, t); err != nil {
+			return err
+		}
+		bytes += t.Bytes()
+	}
+	// Installing the parameters is real memory traffic on this node.
+	w.cfg.Device.Access(bytes, false)
+	return nil
+}
+
+func (w *Worker) compute() (float64, map[string]*tf.Tensor, error) {
+	n := w.cfg.XS.Shape()[0]
+	lo := (w.step * w.cfg.BatchSize) % n
+	hi := lo + w.cfg.BatchSize
+	if hi > n {
+		hi = n
+	}
+	bx, err := sliceRows(w.cfg.XS, lo, hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	by, err := sliceRows(w.cfg.YS, lo, hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := w.sess.Run(tf.Feeds{w.cfg.Model.X: bx, w.cfg.Model.Y: by}, w.lossAndGrads, tf.Training())
+	if err != nil {
+		return 0, nil, err
+	}
+	grads := make(map[string]*tf.Tensor, len(w.gradNames))
+	for i, name := range w.gradNames {
+		grads[name] = out[i+1]
+	}
+	return float64(out[0].Floats()[0]), grads, nil
+}
+
+func (w *Worker) pushGrads(grads map[string]*tf.Tensor) error {
+	req := &message{Kind: msgPush, Worker: uint32(w.cfg.ID), Vars: grads, Round: w.round}
+	if err := send(w.conn, w.cfg.Clock, w.cfg.Params, req); err != nil {
+		return err
+	}
+	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
+	resp, err := receive(w.conn, w.cfg.Clock, w.cfg.Params)
+	if err != nil {
+		return err
+	}
+	if resp.Kind != msgAck {
+		return fmt.Errorf("unexpected response kind %d", resp.Kind)
+	}
+	if !resp.OK {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// sliceRows returns rows [lo, hi) of a tensor's leading dimension as a
+// fresh tensor.
+func sliceRows(t *tf.Tensor, lo, hi int) (*tf.Tensor, error) {
+	shape := t.Shape()
+	if len(shape) == 0 {
+		return nil, errors.New("dist: cannot slice a scalar")
+	}
+	if lo < 0 || hi > shape[0] || lo >= hi {
+		return nil, fmt.Errorf("dist: slice [%d, %d) out of range for leading dimension %d", lo, hi, shape[0])
+	}
+	rowElems := 1
+	for _, d := range shape[1:] {
+		rowElems *= d
+	}
+	newShape := append(tf.Shape{hi - lo}, shape[1:]...)
+	switch t.DType() {
+	case tf.Int32:
+		return tf.FromInts(newShape, t.Ints()[lo*rowElems:hi*rowElems])
+	default:
+		return tf.FromFloats(newShape, t.Floats()[lo*rowElems:hi*rowElems])
+	}
+}
