@@ -175,6 +175,99 @@ func BenchmarkTFvsTFLite(b *testing.B) {
 	b.ReportMetric(ratio, "tflite-speedup-x")
 }
 
+// BenchmarkServingThroughput measures the serving gateway's sustained
+// throughput at micro-batch sizes 1 (the unbatched baseline), 8 and 32:
+// concurrent clients send single-row classification requests over the
+// container listener and the gateway coalesces what arrives within the
+// batching window. Metrics report wall requests/sec and virtual
+// requests/sec (the cost-model view, where batching amortizes per-invoke
+// weight streaming) so future PRs have a perf trajectory.
+func BenchmarkServingThroughput(b *testing.B) {
+	model := securetf.BuildInferenceModel(securetf.PaperModels()[0]) // densenet, 42 MB
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			platform, err := securetf.NewPlatform("serving-bench-node")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := securetf.Launch(securetf.ContainerConfig{
+				Kind:     securetf.SconeHW,
+				Platform: platform,
+				Image:    securetf.TFLiteImage(),
+				HostFS:   securetf.NewMemFS(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			cfg := securetf.ServingConfig{QueueCap: 256}
+			if batch > 1 {
+				cfg.MaxBatch = batch
+				cfg.BatchWindow = 2 * time.Millisecond
+			}
+			gw, err := securetf.ServeModels(c, "127.0.0.1:0", cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gw.Close()
+			if err := gw.Register("densenet", 1, model); err != nil {
+				b.Fatal(err)
+			}
+
+			// Enough synchronous single-row clients that the largest
+			// batch size can actually fill a window; exactly b.N
+			// requests are spread across them.
+			const clients = 32
+			input := securetf.RandomImageInput(securetf.PaperModels()[0], 1, 1)
+			b.ResetTimer()
+			vBefore := c.Clock().Now()
+			start := time.Now()
+			errs := make(chan error, clients)
+			for i := 0; i < clients; i++ {
+				count := b.N / clients
+				if i < b.N%clients {
+					count++
+				}
+				go func(count int) {
+					if count == 0 {
+						errs <- nil
+						return
+					}
+					cl, err := securetf.DialModelServer(c, gw.Addr(), "")
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer cl.Close()
+					for j := 0; j < count; j++ {
+						if _, err := cl.Classify("densenet", input); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}(count)
+			}
+			for i := 0; i < clients; i++ {
+				if err := <-errs; err != nil {
+					b.Fatal(err)
+				}
+			}
+			requests := float64(b.N)
+			b.ReportMetric(requests/time.Since(start).Seconds(), "req/s-wall")
+			b.ReportMetric(requests/(c.Clock().Now()-vBefore).Seconds(), "req/s-virtual")
+			b.StopTimer() // keep gateway/container teardown out of ns/op
+			var batches int64
+			for _, m := range gw.Metrics() {
+				batches += m.Batches
+			}
+			if batches > 0 {
+				b.ReportMetric(requests/float64(batches), "rows-per-invoke")
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §8) ---
 
 // BenchmarkAblationPagingPattern isolates the paging cost model: the

@@ -62,8 +62,12 @@ func run(args []string, w io.Writer) error {
 		token    = fs.String("token", "", "session owner token (defaults to a random one)")
 		spec     = fs.String("spec", "densenet", "synthetic model spec: densenet, inception_v3, inception_v4")
 		model    = fs.String("model", "", "path to a Lite model file (overrides -spec)")
+		modelSet = fs.String("models", "", "comma-separated specs to serve together (overrides -spec/-model)")
 		listen   = fs.String("listen", "127.0.0.1:0", "inference service address")
-		threads  = fs.Int("threads", 1, "interpreter threads")
+		threads  = fs.Int("threads", 1, "interpreter threads per replica")
+		replicas = fs.Int("replicas", 1, "interpreter replicas per model version")
+		maxBatch = fs.Int("max-batch", 1, "max rows coalesced into one batched invocation (1 disables)")
+		window   = fs.Duration("batch-window", 0, "micro-batching window (defaults to 2ms when -max-batch > 1)")
 		selftest = fs.Bool("selftest", false, "run one attested classification against the service, then keep serving")
 		once     = fs.Bool("once", false, "exit after startup (and -selftest if set) instead of serving forever")
 		timeout  = fs.Duration("timeout", 15*time.Second, "how long to retry attestation while the CAS learns our key")
@@ -101,7 +105,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	liteModel, err := loadModel(*spec, *model)
+	toServe, err := loadModels(*modelSet, *spec, *model)
 	if err != nil {
 		return err
 	}
@@ -154,28 +158,35 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "attested to CAS in %v (init %v, quote %v, confirm %v, keys %v)\n",
 		timing.Total(), timing.Initialization, timing.SendQuote, timing.WaitConfirmation, timing.ReceiveKeys)
 
-	// Store the model under the provisioned encrypted volume, reload it
-	// through the shield and serve.
-	if err := securetf.WriteFile(container.FS(), "volumes/models/model.stfl", liteModel.Marshal()); err != nil {
-		return err
-	}
-	stored, err := securetf.ReadFile(container.FS(), "volumes/models/model.stfl")
+	// Store every model under the provisioned encrypted volume and load
+	// it back into the serving gateway through the shield, so the bytes
+	// the interpreters see went through the attested provisioning path.
+	gateway, err := securetf.ServeModels(container, *listen, securetf.ServingConfig{
+		Replicas:    *replicas,
+		Threads:     *threads,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *window,
+	})
 	if err != nil {
 		return err
 	}
-	served, err := securetf.UnmarshalLiteModel(stored)
-	if err != nil {
-		return err
+	defer gateway.Close()
+	for _, entry := range toServe {
+		path := "volumes/models/" + entry.name + ".stfl"
+		if err := securetf.WriteFile(container.FS(), path, entry.model.Marshal()); err != nil {
+			return err
+		}
+		if err := gateway.LoadModel(entry.name, 1, path); err != nil {
+			return err
+		}
 	}
-	svc, err := securetf.ServeInference(container, served, *listen, *threads)
-	if err != nil {
-		return err
+	fmt.Fprintf(w, "serving TLS inference on %s\n", gateway.Addr())
+	for _, entry := range toServe {
+		fmt.Fprintf(w, "  model %s@1 (%d weight bytes)\n", entry.name, entry.model.WeightBytes())
 	}
-	defer svc.Close()
-	fmt.Fprintf(w, "serving TLS inference on %s (model %d weight bytes)\n", svc.Addr(), served.WeightBytes())
 
 	if *selftest {
-		if err := probe(w, platform, *casAddr, casMeasurement, trust, *session, svc.Addr(), served); err != nil {
+		if err := probe(w, platform, *casAddr, casMeasurement, trust, *session, gateway.Addr(), toServe); err != nil {
 			return fmt.Errorf("selftest: %w", err)
 		}
 	}
@@ -188,12 +199,13 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// probe runs one classification through a second attested container in
-// this process, exercising the full CAS → TLS → classify path. The
-// probe container reuses the worker's platform (the CAS already trusts
-// its key) and image (so the session's measurement policy admits it).
+// probe runs one classification per served model through a second
+// attested container in this process, exercising the full CAS → TLS →
+// classify path. The probe container reuses the worker's platform (the
+// CAS already trusts its key) and image (so the session's measurement
+// policy admits it).
 func probe(w io.Writer, platform *securetf.Platform, casAddr, casMeasurement string,
-	trust map[string]*ecdsa.PublicKey, session, svcAddr string, model *securetf.LiteModel) error {
+	trust map[string]*ecdsa.PublicKey, session, svcAddr string, served []namedModel) error {
 	probeC, err := securetf.Launch(securetf.ContainerConfig{
 		Kind:     securetf.SconeHW,
 		Platform: platform,
@@ -211,20 +223,22 @@ func probe(w io.Writer, platform *securetf.Platform, casAddr, casMeasurement str
 	if _, _, err := probeC.Provision(client, session, "models"); err != nil {
 		return fmt.Errorf("probe attestation: %w", err)
 	}
-	cl, err := securetf.DialInference(probeC, svcAddr, "classifier")
+	cl, err := securetf.DialModelServer(probeC, svcAddr, "classifier")
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	input, err := modelInput(model)
-	if err != nil {
-		return err
+	for _, entry := range served {
+		input, err := modelInput(entry.model)
+		if err != nil {
+			return err
+		}
+		classes, err := cl.Classify(entry.name, input)
+		if err != nil {
+			return fmt.Errorf("model %s: %w", entry.name, err)
+		}
+		fmt.Fprintf(w, "selftest: classified one input over shielded TLS → model %s class %d\n", entry.name, classes[0])
 	}
-	classes, err := cl.Classify(input)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "selftest: classified one input over shielded TLS → class %d\n", classes[0])
 	return nil
 }
 
@@ -254,6 +268,12 @@ func readCASInfo(path string) ([]byte, string, error) {
 	return keyPEM, strings.TrimSpace(string(m)), nil
 }
 
+// namedModel is one model to serve, keyed by its registry name.
+type namedModel struct {
+	name  string
+	model *securetf.LiteModel
+}
+
 // loadModel loads a Lite model from disk, or synthesizes the named spec.
 func loadModel(spec, path string) (*securetf.LiteModel, error) {
 	if path != "" {
@@ -269,4 +289,41 @@ func loadModel(spec, path string) (*securetf.LiteModel, error) {
 		}
 	}
 	return nil, fmt.Errorf("unknown model spec %q", spec)
+}
+
+// loadModels resolves the serving set: the -models list when given,
+// otherwise the single -spec / -model pair under the spec's name.
+func loadModels(modelSet, spec, path string) ([]namedModel, error) {
+	if modelSet == "" {
+		m, err := loadModel(spec, path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.ToLower(spec)
+		if path != "" {
+			name = strings.ToLower(strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)))
+		}
+		return []namedModel{{name: name, model: m}}, nil
+	}
+	var out []namedModel
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(modelSet, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate model %q in -models", name)
+		}
+		seen[name] = true
+		m, err := loadModel(name, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, namedModel{name: name, model: m})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-models lists no models")
+	}
+	return out, nil
 }

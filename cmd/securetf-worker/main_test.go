@@ -16,6 +16,50 @@ import (
 // session, retry attestation until the CAS trusts the key, provision,
 // serve, and self-test one classification over the shielded channel.
 func TestWorkerAttestsAndServes(t *testing.T) {
+	out := runWorker(t, "worker-platform",
+		"-spec", "densenet",
+		"-selftest",
+		"-once",
+	)
+	for _, want := range []string{"attested to CAS", "serving TLS inference", "model densenet@1", "selftest: classified"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWorkerServesMultipleModels starts the worker in multi-model mode
+// with batching and replica pools, and self-tests a classification
+// against every hosted model over the shielded channel.
+func TestWorkerServesMultipleModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pushes two paper-size models through the encrypted volume")
+	}
+	out := runWorker(t, "multi-platform",
+		"-models", "densenet,inception_v3",
+		"-replicas", "2",
+		"-max-batch", "8",
+		"-batch-window", "2ms",
+		"-selftest",
+		"-once",
+	)
+	for _, want := range []string{
+		"serving TLS inference",
+		"model densenet@1",
+		"model inception_v3@1",
+		"selftest: classified one input over shielded TLS → model densenet",
+		"selftest: classified one input over shielded TLS → model inception_v3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// runWorker drives a full worker startup against an in-process CAS and
+// returns the worker's output.
+func runWorker(t *testing.T, platformName string, extraArgs ...string) string {
+	t.Helper()
 	trustdir := t.TempDir()
 
 	casPlat, err := securetf.NewPlatform("cas-platform")
@@ -78,25 +122,19 @@ func TestWorkerAttestsAndServes(t *testing.T) {
 	defer func() { close(stop); <-done }()
 
 	var buf bytes.Buffer
-	err = run([]string{
+	args := []string{
 		"-cas", server.Addr(),
 		"-cas-info", casInfo,
 		"-trustdir", trustdir,
-		"-spec", "densenet",
+		"-name", platformName,
 		"-listen", "127.0.0.1:0",
-		"-selftest",
-		"-once",
 		"-timeout", "30s",
-	}, &buf)
-	if err != nil {
+	}
+	args = append(args, extraArgs...)
+	if err := run(args, &buf); err != nil {
 		t.Fatalf("worker: %v\noutput:\n%s", err, buf.String())
 	}
-	out := buf.String()
-	for _, want := range []string{"attested to CAS", "serving TLS inference", "selftest: classified"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("output missing %q:\n%s", want, out)
-		}
-	}
+	return buf.String()
 }
 
 func TestWorkerRequiresFlags(t *testing.T) {

@@ -18,7 +18,7 @@
 //  3. Train a model with Train, Freeze it, convert it to the
 //     small-footprint Lite format with FrozenModel.ConvertToLite, and
 //     classify with a Classifier — or serve over the network with
-//     ServeInference / DialInference.
+//     ServeModels (many models) or ServeInference (one model).
 //
 // A minimal secure classification round trip:
 //
@@ -40,6 +40,36 @@
 //	lite, _ := frozen.ConvertToLite(securetf.ConvertOptions{})
 //	classifier, _ := securetf.NewClassifier(container, lite, 1)
 //	classes, _ := classifier.Classify(batch)
+//
+// Network serving (§4.2) is a multi-model gateway: ServeModels starts a
+// ModelServer on the container's (shielded) listener, hosting a versioned
+// model registry. Models register by name@version — in memory with
+// Register, or with LoadModel, which reads the model file back through
+// the container's file-system shield so the bytes the interpreters see
+// came through the attested provisioning path. Each version gets a pool
+// of interpreter replicas (ServingConfig.Replicas), so concurrent
+// requests do not serialize on one interpreter; requests arriving within
+// ServingConfig.BatchWindow coalesce into a single batched invocation of
+// up to MaxBatch rows, amortizing the per-invoke weight streaming that
+// dominates enclave inference, and the outputs are split back per
+// caller, bitwise identical to per-request execution. Admission control
+// is a bounded per-model queue (QueueCap): overflow is refused with a
+// distinct wire status that clients observe as ErrOverloaded, so they
+// can back off instead of piling up. SetServing hot-swaps the version
+// unpinned requests resolve to — atomically, with in-flight work
+// finishing on the version it resolved and nothing dropped — and
+// ModelServer.Metrics snapshots per-version counters (served, batches,
+// rejections, queue depth, p50/p99 virtual latency).
+//
+// The serving wire protocol extends the original length-prefixed tensor
+// frames with a request header (model name + pinned version, 0 for "the
+// serving version", plus a server-side-argmax flag so classification
+// responses carry one class label per row rather than full probability
+// vectors) and an explicit response status + serving version, so one
+// endpoint multiplexes models and clients can distinguish overload from
+// hard failure. ServeInference/DialInference remain as
+// single-model wrappers over the same gateway, publishing their one
+// model as DefaultModelName@1.
 //
 // Distributed training (§5.4) follows the classic TF1 between-graph
 // data-parallel architecture: StartParameterServer seeds a parameter

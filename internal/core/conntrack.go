@@ -1,0 +1,50 @@
+package core
+
+import (
+	"net"
+	"sync"
+)
+
+// ConnTracker records a server's live connections so shutdown can close
+// them and unpark handlers blocked in reads. Track refuses connections
+// once CloseAll ran, so shutdown cannot race a fresh accept. Shared by
+// the single-model inference service and the serving gateway.
+type ConnTracker struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Track registers a live connection; it reports false (and the caller
+// must close the connection) once CloseAll ran.
+func (t *ConnTracker) Track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	if t.conns == nil {
+		t.conns = make(map[net.Conn]struct{})
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+// Untrack removes and closes a connection.
+func (t *ConnTracker) Untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// CloseAll closes every tracked connection and refuses future Tracks.
+func (t *ConnTracker) CloseAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.conns = nil
+}

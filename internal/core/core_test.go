@@ -2,7 +2,10 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/securetf/securetf/internal/cas"
 	"github.com/securetf/securetf/internal/fsapi"
@@ -273,6 +276,100 @@ func TestInferenceServiceEndToEnd(t *testing.T) {
 	}
 	if svc.Served() != 1 {
 		t.Fatalf("served = %d", svc.Served())
+	}
+}
+
+// buildServiceModel freezes and converts a small MLP for service tests.
+func buildServiceModel(t *testing.T) *tflite.Model {
+	t.Helper()
+	h := models.MNISTMLP(77)
+	sess := tf.NewSession(h.Graph)
+	defer sess.Close()
+	frozen, fx, fl, err := models.FreezeForInference(h, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := tflite.Convert(frozen, []*tf.Node{fx}, []*tf.Node{fl}, tflite.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestInferenceServiceCloseWithIdleConnection(t *testing.T) {
+	server := launchContainer(t, RuntimeSconeHW)
+	svc, err := NewInferenceService(server, buildServiceModel(t), "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A client that classified once and then parks on the open
+	// connection used to pin Close in wg.Wait forever.
+	clientC := launchContainer(t, RuntimeNativeGlibc)
+	client, err := NewInferenceClient(clientC, svc.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Classify(tf.RandNormal(tf.Shape{1, 28, 28, 1}, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- svc.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung while a client held its connection open")
+	}
+}
+
+func TestInferenceClientConcurrentClassify(t *testing.T) {
+	server := launchContainer(t, RuntimeSconeHW)
+	svc, err := NewInferenceService(server, buildServiceModel(t), "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	clientC := launchContainer(t, RuntimeNativeGlibc)
+	client, err := NewInferenceClient(clientC, svc.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Concurrent Classify calls on one client must not interleave frames
+	// on the shared connection (run with -race to check the locking).
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				classes, err := client.Classify(tf.RandNormal(tf.Shape{2, 28, 28, 1}, 1, int64(i*10+j)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(classes) != 2 {
+					errs <- fmt.Errorf("classified %d rows, want 2", len(classes))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := svc.Served(); got != 40 {
+		t.Fatalf("served = %d, want 40", got)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/securetf/securetf/internal/tf"
 	"github.com/securetf/securetf/internal/tflite"
@@ -15,6 +16,11 @@ import (
 // classification requests via network, and uses TensorFlow Lite for
 // inference". Requests and responses are length-prefixed tensors over a
 // (typically shielded) connection.
+//
+// This is the paper-faithful single-model baseline. The production path
+// is the serving gateway (internal/serving), which the public
+// ServeInference/ServeModels facade routes to; this implementation is
+// kept as the minimal reference the gateway is benchmarked against.
 type InferenceService struct {
 	container *Container
 	interp    *tflite.Interpreter
@@ -23,8 +29,12 @@ type InferenceService struct {
 	mu     sync.Mutex
 	served int
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	conns ConnTracker
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+	closeErr  error
 }
 
 // NewInferenceService loads a model into an interpreter bound to the
@@ -43,7 +53,12 @@ func NewInferenceService(c *Container, model *tflite.Model, addr string, threads
 		interp.Close()
 		return nil, err
 	}
-	s := &InferenceService{container: c, interp: interp, ln: ln, closed: make(chan struct{})}
+	s := &InferenceService{
+		container: c,
+		interp:    interp,
+		ln:        ln,
+		closed:    make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
@@ -59,18 +74,18 @@ func (s *InferenceService) Served() int {
 	return s.served
 }
 
-// Close stops the service.
+// Close stops the service. Live connections are closed so handlers
+// parked in blocking reads wake up and exit; a client idling on an open
+// connection can no longer hang the shutdown.
 func (s *InferenceService) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
-	err := s.ln.Close()
-	s.wg.Wait()
-	s.interp.Close()
-	return err
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.ln.Close()
+		s.conns.CloseAll()
+		s.wg.Wait()
+		s.interp.Close()
+	})
+	return s.closeErr
 }
 
 func (s *InferenceService) serve() {
@@ -82,13 +97,20 @@ func (s *InferenceService) serve() {
 			case <-s.closed:
 				return
 			default:
+				// Back off briefly so a persistent accept error (e.g.
+				// fd exhaustion) cannot busy-spin the loop.
+				time.Sleep(time.Millisecond)
 				continue
 			}
+		}
+		if !s.conns.Track(conn) {
+			conn.Close()
+			return
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer s.conns.Untrack(conn)
 			s.handle(conn)
 		}()
 	}
@@ -141,8 +163,11 @@ func (s *InferenceService) classify(conn net.Conn, input *tf.Tensor) error {
 	return writeTensor(conn, classes)
 }
 
-// InferenceClient talks to an InferenceService.
+// InferenceClient talks to an InferenceService. It is safe for
+// concurrent use: Classify serializes the request/response exchange with
+// a mutex so goroutines cannot interleave frames on the shared stream.
 type InferenceClient struct {
+	mu   sync.Mutex
 	conn net.Conn
 }
 
@@ -158,6 +183,8 @@ func NewInferenceClient(c *Container, addr, serverName string) (*InferenceClient
 
 // Classify sends a batch and returns the predicted class per row.
 func (cl *InferenceClient) Classify(input *tf.Tensor) ([]int, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	if err := writeTensor(cl.conn, input); err != nil {
 		return nil, err
 	}
@@ -178,31 +205,46 @@ func (cl *InferenceClient) Classify(input *tf.Tensor) ([]int, error) {
 // Close closes the client connection.
 func (cl *InferenceClient) Close() error { return cl.conn.Close() }
 
-// maxTensorFrame bounds tensor frames on the wire.
-const maxTensorFrame = 1 << 30
+// MaxFrame bounds length-prefixed frames on the wire (both the classic
+// tensor protocol and the serving gateway's extended one).
+const MaxFrame = 1 << 30
 
-func writeTensor(w io.Writer, t *tf.Tensor) error {
-	enc := tf.EncodeTensor(t)
+// WriteFrame writes one length-prefixed payload (4-byte little-endian
+// length, then the bytes).
+func WriteFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(enc)
+	_, err := w.Write(payload)
 	return err
 }
 
-func readTensor(r io.Reader) (*tf.Tensor, error) {
+// ReadFrame reads one length-prefixed payload, enforcing MaxFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxTensorFrame {
-		return nil, fmt.Errorf("core: tensor frame of %d bytes exceeds limit", n)
+	if n > MaxFrame {
+		return nil, fmt.Errorf("core: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func writeTensor(w io.Writer, t *tf.Tensor) error {
+	return WriteFrame(w, tf.EncodeTensor(t))
+}
+
+func readTensor(r io.Reader) (*tf.Tensor, error) {
+	buf, err := ReadFrame(r)
+	if err != nil {
 		return nil, err
 	}
 	return tf.DecodeTensor(buf)

@@ -1,0 +1,132 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/tf"
+)
+
+// Sentinel errors mapped from wire statuses, so callers can react by
+// kind: back off on ErrOverloaded, fail over on ErrShuttingDown.
+var (
+	ErrOverloaded   = errors.New("serving: overloaded")
+	ErrNotFound     = errors.New("serving: model not found")
+	ErrBadRequest   = errors.New("serving: bad request")
+	ErrShuttingDown = errors.New("serving: shutting down")
+	ErrInternal     = errors.New("serving: internal error")
+)
+
+// statusErr maps an error status and server message to a wrapped
+// sentinel error.
+func statusErr(status Status, msg string) error {
+	var base error
+	switch status {
+	case StatusOverloaded:
+		base = ErrOverloaded
+	case StatusNotFound:
+		base = ErrNotFound
+	case StatusBadRequest:
+		base = ErrBadRequest
+	case StatusShuttingDown:
+		base = ErrShuttingDown
+	case StatusInternal:
+		base = ErrInternal
+	default:
+		return fmt.Errorf("serving: status %v: %s", status, msg)
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// Client talks to a Gateway over one connection. It is safe for
+// concurrent use: the request/response exchange is serialized with a
+// mutex so goroutines cannot interleave frames on the shared stream.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects a container to a gateway, through the container's
+// shielded dial when the network shield is provisioned. serverName must
+// match a service identity issued by the CAS.
+func Dial(c *core.Container, addr, serverName string) (*Client, error) {
+	conn, err := c.Dial("tcp", addr, serverName)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Infer sends input to model (version 0 = the gateway's serving version)
+// and returns the raw output tensor plus the version that served it.
+func (cl *Client) Infer(model string, version int, input *tf.Tensor) (*tf.Tensor, int, error) {
+	return cl.do(wireRequest{Model: model, Version: version, Input: input})
+}
+
+// Classify sends input to model's serving version and returns the argmax
+// class per row. The reduction runs server-side (the wire carries 4
+// bytes per row, and only the label leaves the service).
+func (cl *Client) Classify(model string, input *tf.Tensor) ([]int, error) {
+	out, _, err := cl.do(wireRequest{Model: model, Argmax: true, Input: input})
+	if err != nil {
+		return nil, err
+	}
+	return ArgmaxRows(out)
+}
+
+// do runs one serialized request/response exchange.
+func (cl *Client) do(req wireRequest) (*tf.Tensor, int, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if err := writeRequest(cl.conn, req); err != nil {
+		return nil, 0, err
+	}
+	resp, err := readResponse(cl.conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Status != StatusOK {
+		return nil, 0, statusErr(resp.Status, resp.Message)
+	}
+	return resp.Output, resp.Version, nil
+}
+
+// Close closes the client connection.
+func (cl *Client) Close() error { return cl.conn.Close() }
+
+// ArgmaxRows reduces a [rows, classes] Float32 tensor to the argmax
+// class per row; an Int32 tensor (a model with a fused ArgMax head)
+// passes through.
+func ArgmaxRows(out *tf.Tensor) ([]int, error) {
+	if out.DType() == tf.Int32 {
+		classes := make([]int, out.NumElements())
+		for i, v := range out.Ints() {
+			classes[i] = int(v)
+		}
+		return classes, nil
+	}
+	shape := out.Shape()
+	if len(shape) < 2 {
+		return nil, fmt.Errorf("serving: output shape %v is not [rows, classes]", shape)
+	}
+	cols := shape[len(shape)-1]
+	rows := out.NumElements() / cols
+	probs := out.Floats()
+	classes := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best, bestV := 0, probs[r*cols]
+		for c := 1; c < cols; c++ {
+			if v := probs[r*cols+c]; v > bestV {
+				best, bestV = c, v
+			}
+		}
+		classes[r] = best
+	}
+	return classes, nil
+}

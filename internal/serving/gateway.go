@@ -1,0 +1,225 @@
+// Package serving is secureTF's model-serving gateway: the
+// production-grade successor to the §4.2 single-model classifier
+// service. One gateway hosts many Lite models behind the container's
+// (typically shielded) listener, each as a versioned registry entry with
+// its own interpreter-replica pool, and serves classification traffic
+// with adaptive micro-batching and explicit admission control.
+//
+// The design follows where the enclave measurements say the money is:
+// per-request costs (weight streaming, record crypto, transitions)
+// dominate SGX-style inference, so requests arriving within a short
+// batching window are coalesced into a single batched tensor invocation
+// and their outputs split back per caller — amortizing the per-invoke
+// cost across the batch. A bounded per-model queue rejects overflow with
+// a distinct wire status instead of letting goroutines pile up, so
+// clients can back off. Hot-swapping the serving version is atomic:
+// in-flight work finishes on the version it resolved, new work resolves
+// to the new one, and nothing is dropped.
+package serving
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// Config tunes a gateway.
+type Config struct {
+	// Replicas is the interpreter-pool size per model version (default
+	// 1). It also bounds a model's in-flight batches: when every replica
+	// is busy, dispatch stalls, the admission queue fills and overflow
+	// is rejected — backpressure instead of goroutine pileup.
+	Replicas int
+	// Threads is the device thread count per replica (0 = container
+	// default).
+	Threads int
+	// MaxBatch is the most input rows coalesced into one invocation.
+	// <= 1 disables micro-batching.
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits for more requests
+	// after the first of a batch. When MaxBatch > 1 it defaults to
+	// DefaultBatchWindow, so enabling batching by size alone is never a
+	// silent no-op; set MaxBatch <= 1 to disable batching.
+	BatchWindow time.Duration
+	// QueueCap bounds each model's admission queue (default 64). A full
+	// queue rejects with StatusOverloaded.
+	QueueCap int
+
+	// gate, when set, makes dispatchers wait on it before every pull —
+	// a test hook for deterministic queue-pressure scenarios.
+	gate chan struct{}
+}
+
+// DefaultBatchWindow is the batching window used when MaxBatch enables
+// micro-batching but no window is set.
+const DefaultBatchWindow = 2 * time.Millisecond
+
+// withDefaults fills in unset fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 64
+	}
+	if cfg.MaxBatch > 1 && cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	return cfg
+}
+
+// Gateway serves registered models on a container listener.
+type Gateway struct {
+	container *core.Container
+	cfg       Config
+	clock     *vtime.Clock
+	ln        net.Listener
+	reg       registry
+	conns     core.ConnTracker
+
+	connWG     sync.WaitGroup // accept loop + conn handlers
+	dispatchWG sync.WaitGroup // per-model dispatchers
+	inflight   sync.WaitGroup // running batches
+	closeOnce  sync.Once
+	closed     chan struct{} // no new conns/admissions
+	drain      chan struct{} // dispatchers may exit once queues empty
+	closeErr   error
+}
+
+// NewGateway opens a listener through the container (wrapped by the
+// network shield when provisioned) and starts serving. Models are added
+// with Register / LoadModel.
+func NewGateway(c *core.Container, addr string, cfg Config) (*Gateway, error) {
+	if c == nil {
+		return nil, fmt.Errorf("serving: nil container")
+	}
+	ln, err := c.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		container: c,
+		cfg:       cfg.withDefaults(),
+		clock:     c.Clock(),
+		ln:        ln,
+		reg:       registry{models: make(map[string]*servedModel)},
+		closed:    make(chan struct{}),
+		drain:     make(chan struct{}),
+	}
+	g.connWG.Add(1)
+	go g.accept()
+	return g, nil
+}
+
+// Addr returns the gateway's listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// accept is the listener loop.
+func (g *Gateway) accept() {
+	defer g.connWG.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			select {
+			case <-g.closed:
+				return
+			default:
+				// Back off briefly so a persistent accept error (e.g.
+				// fd exhaustion) cannot busy-spin the loop.
+				time.Sleep(time.Millisecond)
+				continue
+			}
+		}
+		if !g.conns.Track(conn) {
+			conn.Close()
+			return
+		}
+		g.connWG.Add(1)
+		go func() {
+			defer g.connWG.Done()
+			defer g.conns.Untrack(conn)
+			g.handle(conn)
+		}()
+	}
+}
+
+// handle serves one connection: a sequence of request/response rounds.
+func (g *Gateway) handle(conn net.Conn) {
+	for {
+		req, err := readRequest(conn)
+		if err != nil {
+			return
+		}
+		resp := g.submit(req)
+		if err := writeResponse(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// submit runs admission control for one request and waits for its
+// response. Every admitted request is answered: dispatchers outlive the
+// connection handlers that feed them.
+func (g *Gateway) submit(wr wireRequest) wireResponse {
+	m := g.lookup(wr.Model)
+	if m == nil {
+		return wireResponse{Status: StatusNotFound, Message: fmt.Sprintf("unknown model %q", wr.Model)}
+	}
+	if len(wr.Input.Shape()) == 0 || wr.Input.Shape()[0] < 1 {
+		return wireResponse{Status: StatusBadRequest, Message: fmt.Sprintf("input shape %v has no batch rows", wr.Input.Shape())}
+	}
+	select {
+	case <-g.closed:
+		return wireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
+	default:
+	}
+	req := &request{
+		version: wr.Version,
+		argmax:  wr.Argmax,
+		input:   wr.Input,
+		rows:    wr.Input.Shape()[0],
+		start:   g.clock.Now(),
+		resp:    make(chan wireResponse, 1),
+	}
+	select {
+	case m.queue <- req:
+	default:
+		m.rejected.Add(1)
+		return wireResponse{Status: StatusOverloaded, Message: fmt.Sprintf("model %q queue full (%d)", m.name, cap(m.queue))}
+	}
+	return <-req.resp
+}
+
+// Close drains the gateway: it stops accepting, closes every live
+// connection (so handlers parked in blocking reads wake up — the hang the
+// single-model service had), waits for handlers, lets dispatchers finish
+// or refuse what is queued, waits out running batches and releases every
+// interpreter pool.
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		close(g.closed)
+		g.closeErr = g.ln.Close()
+		g.conns.CloseAll()
+		g.connWG.Wait()
+		// No conn handlers remain, so nothing can enqueue; release the
+		// dispatchers and wait for in-flight batches.
+		close(g.drain)
+		g.dispatchWG.Wait()
+		g.inflight.Wait()
+		g.reg.mu.Lock()
+		defer g.reg.mu.Unlock()
+		for _, m := range g.reg.models {
+			m.mu.Lock()
+			for _, v := range m.versions {
+				v.pool.close()
+			}
+			m.versions = make(map[int]*modelVersion)
+			m.mu.Unlock()
+		}
+	})
+	return g.closeErr
+}

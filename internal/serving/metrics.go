@@ -1,0 +1,124 @@
+package serving
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ModelMetrics is a point-in-time snapshot of one model version's serving
+// counters. Latencies are virtual (charged to the platform clock), so
+// snapshots are deterministic for a given workload.
+type ModelMetrics struct {
+	// Model and Version identify the entry; Serving marks the version
+	// new unpinned requests currently resolve to.
+	Model   string
+	Version int
+	Serving bool
+	// Served counts requests answered OK by this version; Batches counts
+	// the interpreter invocations that produced them. Batches < Served
+	// means micro-batching coalesced work.
+	Served  int64
+	Batches int64
+	// Errors counts interpreter failures attributed to this version.
+	Errors int64
+	// Rejected and QueueDepth describe admission control for the whole
+	// model (identical across its versions): requests refused with
+	// StatusOverloaded, and the queue occupancy at snapshot time.
+	Rejected   int64
+	QueueDepth int
+	// P50 and P99 are virtual request latencies (enqueue → response
+	// ready) over a sliding window of recent requests.
+	P50, P99 time.Duration
+}
+
+// latencyWindow is how many recent samples the percentile window keeps.
+const latencyWindow = 512
+
+// latencySampler keeps a sliding window of virtual latencies.
+type latencySampler struct {
+	mu      sync.Mutex
+	samples [latencyWindow]time.Duration
+	n       int // total recorded
+}
+
+// record adds one sample.
+func (s *latencySampler) record(d time.Duration) {
+	s.mu.Lock()
+	s.samples[s.n%latencyWindow] = d
+	s.n++
+	s.mu.Unlock()
+}
+
+// percentiles reports (p50, p99) over the current window.
+func (s *latencySampler) percentiles() (time.Duration, time.Duration) {
+	s.mu.Lock()
+	n := s.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, s.samples[:n])
+	s.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[pctIndex(n, 50)], window[pctIndex(n, 99)]
+}
+
+// pctIndex maps a percentile to a window index (nearest-rank).
+func pctIndex(n, pct int) int {
+	i := (n*pct + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		i = n
+	}
+	return i - 1
+}
+
+// Metrics snapshots every registered model version, sorted by model name
+// then version.
+func (g *Gateway) Metrics() []ModelMetrics {
+	g.reg.mu.Lock()
+	defer g.reg.mu.Unlock()
+	var out []ModelMetrics
+	for name, m := range g.reg.models {
+		m.mu.Lock()
+		for ver, v := range m.versions {
+			p50, p99 := v.lat.percentiles()
+			out = append(out, ModelMetrics{
+				Model:      name,
+				Version:    ver,
+				Serving:    ver == m.serving,
+				Served:     v.served.Load(),
+				Batches:    v.batches.Load(),
+				Errors:     v.errors.Load(),
+				Rejected:   m.rejected.Load(),
+				QueueDepth: len(m.queue),
+				P50:        p50,
+				P99:        p99,
+			})
+		}
+		m.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Served reports the total requests answered OK across all models and
+// versions.
+func (g *Gateway) Served() int {
+	var total int64
+	for _, m := range g.Metrics() {
+		total += m.Served
+	}
+	return int(total)
+}

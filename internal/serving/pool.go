@@ -1,0 +1,63 @@
+package serving
+
+import (
+	"fmt"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// pool is a fixed set of interpreter replicas for one model version.
+// A tflite.Interpreter is not safe for concurrent Invoke, so each replica
+// is checked out exclusively per batch; N replicas let N batches run
+// concurrently on the container's device. Every replica registers its own
+// weight residency (namespaced by instance ID), so replica count shows up
+// as enclave memory pressure exactly like the paper's scale-up runs.
+type pool struct {
+	replicas chan *tflite.Interpreter
+	all      []*tflite.Interpreter
+}
+
+// newPool loads replicas interpreters for model bound to the container's
+// device.
+func newPool(c *core.Container, model *tflite.Model, instance string, replicas, threads int) (*pool, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	p := &pool{replicas: make(chan *tflite.Interpreter, replicas)}
+	for i := 0; i < replicas; i++ {
+		ip, err := tflite.NewInterpreter(model,
+			tflite.WithDevice(c.Device(threads)),
+			tflite.WithInstanceID(fmt.Sprintf("%s/r%d", instance, i)))
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("serving: replica %d: %w", i, err)
+		}
+		if err := ip.AllocateTensors(); err != nil {
+			ip.Close()
+			p.close()
+			return nil, fmt.Errorf("serving: allocate replica %d: %w", i, err)
+		}
+		p.all = append(p.all, ip)
+		p.replicas <- ip
+	}
+	return p, nil
+}
+
+// acquire checks out a replica, blocking until one is free.
+func (p *pool) acquire() *tflite.Interpreter { return <-p.replicas }
+
+// release returns a replica to the pool.
+func (p *pool) release(ip *tflite.Interpreter) { p.replicas <- ip }
+
+// size reports the replica count.
+func (p *pool) size() int { return len(p.all) }
+
+// close releases every replica's device registrations. The caller must
+// guarantee no replica is checked out.
+func (p *pool) close() {
+	for _, ip := range p.all {
+		ip.Close()
+	}
+	p.all = nil
+}

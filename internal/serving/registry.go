@@ -1,0 +1,215 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// registry is the versioned model table of the gateway: model name →
+// versions, each with its own interpreter pool, plus the one version
+// unpinned requests resolve to.
+type registry struct {
+	mu     sync.Mutex
+	models map[string]*servedModel
+}
+
+// servedModel is one named model with its versions, admission queue and
+// dispatcher state.
+type servedModel struct {
+	name     string
+	queue    chan *request
+	slots    chan struct{} // in-flight batch slots, one per replica
+	gate     chan struct{} // test hook: when set, dispatch waits on it
+	rejected atomic.Int64
+
+	mu       sync.Mutex
+	versions map[int]*modelVersion
+	serving  int
+}
+
+// modelVersion is one loaded version: its interpreter pool and counters.
+type modelVersion struct {
+	pool     *pool
+	inflight sync.WaitGroup
+	served   atomic.Int64
+	batches  atomic.Int64
+	errors   atomic.Int64
+	lat      latencySampler
+}
+
+// Register loads a model under name@version and makes it available for
+// pinned requests. The first version registered for a name becomes the
+// serving version; later ones go live only through SetServing (atomic
+// hot-swap). Registering an existing name@version fails.
+func (g *Gateway) Register(name string, version int, model *tflite.Model) error {
+	if name == "" || len(name) > maxModelName {
+		return fmt.Errorf("serving: invalid model name %q", name)
+	}
+	if version < 1 {
+		return fmt.Errorf("serving: model version must be >= 1, got %d", version)
+	}
+	if model == nil {
+		return fmt.Errorf("serving: nil model")
+	}
+	select {
+	case <-g.closed:
+		return fmt.Errorf("serving: gateway is closed")
+	default:
+	}
+	p, err := newPool(g.container, model, fmt.Sprintf("serving/%s@%d", name, version), g.cfg.Replicas, g.cfg.Threads)
+	if err != nil {
+		return err
+	}
+
+	g.reg.mu.Lock()
+	m, ok := g.reg.models[name]
+	if !ok {
+		m = &servedModel{
+			name:     name,
+			queue:    make(chan *request, g.cfg.QueueCap),
+			slots:    make(chan struct{}, g.cfg.Replicas),
+			gate:     g.cfg.gate,
+			versions: make(map[int]*modelVersion),
+		}
+		g.reg.models[name] = m
+		g.dispatchWG.Add(1)
+		go g.dispatch(m)
+	}
+	g.reg.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-check under the model lock: Close clears version tables under
+	// it, so a Register racing a concurrent Close either lands before
+	// (and Close releases the pool) or observes closed here and bails.
+	select {
+	case <-g.closed:
+		p.close()
+		return fmt.Errorf("serving: gateway is closed")
+	default:
+	}
+	if _, dup := m.versions[version]; dup {
+		p.close()
+		return fmt.Errorf("serving: model %s@%d already registered", name, version)
+	}
+	m.versions[version] = &modelVersion{pool: p}
+	if m.serving == 0 {
+		m.serving = version
+	}
+	return nil
+}
+
+// LoadModel reads a marshalled Lite model from path through the
+// container's file-system view and registers it as name@version. Under a
+// provisioned container the path goes through the file-system shield, so
+// the model bytes are decrypted, integrity-checked and freshness-audited
+// with the CAS-provisioned volume key — the attested provisioning path of
+// the paper's §4.2 deployment.
+func (g *Gateway) LoadModel(name string, version int, path string) error {
+	blob, err := fsapi.ReadFile(g.container.FS(), path)
+	if err != nil {
+		return fmt.Errorf("serving: load %s@%d from %q: %w", name, version, path, err)
+	}
+	model, err := tflite.Unmarshal(blob)
+	if err != nil {
+		return fmt.Errorf("serving: parse %s@%d from %q: %w", name, version, path, err)
+	}
+	return g.Register(name, version, model)
+}
+
+// SetServing atomically switches the version unpinned requests resolve
+// to. In-flight work keeps the version it resolved at dispatch, so a swap
+// under load drops no requests; the previous version stays registered
+// (for pinned clients and rollback) until RemoveVersion.
+func (g *Gateway) SetServing(name string, version int) error {
+	m := g.lookup(name)
+	if m == nil {
+		return fmt.Errorf("serving: unknown model %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.versions[version]; !ok {
+		return fmt.Errorf("serving: model %s has no version %d", name, version)
+	}
+	m.serving = version
+	return nil
+}
+
+// RemoveVersion unregisters name@version, waits for its in-flight batches
+// to finish and releases its interpreter pool. The serving version cannot
+// be removed.
+func (g *Gateway) RemoveVersion(name string, version int) error {
+	m := g.lookup(name)
+	if m == nil {
+		return fmt.Errorf("serving: unknown model %q", name)
+	}
+	m.mu.Lock()
+	v, ok := m.versions[version]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("serving: model %s has no version %d", name, version)
+	}
+	if version == m.serving {
+		m.mu.Unlock()
+		return fmt.Errorf("serving: model %s@%d is the serving version; SetServing another first", name, version)
+	}
+	delete(m.versions, version)
+	m.mu.Unlock()
+	// New work can no longer resolve to v; wait out what already did.
+	v.inflight.Wait()
+	v.pool.close()
+	return nil
+}
+
+// ServingVersion reports the version unpinned requests for name currently
+// resolve to (0 if the model is unknown).
+func (g *Gateway) ServingVersion(name string) int {
+	m := g.lookup(name)
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serving
+}
+
+// Models lists the registered model names, sorted.
+func (g *Gateway) Models() []string {
+	g.reg.mu.Lock()
+	defer g.reg.mu.Unlock()
+	names := make([]string, 0, len(g.reg.models))
+	for name := range g.reg.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookup finds a served model by name.
+func (g *Gateway) lookup(name string) *servedModel {
+	g.reg.mu.Lock()
+	defer g.reg.mu.Unlock()
+	return g.reg.models[name]
+}
+
+// acquire resolves a requested version (0 = serving) to a live version
+// entry and marks one unit of in-flight work on it, so RemoveVersion
+// cannot release the pool underneath a running batch.
+func (m *servedModel) acquire(version int) (*modelVersion, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if version == 0 {
+		version = m.serving
+	}
+	v := m.versions[version]
+	if v == nil {
+		return nil, version
+	}
+	v.inflight.Add(1)
+	return v, version
+}

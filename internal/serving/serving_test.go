@@ -1,0 +1,743 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/fsapi"
+	"github.com/securetf/securetf/internal/models"
+	"github.com/securetf/securetf/internal/seccrypto"
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/shield/fsshield"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tflite"
+)
+
+// launchContainer starts a SCONE HW container for serving tests.
+func launchContainer(t testing.TB, mods ...func(*core.Config)) *core.Container {
+	t.Helper()
+	platform, err := sgx.NewPlatform("serving-node", sgx.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Kind:     core.RuntimeSconeHW,
+		Platform: platform,
+		Image:    sgx.SyntheticImage("tflite-app", tflite.BinarySize, 4<<20),
+		HostFS:   fsapi.NewMem(),
+	}
+	for _, m := range mods {
+		m(&cfg)
+	}
+	c, err := core.Launch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// buildModel freezes and converts an MNIST MLP; different seeds give
+// different weights, so versions are distinguishable by their outputs.
+func buildModel(t testing.TB, seed int64) *tflite.Model {
+	t.Helper()
+	h := models.MNISTMLP(seed)
+	sess := tf.NewSession(h.Graph)
+	defer sess.Close()
+	frozen, fx, fl, err := models.FreezeForInference(h, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := tflite.Convert(frozen, []*tf.Node{fx}, []*tf.Node{fl}, tflite.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// runLocal executes one model on a bare interpreter — the reference
+// output the gateway's batched path must reproduce bitwise.
+func runLocal(t testing.TB, model *tflite.Model, input *tf.Tensor) *tf.Tensor {
+	t.Helper()
+	ip, err := tflite.NewInterpreter(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	if err := ip.SetInput(0, input); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ip.Output(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sameTensor reports bitwise equality of two Float32 tensors.
+func sameTensor(a, b *tf.Tensor) bool {
+	if fmt.Sprint(a.Shape()) != fmt.Sprint(b.Shape()) || a.DType() != b.DType() {
+		return false
+	}
+	for i, v := range a.Floats() {
+		if b.Floats()[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func input(rows int, seed int64) *tf.Tensor {
+	return tf.RandNormal(tf.Shape{rows, 28, 28, 1}, 1, seed)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf writeBuffer
+	in := input(2, 7)
+	if err := writeRequest(&buf, wireRequest{Model: "densenet", Version: 3, Argmax: true, Input: in}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := readRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Model != "densenet" || req.Version != 3 || !req.Argmax || !sameTensor(req.Input, in) {
+		t.Fatalf("request round trip: %+v", req)
+	}
+
+	if err := writeResponse(&buf, wireResponse{Status: StatusOK, Version: 2, Output: in}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || resp.Version != 2 || !sameTensor(resp.Output, in) {
+		t.Fatalf("response round trip: %+v", resp)
+	}
+
+	if err := writeResponse(&buf, wireResponse{Status: StatusOverloaded, Message: "queue full"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = readResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOverloaded || resp.Message != "queue full" {
+		t.Fatalf("error response round trip: %+v", resp)
+	}
+	if StatusOverloaded.String() != "OVERLOADED" || Status(200).String() != "STATUS_200" {
+		t.Fatal("status names")
+	}
+}
+
+// writeBuffer is an in-memory io.ReadWriter for wire tests.
+type writeBuffer struct{ data []byte }
+
+func (b *writeBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *writeBuffer) Read(p []byte) (int, error) {
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+func TestConcurrentClientsMultipleModels(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{Replicas: 2, MaxBatch: 4, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	modelA, modelB := buildModel(t, 1), buildModel(t, 2)
+	if err := g.Register("alpha", 1, modelA); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("beta", 1, modelB); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, perClient = 4, 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < perClient; j++ {
+				name := "alpha"
+				if (i+j)%2 == 1 {
+					name = "beta"
+				}
+				classes, err := cl.Classify(name, input(1+j%3, int64(i*100+j)))
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %w", i, j, err)
+					return
+				}
+				for _, cls := range classes {
+					if cls < 0 || cls >= 10 {
+						errs <- fmt.Errorf("class %d out of range", cls)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Served(); got != clients*perClient {
+		t.Fatalf("served %d of %d requests", got, clients*perClient)
+	}
+	metrics := g.Metrics()
+	if len(metrics) != 2 {
+		t.Fatalf("metrics entries: %+v", metrics)
+	}
+	for _, m := range metrics {
+		if m.Served == 0 || !m.Serving {
+			t.Fatalf("model %s@%d: %+v", m.Model, m.Version, m)
+		}
+		if m.P50 <= 0 || m.P99 < m.P50 {
+			t.Fatalf("latency percentiles: %+v", m)
+		}
+	}
+}
+
+func TestClientConcurrentUseOneConnection(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register("m", 1, buildModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := cl.Classify("m", input(1, int64(i*10+j))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := g.Served(); got != 40 {
+		t.Fatalf("served = %d", got)
+	}
+}
+
+// gatedGateway builds a gateway whose dispatcher waits on the returned
+// gate channel, so tests can pile requests into the queue
+// deterministically before any dispatch happens.
+func gatedGateway(t *testing.T, c *core.Container, cfg Config) (*Gateway, chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	cfg.gate = gate
+	g, err := NewGateway(c, "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, gate
+}
+
+// queueDepth reads a model's current admission-queue occupancy.
+func queueDepth(g *Gateway, name string) int {
+	m := g.lookup(name)
+	if m == nil {
+		return -1
+	}
+	return len(m.queue)
+}
+
+func TestBatchingCorrectness(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{MaxBatch: 8, BatchWindow: 50 * time.Millisecond})
+	model := buildModel(t, 3)
+	if err := g.Register("m", 1, model); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	inputs := make([]*tf.Tensor, n)
+	for i := range inputs {
+		inputs[i] = input(1, int64(i+1))
+	}
+	outputs := make([]*tf.Tensor, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			out, _, err := cl.Infer("m", 0, inputs[i])
+			outputs[i] = out
+			errs <- err
+		}(i)
+	}
+	// All eight requests must be queued before the dispatcher runs, so
+	// they coalesce into exactly one batched invocation.
+	waitFor(t, "8 queued requests", func() bool { return queueDepth(g, "m") == n })
+	close(gate)
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range inputs {
+		ref := runLocal(t, model, inputs[i])
+		if !sameTensor(outputs[i], ref) {
+			t.Fatalf("request %d: batched output differs from per-request output", i)
+		}
+	}
+	m := g.Metrics()[0]
+	if m.Served != n || m.Batches != 1 {
+		t.Fatalf("served %d in %d batches, want %d in 1", m.Served, m.Batches, n)
+	}
+}
+
+func TestBatchingMixedRowCountsAndPinnedVersions(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{MaxBatch: 16, BatchWindow: 50 * time.Millisecond})
+	v1, v2 := buildModel(t, 4), buildModel(t, 5)
+	if err := g.Register("m", 1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 2, v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed batch: multi-row requests plus one pinned to version 2; the
+	// batcher must split groups by resolved version and keep row order.
+	type job struct {
+		rows    int
+		version int
+	}
+	jobs := []job{{1, 0}, {3, 0}, {2, 2}, {1, 0}}
+	outputs := make([]*tf.Tensor, len(jobs))
+	versions := make([]int, len(jobs))
+	inputs := make([]*tf.Tensor, len(jobs))
+	errs := make(chan error, len(jobs))
+	for i, j := range jobs {
+		inputs[i] = input(j.rows, int64(10+i))
+		go func(i int, j job) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			out, ver, err := cl.Infer("m", j.version, inputs[i])
+			outputs[i], versions[i] = out, ver
+			errs <- err
+		}(i, j)
+	}
+	waitFor(t, "4 queued requests", func() bool { return queueDepth(g, "m") == len(jobs) })
+	close(gate)
+	for range jobs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, j := range jobs {
+		wantModel, wantVer := v1, 1
+		if j.version == 2 {
+			wantModel, wantVer = v2, 2
+		}
+		if versions[i] != wantVer {
+			t.Fatalf("request %d served by version %d, want %d", i, versions[i], wantVer)
+		}
+		if !sameTensor(outputs[i], runLocal(t, wantModel, inputs[i])) {
+			t.Fatalf("request %d: output differs from its version's reference", i)
+		}
+	}
+}
+
+func TestMaxBatchBoundsRowsPerInvoke(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{MaxBatch: 4, BatchWindow: 50 * time.Millisecond})
+	model := buildModel(t, 13)
+	if err := g.Register("m", 1, model); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any two of these row counts exceed MaxBatch=4 together, so in any
+	// arrival order each request must run as its own invocation: the
+	// collector carries an overflowing request into the next batch, and
+	// a single oversized request (6 rows) runs alone rather than being
+	// split or over-coalesced.
+	rowCounts := []int{3, 2, 6}
+	inputs := make([]*tf.Tensor, len(rowCounts))
+	outputs := make([]*tf.Tensor, len(rowCounts))
+	errs := make(chan error, len(rowCounts))
+	for i, rows := range rowCounts {
+		inputs[i] = input(rows, int64(20+i))
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			out, _, err := cl.Infer("m", 0, inputs[i])
+			outputs[i] = out
+			errs <- err
+		}(i)
+	}
+	waitFor(t, "3 queued requests", func() bool { return queueDepth(g, "m") == len(rowCounts) })
+	close(gate)
+	for range rowCounts {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := g.Metrics()[0]
+	if m.Served != 3 || m.Batches != 3 {
+		t.Fatalf("served %d in %d batches, want 3 in 3 (MaxBatch must hold)", m.Served, m.Batches)
+	}
+	for i := range inputs {
+		if !sameTensor(outputs[i], runLocal(t, model, inputs[i])) {
+			t.Fatalf("request %d: output differs from reference", i)
+		}
+	}
+}
+
+func TestOverloadRejection(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{QueueCap: 2})
+	if err := g.Register("m", 1, buildModel(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the admission queue while the dispatcher is gated.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			_, err = cl.Classify("m", input(1, int64(i)))
+			errs <- err
+		}(i)
+	}
+	waitFor(t, "full queue", func() bool { return queueDepth(g, "m") == 2 })
+
+	// The third request must be rejected with the distinct wire status.
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Classify("m", input(1, 9)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := g.Metrics()[0]
+	if m.Rejected != 1 || m.Served != 2 {
+		t.Fatalf("rejected %d served %d, want 1 and 2", m.Rejected, m.Served)
+	}
+}
+
+func TestHotSwapUnderLoadNoDropsNoMisversions(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{Replicas: 2, MaxBatch: 8, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	v1, v2 := buildModel(t, 7), buildModel(t, 8)
+	if err := g.Register("m", 1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 2, v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// One fixed probe input with a per-version reference output, so a
+	// mis-versioned response (wrong weights for the reported version) is
+	// caught bitwise.
+	probe := input(1, 42)
+	refs := map[int]*tf.Tensor{1: runLocal(t, v1, probe), 2: runLocal(t, v2, probe)}
+	if sameTensor(refs[1], refs[2]) {
+		t.Fatal("versions are not distinguishable; the mis-version check would be vacuous")
+	}
+
+	const workers, perWorker = 6, 40
+	var swapped sync.WaitGroup
+	swapped.Add(1)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			pinned := w%2 == 0
+			for i := 0; i < perWorker; i++ {
+				if w == 0 && i == perWorker/2 {
+					// Swap mid-load, with traffic in flight everywhere.
+					if err := g.SetServing("m", 2); err != nil {
+						errs <- err
+						return
+					}
+					swapped.Done()
+				}
+				reqVersion := 0
+				if pinned {
+					reqVersion = 1
+				}
+				out, ver, err := cl.Infer("m", reqVersion, probe)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d request %d failed: %w", w, i, err)
+					return
+				}
+				if pinned && ver != 1 {
+					errs <- fmt.Errorf("pinned request served by version %d", ver)
+					return
+				}
+				ref, ok := refs[ver]
+				if !ok {
+					errs <- fmt.Errorf("response reports unknown version %d", ver)
+					return
+				}
+				if !sameTensor(out, ref) {
+					errs <- fmt.Errorf("mis-versioned response: output does not match version %d", ver)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	swapped.Wait()
+	if got := g.Served(); got != workers*perWorker {
+		t.Fatalf("served %d of %d requests across the swap", got, workers*perWorker)
+	}
+	if g.ServingVersion("m") != 2 {
+		t.Fatalf("serving version = %d after swap", g.ServingVersion("m"))
+	}
+	// The old version drains cleanly once no longer serving.
+	if err := g.RemoveVersion("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveVersion("m", 2); err == nil {
+		t.Fatal("removed the serving version")
+	}
+}
+
+// TestBatchedThroughputBeatsUnbatched is the acceptance check: the same
+// model, client count and request load finish in strictly less virtual
+// time with micro-batching on, because the per-invoke weight streaming is
+// amortized across the batch.
+func TestBatchedThroughputBeatsUnbatched(t *testing.T) {
+	const requests = 16
+	run := func(maxBatch int) time.Duration {
+		c := launchContainer(t)
+		cfg := Config{MaxBatch: maxBatch, BatchWindow: 50 * time.Millisecond}
+		g, gate := gatedGateway(t, c, cfg)
+		if err := g.Register("m", 1, buildModel(t, 9)); err != nil {
+			t.Fatal(err)
+		}
+		errs := make(chan error, requests)
+		before := c.Clock().Now()
+		for i := 0; i < requests; i++ {
+			go func(i int) {
+				cl, err := Dial(c, g.Addr(), "")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cl.Close()
+				_, err = cl.Classify("m", input(1, int64(i)))
+				errs <- err
+			}(i)
+		}
+		// Identical episodes: all requests queued, then dispatched.
+		waitFor(t, "queued requests", func() bool { return queueDepth(g, "m") == requests })
+		close(gate)
+		for i := 0; i < requests; i++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Clock().Now() - before
+	}
+	unbatched := run(1)
+	batched := run(requests)
+	if batched >= unbatched {
+		t.Fatalf("batched virtual time %v is not strictly below unbatched %v", batched, unbatched)
+	}
+	t.Logf("virtual time for %d requests: unbatched %v, batched %v (%.1fx)",
+		requests, unbatched, batched, float64(unbatched)/float64(batched))
+}
+
+func TestRegistryLifecycleAndShieldedLoad(t *testing.T) {
+	key, err := seccrypto.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := launchContainer(t, func(cfg *core.Config) {
+		cfg.FSShieldRules = []fsshield.Rule{{Prefix: "volumes/models/", Level: fsshield.LevelEncrypted}}
+		cfg.VolumeKey = &key
+	})
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	model := buildModel(t, 10)
+	if err := fsapi.WriteFile(c.FS(), "volumes/models/m.stfl", model.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	// The model loads through the file-system shield (decrypt + verify).
+	if err := g.LoadModel("m", 1, "volumes/models/m.stfl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LoadModel("m", 1, "volumes/models/m.stfl"); err == nil {
+		t.Fatal("duplicate name@version accepted")
+	}
+	if err := g.LoadModel("m", 2, "volumes/models/missing.stfl"); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+	if err := g.SetServing("m", 9); err == nil {
+		t.Fatal("SetServing accepted an unknown version")
+	}
+	if err := g.SetServing("ghost", 1); err == nil {
+		t.Fatal("SetServing accepted an unknown model")
+	}
+	if err := g.RemoveVersion("m", 1); err == nil {
+		t.Fatal("removed the only serving version")
+	}
+	if got := fmt.Sprint(g.Models()); got != "[m]" {
+		t.Fatalf("models = %s", got)
+	}
+
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Classify("m", input(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Classify("ghost", input(1, 1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, _, err := cl.Infer("m", 7, input(1, 1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound for unknown version", err)
+	}
+	if _, err := cl.Classify("m", tf.Scalar(1)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest for a scalar input", err)
+	}
+}
+
+func TestCloseWithIdleConnectionsDoesNotHang(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 1, buildModel(t, 11)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One client completes a request and then idles on the open
+	// connection; another connects and never sends a byte. Close must
+	// still return: it closes live conns to unpark the blocked readers.
+	busy, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	if _, err := busy.Classify("m", input(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	idle, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- g.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with idle connections open")
+	}
+	if _, err := busy.Classify("m", input(1, 2)); err == nil {
+		t.Fatal("classify succeeded after gateway close")
+	}
+	if err := g.Register("late", 1, buildModel(t, 12)); err == nil {
+		t.Fatal("register succeeded after close")
+	}
+}

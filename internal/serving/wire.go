@@ -1,0 +1,180 @@
+// Wire protocol of the serving gateway.
+//
+// The §4.2 classifier protocol carried bare length-prefixed tensors; the
+// gateway extends each request with a model-name/version header and each
+// response with an explicit status code, so one endpoint can serve many
+// models and clients can distinguish overload (back off and retry) from
+// hard failures. Frames remain length-prefixed so the protocol runs
+// unchanged over plain TCP and over the network shield's TLS.
+package serving
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/securetf/securetf/internal/core"
+	"github.com/securetf/securetf/internal/tf"
+)
+
+// Status is the response status code on the wire.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK carries a result tensor.
+	StatusOK Status = 0
+	// StatusOverloaded signals admission-control rejection: the model's
+	// request queue is full. Clients should back off and retry.
+	StatusOverloaded Status = 1
+	// StatusNotFound signals an unknown model name or version.
+	StatusNotFound Status = 2
+	// StatusBadRequest signals a malformed or incompatible input tensor.
+	StatusBadRequest Status = 3
+	// StatusShuttingDown signals the gateway is draining.
+	StatusShuttingDown Status = 4
+	// StatusInternal signals an interpreter failure.
+	StatusInternal Status = 5
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusOverloaded:
+		return "OVERLOADED"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusShuttingDown:
+		return "SHUTTING_DOWN"
+	case StatusInternal:
+		return "INTERNAL"
+	default:
+		return fmt.Sprintf("STATUS_%d", uint8(s))
+	}
+}
+
+const (
+	// protoVersion is the first byte of every request and response
+	// payload, so protocol evolution stays detectable.
+	protoVersion = 1
+	// maxModelName bounds the model-name header field.
+	maxModelName = 1 << 10
+)
+
+// flagArgmax asks the server to reduce the output to the argmax class
+// per row before responding — the classic classifier contract: only the
+// label leaves the enclave, and the response is 4 bytes/row instead of
+// a full probability vector.
+const flagArgmax = 1 << 0
+
+// wireRequest is one decoded inference request.
+type wireRequest struct {
+	Model   string
+	Version int // 0 requests the current serving version
+	Argmax  bool
+	Input   *tf.Tensor
+}
+
+// writeRequest encodes and sends a request frame.
+func writeRequest(w io.Writer, req wireRequest) error {
+	if len(req.Model) == 0 || len(req.Model) > maxModelName {
+		return fmt.Errorf("serving: model name of %d bytes", len(req.Model))
+	}
+	if req.Version < 0 {
+		return fmt.Errorf("serving: negative model version %d", req.Version)
+	}
+	var flags byte
+	if req.Argmax {
+		flags |= flagArgmax
+	}
+	enc := tf.EncodeTensor(req.Input)
+	payload := make([]byte, 0, 1+1+2+len(req.Model)+4+len(enc))
+	payload = append(payload, protoVersion, flags)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(req.Model)))
+	payload = append(payload, req.Model...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(req.Version))
+	payload = append(payload, enc...)
+	return core.WriteFrame(w, payload)
+}
+
+// readRequest reads and decodes a request frame.
+func readRequest(r io.Reader) (wireRequest, error) {
+	payload, err := core.ReadFrame(r)
+	if err != nil {
+		return wireRequest{}, err
+	}
+	if len(payload) < 1+1+2 || payload[0] != protoVersion {
+		return wireRequest{}, fmt.Errorf("serving: bad request header")
+	}
+	flags := payload[1]
+	nameLen := int(binary.LittleEndian.Uint16(payload[2:]))
+	rest := payload[4:]
+	if nameLen == 0 || nameLen > maxModelName || len(rest) < nameLen+4 {
+		return wireRequest{}, fmt.Errorf("serving: bad request model header")
+	}
+	model := string(rest[:nameLen])
+	version := int(binary.LittleEndian.Uint32(rest[nameLen:]))
+	input, err := tf.DecodeTensor(rest[nameLen+4:])
+	if err != nil {
+		return wireRequest{}, fmt.Errorf("serving: decode request tensor: %w", err)
+	}
+	return wireRequest{
+		Model:   model,
+		Version: version,
+		Argmax:  flags&flagArgmax != 0,
+		Input:   input,
+	}, nil
+}
+
+// wireResponse is one decoded inference response.
+type wireResponse struct {
+	Status  Status
+	Version int // the model version that served an OK response
+	Output  *tf.Tensor
+	Message string
+}
+
+// writeResponse encodes and sends a response frame.
+func writeResponse(w io.Writer, resp wireResponse) error {
+	var body []byte
+	if resp.Status == StatusOK {
+		body = tf.EncodeTensor(resp.Output)
+	} else {
+		body = []byte(resp.Message)
+	}
+	payload := make([]byte, 0, 1+1+4+len(body))
+	payload = append(payload, protoVersion, byte(resp.Status))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(resp.Version))
+	payload = append(payload, body...)
+	return core.WriteFrame(w, payload)
+}
+
+// readResponse reads and decodes a response frame.
+func readResponse(r io.Reader) (wireResponse, error) {
+	payload, err := core.ReadFrame(r)
+	if err != nil {
+		return wireResponse{}, err
+	}
+	if len(payload) < 1+1+4 || payload[0] != protoVersion {
+		return wireResponse{}, fmt.Errorf("serving: bad response header")
+	}
+	resp := wireResponse{
+		Status:  Status(payload[1]),
+		Version: int(binary.LittleEndian.Uint32(payload[2:])),
+	}
+	body := payload[6:]
+	if resp.Status == StatusOK {
+		out, err := tf.DecodeTensor(body)
+		if err != nil {
+			return wireResponse{}, fmt.Errorf("serving: decode response tensor: %w", err)
+		}
+		resp.Output = out
+	} else {
+		resp.Message = string(body)
+	}
+	return resp, nil
+}

@@ -1,24 +1,124 @@
 package securetf
 
-import "github.com/securetf/securetf/internal/core"
+import (
+	"github.com/securetf/securetf/internal/serving"
+)
 
-// InferenceService is the paper's §4.2 classifier service: it takes
-// classification requests over the network (through the network shield
-// when the container is provisioned) and answers with TensorFlow Lite.
-type InferenceService = core.InferenceService
+// ModelServer is the §4.2 serving gateway: a versioned multi-model
+// inference service with interpreter-replica pools, adaptive
+// micro-batching and bounded-queue admission control, listening through
+// the container's (possibly shielded) listener. Register models with
+// Register or LoadModel, switch traffic atomically with SetServing and
+// read counters with Metrics.
+type ModelServer = serving.Gateway
 
-// InferenceClient talks to an InferenceService.
-type InferenceClient = core.InferenceClient
+// ServingConfig tunes a ModelServer: replicas per version, device
+// threads per replica, micro-batching window and size, and the admission
+// queue bound.
+type ServingConfig = serving.Config
+
+// ServingMetrics is one model version's serving counters: requests
+// served, batches invoked, overload rejections, queue depth and p50/p99
+// virtual latency.
+type ServingMetrics = serving.ModelMetrics
+
+// ModelClient talks to a ModelServer. It is safe for concurrent use, and
+// can address any registered model by name and version.
+type ModelClient = serving.Client
+
+// ServingStatus is a wire status code of the serving protocol.
+type ServingStatus = serving.Status
+
+// Serving errors clients can react to by kind: back off on
+// ErrOverloaded, fail over on ErrServerDraining.
+var (
+	ErrOverloaded     = serving.ErrOverloaded
+	ErrModelNotFound  = serving.ErrNotFound
+	ErrServerDraining = serving.ErrShuttingDown
+)
+
+// ServeModels starts a serving gateway on addr through the container's
+// listener. Models are added afterwards with ModelServer.Register (an
+// in-memory Lite model) or ModelServer.LoadModel (a model file read
+// through the container's shielded file system).
+func ServeModels(c *Container, addr string, cfg ServingConfig) (*ModelServer, error) {
+	return serving.NewGateway(c, addr, cfg)
+}
+
+// DialModelServer connects a container to a serving gateway, using the
+// container's shielded dial when the network shield is provisioned.
+// serverName must match the service identity issued by the CAS.
+func DialModelServer(c *Container, addr, serverName string) (*ModelClient, error) {
+	return serving.Dial(c, addr, serverName)
+}
+
+// DefaultModelName is the registry name ServeInference publishes its
+// single model under.
+const DefaultModelName = "default"
+
+// InferenceService is the single-model facade of the paper's §4.2
+// classifier service, kept for the one-model deployments and examples:
+// a thin wrapper that runs one Lite model as DefaultModelName@1 on a
+// ModelServer gateway.
+type InferenceService struct {
+	gw *serving.Gateway
+}
+
+// InferenceClient talks to an InferenceService. It is safe for
+// concurrent Classify calls.
+type InferenceClient struct {
+	cl *serving.Client
+}
 
 // ServeInference loads a Lite model and serves classification requests
-// on addr through the container's (possibly shielded) listener.
+// on addr through the container's (possibly shielded) listener. It is the
+// single-model form of ServeModels: the model is registered as
+// DefaultModelName@1 with one interpreter replica and no batching. The
+// admission queue is deep enough that the wrapper keeps the original
+// service's never-reject contract for any plausible single-model load;
+// deployments that want real backpressure should use ServeModels with an
+// explicit QueueCap.
 func ServeInference(c *Container, model *LiteModel, addr string, threads int) (*InferenceService, error) {
-	return core.NewInferenceService(c, model, addr, threads)
+	gw, err := serving.NewGateway(c, addr, serving.Config{Replicas: 1, Threads: threads, QueueCap: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	if err := gw.Register(DefaultModelName, 1, model); err != nil {
+		gw.Close()
+		return nil, err
+	}
+	return &InferenceService{gw: gw}, nil
 }
+
+// Addr returns the service address.
+func (s *InferenceService) Addr() string { return s.gw.Addr() }
+
+// Served reports how many requests completed.
+func (s *InferenceService) Served() int { return s.gw.Served() }
+
+// Gateway exposes the underlying ModelServer (register more models,
+// read metrics, hot-swap versions).
+func (s *InferenceService) Gateway() *ModelServer { return s.gw }
+
+// Close drains and stops the service.
+func (s *InferenceService) Close() error { return s.gw.Close() }
 
 // DialInference connects a container to an inference service, using the
 // container's shielded dial when the network shield is provisioned.
 // serverName must match the service identity issued by the CAS.
 func DialInference(c *Container, addr, serverName string) (*InferenceClient, error) {
-	return core.NewInferenceClient(c, addr, serverName)
+	cl, err := serving.Dial(c, addr, serverName)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceClient{cl: cl}, nil
 }
+
+// Classify sends a batch to the service's default model and returns the
+// predicted class per row.
+func (cl *InferenceClient) Classify(input *Tensor) ([]int, error) {
+	return cl.cl.Classify(DefaultModelName, input)
+}
+
+// Close closes the client connection.
+func (cl *InferenceClient) Close() error { return cl.cl.Close() }
