@@ -1,0 +1,127 @@
+// Command securetf-benchgate converts `go test -json` benchmark output
+// into the committed BENCH_ci.json format and enforces the benchmark
+// regression gate against the baseline checked into the repository.
+//
+// CI usage (the bench job):
+//
+//	go test -run '^$' -bench 'Serving|Dist' -benchtime 1x -json ./... > bench.raw.json
+//	securetf-benchgate -in bench.raw.json -baseline BENCH_baseline.json -out BENCH_ci.json
+//
+// The command exits non-zero when a gated metric regresses beyond its
+// allowance, printing every violation. With -update-baseline it instead
+// rewrites the baseline's metrics from the current run (keeping the
+// gate definitions), the reviewed path for intentional perf changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/securetf/securetf/internal/benchfmt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "securetf-benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("securetf-benchgate", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "path to `go test -json` output (default stdin)")
+		baseline = fs.String("baseline", "BENCH_baseline.json", "committed baseline with gate definitions")
+		out      = fs.String("out", "BENCH_ci.json", "where to write the converted committed-format report ('' disables)")
+		update   = fs.Bool("update-baseline", false, "rewrite the baseline's metrics from this run instead of gating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	report, err := benchfmt.ParseGoTestJSON(src)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := benchfmt.Marshal(report)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	}
+
+	baseData, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	base, err := benchfmt.ParseBaseline(baseData)
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		// Merge this run's metrics over the existing ones, keeping the
+		// reviewed gate list — and keeping baseline entries the run did
+		// not produce, so updating from a partial benchmark run cannot
+		// orphan a gate.
+		if base.Benchmarks == nil {
+			base.Benchmarks = make(map[string]benchfmt.Metrics)
+		}
+		for name, metrics := range report.Benchmarks {
+			base.Benchmarks[name] = metrics
+		}
+		// Every gate must still resolve against the merged metrics
+		// before anything is written.
+		if _, err := benchfmt.Check(base, &benchfmt.Report{Format: 1, Benchmarks: base.Benchmarks}); err != nil {
+			return fmt.Errorf("refusing to write baseline: %w", err)
+		}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baseline, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "updated %s from this run\n", *baseline)
+		return nil
+	}
+
+	violations, err := benchfmt.Check(base, report)
+	if err != nil {
+		return err
+	}
+	for _, g := range base.Gates {
+		baseVal := base.Benchmarks[g.Bench][g.Metric]
+		curVal, ok := report.Benchmarks[g.Bench][g.Metric]
+		status := "ok"
+		if !ok {
+			status = "MISSING"
+		}
+		fmt.Fprintf(w, "gate %-50s %-22s baseline %10.4g current %10.4g  %s\n",
+			g.Bench, g.Metric, baseVal, curVal, status)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(w, "REGRESSION: %s\n", v)
+		}
+		return fmt.Errorf("%d benchmark gate(s) failed", len(violations))
+	}
+	fmt.Fprintln(w, "all benchmark gates passed")
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `{"Action":"output","Package":"p","Output":"BenchmarkServingThroughput/batch32-8 \t"}
+{"Action":"output","Package":"p","Output":"       1\t  7421913 ns/op\t        11.21 req/s-virtual\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkDistShardedTraining-8 \t       1\t  99 ns/op\t  1.892 speedup-2workers-x\n"}
+`
+
+const sampleBaseline = `{
+  "format": 1,
+  "gates": [
+    {"bench": "BenchmarkServingThroughput/batch32", "metric": "req/s-virtual", "max_regression_pct": 20, "higher_is_better": true},
+    {"bench": "BenchmarkDistShardedTraining", "metric": "speedup-2workers-x", "max_regression_pct": 20, "higher_is_better": true}
+  ],
+  "benchmarks": {
+    "BenchmarkServingThroughput/batch32": {"req/s-virtual": %s},
+    "BenchmarkDistShardedTraining": {"speedup-2workers-x": 1.9}
+  }
+}`
+
+func runGate(t *testing.T, baselineReqs string) (string, string, error) {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.raw.json")
+	baseline := filepath.Join(dir, "BENCH_baseline.json")
+	out := filepath.Join(dir, "BENCH_ci.json")
+	if err := os.WriteFile(in, []byte(sampleStream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := strings.Replace(sampleBaseline, "%s", baselineReqs, 1)
+	if err := os.WriteFile(baseline, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-in", in, "-baseline", baseline, "-out", out}, &buf)
+	return buf.String(), out, err
+}
+
+func TestGatePassesAndWritesReport(t *testing.T) {
+	output, out, err := runGate(t, "11.0")
+	if err != nil {
+		t.Fatalf("gate failed on healthy run: %v\n%s", err, output)
+	}
+	if !strings.Contains(output, "all benchmark gates passed") {
+		t.Fatalf("missing pass message:\n%s", output)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"req/s-virtual": 11.21`) {
+		t.Fatalf("BENCH_ci.json missing converted metric:\n%s", data)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// Baseline claims 20 req/s-virtual; the run delivers 11.21 — a 44%
+	// regression, well past the 20% allowance.
+	output, _, err := runGate(t, "20")
+	if err == nil {
+		t.Fatalf("gate passed a 44%% regression:\n%s", output)
+	}
+	if !strings.Contains(output, "REGRESSION") {
+		t.Fatalf("missing regression report:\n%s", output)
+	}
+}

@@ -56,6 +56,34 @@ func TestWorkerServesMultipleModels(t *testing.T) {
 	}
 }
 
+// TestWorkerTrainsSharded runs the worker's distributed-training mode:
+// a 2-worker cluster with the parameter server sharded across 2 nodes,
+// each shard on its own listener, every connection through the network
+// shield.
+func TestWorkerTrainsSharded(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-train",
+		"-train-workers", "2",
+		"-ps-shards", "2",
+		"-train-rounds", "2",
+		"-train-batch", "10",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("train mode: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"2 workers, 2 parameter-server shards",
+		"round 2: mean loss",
+		"push wire per shard per round",
+		"end-to-end training latency",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 // runWorker drives a full worker startup against an in-process CAS and
 // returns the worker's output.
 func runWorker(t *testing.T, platformName string, extraArgs ...string) string {

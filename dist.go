@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
+	"github.com/securetf/securetf/internal/seccrypto"
 	"github.com/securetf/securetf/internal/tf/dist"
 )
 
@@ -33,11 +35,21 @@ func WithRoundTimeout(d time.Duration) PSOption {
 	return func(cfg *dist.PSConfig) { cfg.RoundTimeout = d }
 }
 
+// WithShard places the parameter server as shard `shard` (0-based) of a
+// `shards`-node sharded cluster. The server retains only the variables
+// the name-hash placement assigns to it; workers must be started with
+// the full ordered shard address list (WorkerSpec.Addrs). The default is
+// the classic single parameter server — exactly the 1-shard case.
+func WithShard(shard, shards int) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.Shard, cfg.Shards = shard, shards }
+}
+
 // StartParameterServer starts a parameter server inside a container,
 // listening on addr through the container's (possibly TLS-shielded)
 // listener. workers is the synchronous-round size and lr the learning
 // rate applied to averaged gradients. The PS's gradient-averaging work
-// is charged to the container's cost model.
+// is charged to the container's cost model. Pass the full model variable
+// set even with WithShard: the server keeps only its own partition.
 func StartParameterServer(c *Container, addr string, vars map[string]*Tensor, workers int, lr float64, opts ...PSOption) (*ParameterServer, net.Addr, error) {
 	if c == nil {
 		return nil, nil, errors.New("securetf: StartParameterServer requires a container")
@@ -45,13 +57,6 @@ func StartParameterServer(c *Container, addr string, vars map[string]*Tensor, wo
 	ln, err := c.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("securetf: parameter server listen: %w", err)
-	}
-	if e := c.Enclave(); e != nil {
-		var varBytes int64
-		for _, v := range vars {
-			varBytes += v.Bytes()
-		}
-		e.Alloc("ps/vars", varBytes)
 	}
 	dev := c.Device(1)
 	cfg := dist.PSConfig{
@@ -69,6 +74,19 @@ func StartParameterServer(c *Container, addr string, vars map[string]*Tensor, wo
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if e := c.Enclave(); e != nil {
+		// Only this shard's partition of the variables lives in the
+		// enclave (all of them in the 1-shard case).
+		shards := cfg.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		var varBytes int64
+		for _, v := range dist.ShardVars(vars, cfg.Shard, shards) {
+			varBytes += v.Bytes()
+		}
+		e.Alloc("ps/vars", varBytes)
+	}
 	ps, err := dist.NewParameterServer(cfg)
 	if err != nil {
 		ln.Close()
@@ -81,8 +99,14 @@ func StartParameterServer(c *Container, addr string, vars map[string]*Tensor, wo
 type WorkerSpec struct {
 	// ID distinguishes workers.
 	ID int
-	// Addr is the parameter server address. Required.
+	// Addr is the parameter server address of a single-shard cluster.
+	// Exactly one of Addr and Addrs is required.
 	Addr string
+	// Addrs lists the parameter-server shard addresses in shard order
+	// (Addrs[s] is shard s of len(Addrs)). The connection handshake
+	// verifies each endpoint's shard identity and variable manifest, so
+	// a mis-sharded or partially started cluster fails fast.
+	Addrs []string
 	// ServerName is the TLS identity of the parameter server, used when
 	// the container's network shield is provisioned.
 	ServerName string
@@ -114,8 +138,9 @@ func StartTrainingWorker(c *Container, spec WorkerSpec) (*TrainingWorker, error)
 		serverName = "parameter-server"
 	}
 	worker, err := dist.NewWorker(dist.WorkerConfig{
-		ID:   spec.ID,
-		Addr: spec.Addr,
+		ID:    spec.ID,
+		Addr:  spec.Addr,
+		Addrs: spec.Addrs,
 		Dial: func(network, addr string) (net.Conn, error) {
 			return c.Dial(network, addr, serverName)
 		},
@@ -137,4 +162,270 @@ func StartTrainingWorker(c *Container, spec WorkerSpec) (*TrainingWorker, error)
 		return nil, fmt.Errorf("securetf: start training worker %d: %w", spec.ID, err)
 	}
 	return worker, nil
+}
+
+// TrainingBreakdown is the per-phase virtual time of one synchronous
+// training step: pull parameters, local compute, push gradients and
+// block on the round barrier.
+type TrainingBreakdown = dist.Breakdown
+
+// DistTrainConfig configures TrainDistributed, the one-call form of the
+// paper's §5.4 distributed training job: one enclave node per parameter
+// server shard and per worker, synchronous data-parallel SGD.
+type DistTrainConfig struct {
+	// Kind selects the runtime every node runs under. Defaults to
+	// SconeHW, the secureTF production mode.
+	Kind RuntimeKind
+	// TLS provisions a private CA and routes all parameter traffic
+	// through the network shield (the paper's Figure 8 "w/ TLS" series).
+	TLS bool
+	// Workers is the number of training workers. Required, ≥ 1.
+	Workers int
+	// PSShards is the number of parameter-server shards the variables
+	// are partitioned across by name hash. Default 1 — the classic
+	// single parameter server; the trained model is identical at any
+	// shard count, only the wire fan-out changes.
+	PSShards int
+	// Rounds is the number of synchronous rounds each worker runs.
+	// Required, ≥ 1.
+	Rounds int
+	// BatchSize is the per-worker, per-round minibatch size. Required.
+	BatchSize int
+	// LR is the learning rate applied to averaged gradients. Required.
+	LR float64
+	// NewModel builds one model replica. It is called once to seed the
+	// parameter servers and once per worker, and must be deterministic
+	// (build from a fixed seed) so all replicas start identical.
+	NewModel func() Model
+	// ShardData returns worker w's private training shard.
+	ShardData func(worker int) (xs, ys *Tensor, err error)
+	// RoundTimeout bounds how long a round may wait on a straggler
+	// before aborting. Zero disables the timeout.
+	RoundTimeout time.Duration
+}
+
+// DistTrainResult reports a distributed training job's outcome.
+type DistTrainResult struct {
+	// FinalLoss is the mean over workers of the last round's loss.
+	FinalLoss float64
+	// Losses[w][r] is worker w's minibatch loss at round r.
+	Losses [][]float64
+	// Rounds is the number of rounds committed by every shard.
+	Rounds int
+	// Latency is the end-to-end virtual time: the maximum over every
+	// node clock (shards and workers) when the job finished.
+	Latency time.Duration
+	// Breakdown is the last round's per-phase virtual time, each phase
+	// the maximum over workers.
+	Breakdown TrainingBreakdown
+	// PushWirePerShard is the mean per-shard, per-round virtual wire
+	// time of the gradient pushes — the bandwidth bottleneck sharding
+	// attacks: with N shards each parameter server receives only ~1/N of
+	// every worker's gradient bytes.
+	PushWirePerShard time.Duration
+}
+
+// TrainDistributed runs a complete synchronous data-parallel training
+// job: it launches one container per parameter-server shard and per
+// worker (each on its own platform, as in the paper's cluster), wires
+// the workers to every shard, trains for the configured rounds and
+// reports losses, the end-to-end virtual latency and the per-phase
+// breakdown. With PSShards: 1 it is exactly the classic single
+// parameter-server deployment.
+func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("securetf: DistTrainConfig.Workers must be ≥ 1, got %d", cfg.Workers)
+	}
+	if cfg.PSShards == 0 {
+		cfg.PSShards = 1
+	}
+	if cfg.PSShards < 1 {
+		return nil, fmt.Errorf("securetf: DistTrainConfig.PSShards must be ≥ 1, got %d", cfg.PSShards)
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("securetf: DistTrainConfig.Rounds must be ≥ 1, got %d", cfg.Rounds)
+	}
+	if cfg.NewModel == nil || cfg.ShardData == nil {
+		return nil, errors.New("securetf: DistTrainConfig.NewModel and ShardData are required")
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = SconeHW
+	}
+
+	var ca *seccrypto.CA
+	if cfg.TLS {
+		var err error
+		if ca, err = seccrypto.NewCA("train-distributed-ca"); err != nil {
+			return nil, err
+		}
+	}
+	launchNode := func(name string, server bool) (*Container, error) {
+		platform, err := NewPlatform(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := Launch(ContainerConfig{
+			Kind:     cfg.Kind,
+			Platform: platform,
+			Image:    TensorFlowImage(),
+			HostFS:   NewMemFS(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ca != nil {
+			cert, err := ca.Issue(name, "parameter-server", "localhost", "127.0.0.1")
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if err := c.UseIdentity(cert, ca, server); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+
+	// Parameter-server shards, one node each.
+	vars := InitialVariables(cfg.NewModel())
+	shardNodes := make([]*Container, cfg.PSShards)
+	shards := make([]*ParameterServer, cfg.PSShards)
+	addrs := make([]string, cfg.PSShards)
+	defer func() {
+		for _, c := range shardNodes {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for s := range shards {
+		c, err := launchNode(fmt.Sprintf("ps-shard-%d", s), true)
+		if err != nil {
+			return nil, err
+		}
+		shardNodes[s] = c
+		ps, addr, err := StartParameterServer(c, "127.0.0.1:0", vars, cfg.Workers, cfg.LR,
+			WithShard(s, cfg.PSShards), WithRoundTimeout(cfg.RoundTimeout))
+		if err != nil {
+			return nil, err
+		}
+		defer ps.Close()
+		shards[s] = ps
+		addrs[s] = addr.String()
+	}
+
+	// Worker nodes, trained concurrently.
+	workerNodes := make([]*Container, cfg.Workers)
+	defer func() {
+		for _, c := range workerNodes {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for w := range workerNodes {
+		c, err := launchNode(fmt.Sprintf("train-worker-%d", w), false)
+		if err != nil {
+			return nil, err
+		}
+		workerNodes[w] = c
+	}
+
+	res := &DistTrainResult{Losses: make([][]float64, cfg.Workers)}
+	workers := make([]*TrainingWorker, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	// A worker that fails before pushing leaves the others blocked on a
+	// barrier that can never fill; closing the shards aborts their
+	// rounds so the job returns the error instead of deadlocking (Close
+	// is idempotent — the deferred Closes above remain correct).
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() {
+			for _, ps := range shards {
+				ps.Close()
+			}
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if errs[w] != nil {
+					abort()
+				}
+			}()
+			xs, ys, err := cfg.ShardData(w)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			worker, err := StartTrainingWorker(workerNodes[w], WorkerSpec{
+				ID:         w,
+				Addrs:      addrs,
+				ServerName: "parameter-server",
+				Model:      cfg.NewModel(),
+				XS:         xs, YS: ys,
+				BatchSize: cfg.BatchSize,
+			})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer worker.Close()
+			workers[w] = worker
+			for r := 0; r < cfg.Rounds; r++ {
+				if err := worker.Step(); err != nil {
+					errs[w] = err
+					return
+				}
+				res.Losses[w] = append(res.Losses[w], worker.LastLoss)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Join all worker errors: when one failure aborts the cluster, the
+	// root cause surfaces alongside the survivors' abort errors.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	var pushWire time.Duration
+	for w, worker := range workers {
+		res.FinalLoss += res.Losses[w][cfg.Rounds-1]
+		b := worker.LastBreakdown
+		if b.Pull > res.Breakdown.Pull {
+			res.Breakdown.Pull = b.Pull
+		}
+		if b.Compute > res.Breakdown.Compute {
+			res.Breakdown.Compute = b.Compute
+		}
+		if b.Push > res.Breakdown.Push {
+			res.Breakdown.Push = b.Push
+		}
+		for _, d := range worker.PushWire() {
+			pushWire += d
+		}
+	}
+	res.FinalLoss /= float64(cfg.Workers)
+	res.PushWirePerShard = pushWire / time.Duration(cfg.PSShards*cfg.Rounds)
+	res.Rounds = shards[0].Rounds()
+	for s, ps := range shards {
+		if got := ps.Rounds(); got != res.Rounds {
+			return nil, fmt.Errorf("securetf: shard %d committed %d rounds, shard 0 committed %d", s, got, res.Rounds)
+		}
+	}
+	for _, c := range shardNodes {
+		if t := c.Clock().Now(); t > res.Latency {
+			res.Latency = t
+		}
+	}
+	for _, c := range workerNodes {
+		if t := c.Clock().Now(); t > res.Latency {
+			res.Latency = t
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,255 @@
+package securetf_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	securetf "github.com/securetf/securetf"
+)
+
+// mlpShard builds worker w's deterministic synthetic MNIST shard. It
+// returns errors rather than failing the test because it runs inside
+// TrainDistributed's worker goroutines (via ShardData), where t.Fatal
+// is not allowed.
+func mlpShard(w, rounds, batch int) (*securetf.Tensor, *securetf.Tensor, error) {
+	fs := securetf.NewMemFS()
+	if err := securetf.GenerateMNIST(fs, "shard", rounds*batch, 0, int64(31+w)); err != nil {
+		return nil, nil, err
+	}
+	return securetf.LoadMNIST(fs, "shard/train-images-idx3-ubyte", "shard/train-labels-idx1-ubyte")
+}
+
+// distTrain runs TrainDistributed on the MLP with fixed seeds.
+func distTrain(t *testing.T, workers, shards, rounds, batch int) *securetf.DistTrainResult {
+	t.Helper()
+	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Kind:      securetf.SconeSIM,
+		Workers:   workers,
+		PSShards:  shards,
+		Rounds:    rounds,
+		BatchSize: batch,
+		LR:        0.05,
+		NewModel:  func() securetf.Model { return securetf.NewMNISTMLP(3) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return mlpShard(w, rounds, batch)
+		},
+		RoundTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTrainDistributedMatchesManualSinglePS checks the facade's
+// backstop guarantee: TrainDistributed with PSShards: 1 reproduces the
+// exact per-round loss trajectory of a manually assembled single-PS
+// cluster (the pre-sharding deployment).
+func TestTrainDistributedMatchesManualSinglePS(t *testing.T) {
+	const workers, rounds, batch = 2, 4, 20
+
+	// Manual cluster: the original StartParameterServer /
+	// StartTrainingWorker path on one PS node.
+	psPlatform, err := securetf.NewPlatform("manual-ps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psC, err := securetf.Launch(securetf.ContainerConfig{
+		Kind:     securetf.SconeSIM,
+		Platform: psPlatform,
+		Image:    securetf.TensorFlowImage(),
+		HostFS:   securetf.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psC.Close()
+	ps, addr, err := securetf.StartParameterServer(
+		psC, "127.0.0.1:0", securetf.InitialVariables(securetf.NewMNISTMLP(3)), workers, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	manual := make([][]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			platform, err := securetf.NewPlatform("manual-worker")
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			c, err := securetf.Launch(securetf.ContainerConfig{
+				Kind:     securetf.SconeSIM,
+				Platform: platform,
+				Image:    securetf.TensorFlowImage(),
+				HostFS:   securetf.NewMemFS(),
+			})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer c.Close()
+			xs, ys, err := mlpShard(w, rounds, batch)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			worker, err := securetf.StartTrainingWorker(c, securetf.WorkerSpec{
+				ID: w, Addr: addr.String(),
+				Model: securetf.NewMNISTMLP(3),
+				XS:    xs, YS: ys, BatchSize: batch,
+			})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer worker.Close()
+			for r := 0; r < rounds; r++ {
+				if errs[w] = worker.Step(); errs[w] != nil {
+					return
+				}
+				manual[w] = append(manual[w], worker.LastLoss)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("manual worker %d: %v", w, err)
+		}
+	}
+
+	res := distTrain(t, workers, 1, rounds, batch)
+	for w := 0; w < workers; w++ {
+		if len(res.Losses[w]) != rounds {
+			t.Fatalf("worker %d recorded %d losses, want %d", w, len(res.Losses[w]), rounds)
+		}
+		for r := 0; r < rounds; r++ {
+			if res.Losses[w][r] != manual[w][r] {
+				t.Fatalf("worker %d round %d: TrainDistributed loss %v, manual loss %v",
+					w, r, res.Losses[w][r], manual[w][r])
+			}
+		}
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("committed rounds = %d, want %d", res.Rounds, rounds)
+	}
+	if res.Breakdown.Pull <= 0 || res.Breakdown.Compute <= 0 || res.Breakdown.Push <= 0 {
+		t.Fatalf("breakdown has a zero phase: %+v", res.Breakdown)
+	}
+}
+
+// TestTrainDistributedShardingInvariance checks that the shard count is
+// purely a placement decision — identical losses at 1, 2 and 4 shards —
+// while the per-shard push wire time strictly shrinks, the bandwidth
+// win sharding exists for.
+func TestTrainDistributedShardingInvariance(t *testing.T) {
+	const workers, rounds, batch = 2, 3, 20
+	base := distTrain(t, workers, 1, rounds, batch)
+	prevWire := base.PushWirePerShard
+	for _, shards := range []int{2, 4} {
+		res := distTrain(t, workers, shards, rounds, batch)
+		for w := range base.Losses {
+			for r := range base.Losses[w] {
+				if res.Losses[w][r] != base.Losses[w][r] {
+					t.Fatalf("shards=%d worker %d round %d: loss %v differs from 1-shard %v",
+						shards, w, r, res.Losses[w][r], base.Losses[w][r])
+				}
+			}
+		}
+		if res.PushWirePerShard >= prevWire {
+			t.Fatalf("per-shard push wire did not shrink at %d shards: %v (previous %v)",
+				shards, res.PushWirePerShard, prevWire)
+		}
+		prevWire = res.PushWirePerShard
+	}
+	if base.FinalLoss >= base.Losses[0][0] {
+		t.Fatalf("training did not learn: losses %v", base.Losses[0])
+	}
+}
+
+// TestTrainDistributedTLS smoke-tests the Figure 8 "w/ TLS" series
+// through the facade: a sharded cluster with every connection through
+// the network shield still trains.
+func TestTrainDistributedTLS(t *testing.T) {
+	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Kind:      securetf.SconeSIM,
+		TLS:       true,
+		Workers:   1,
+		PSShards:  2,
+		Rounds:    2,
+		BatchSize: 10,
+		LR:        0.05,
+		NewModel:  func() securetf.Model { return securetf.NewMNISTMLP(3) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return mlpShard(w, 2, 10)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("virtual latency did not advance")
+	}
+}
+
+// TestTrainDistributedWorkerFailureAborts pins the no-deadlock
+// guarantee: with RoundTimeout disabled, one worker failing before its
+// first push must abort the cluster and surface the root cause, not
+// leave the surviving worker blocked forever on an unfillable barrier.
+func TestTrainDistributedWorkerFailureAborts(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+			Kind:      securetf.SconeSIM,
+			Workers:   2,
+			Rounds:    2,
+			BatchSize: 10,
+			LR:        0.05,
+			NewModel:  func() securetf.Model { return securetf.NewMNISTMLP(3) },
+			ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+				if w == 1 {
+					return nil, nil, errors.New("shard data unavailable")
+				}
+				return mlpShard(w, 2, 10)
+			},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("TrainDistributed succeeded with a failed worker")
+		}
+		if !strings.Contains(err.Error(), "shard data unavailable") {
+			t.Fatalf("root cause not surfaced: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("TrainDistributed deadlocked on a failed worker")
+	}
+}
+
+// TestTrainDistributedValidation spot-checks the config guards.
+func TestTrainDistributedValidation(t *testing.T) {
+	model := func() securetf.Model { return securetf.NewMNISTMLP(3) }
+	data := func(int) (*securetf.Tensor, *securetf.Tensor, error) { return nil, nil, nil }
+	bad := []securetf.DistTrainConfig{
+		{Workers: 0, Rounds: 1, BatchSize: 1, LR: 0.1, NewModel: model, ShardData: data},
+		{Workers: 1, Rounds: 0, BatchSize: 1, LR: 0.1, NewModel: model, ShardData: data},
+		{Workers: 1, Rounds: 1, BatchSize: 1, LR: 0.1, ShardData: data},
+		{Workers: 1, PSShards: -1, Rounds: 1, BatchSize: 1, LR: 0.1, NewModel: model, ShardData: data},
+	}
+	for i, cfg := range bad {
+		if _, err := securetf.TrainDistributed(cfg); err == nil {
+			t.Errorf("case %d: invalid DistTrainConfig accepted", i)
+		}
+	}
+}

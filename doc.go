@@ -81,7 +81,31 @@
 // WithRoundTimeout bounds how long a round may wait on a straggler
 // before aborting (the elasticity concern of §3.2). Workers report
 // their per-phase virtual time (pull / compute / push) in
-// TrainingWorker.LastBreakdown.
+// TrainingWorker.LastBreakdown; the push stamp is taken only after the
+// last parameter-server ack has been read, so the breakdown carries the
+// full wire + barrier cost.
+//
+// The parameter server shards across nodes. The placement rule is a
+// name hash: each variable's 32-bit FNV-1a hash selects a shard by
+// range partition (shard = hash·shards >> 32), computed independently —
+// and verified to agree via a connection-time manifest handshake — by
+// every worker and server, so growing the shard count by an integer
+// factor refines the placement instead of reshuffling it. Start one
+// StartParameterServer per shard with WithShard(s, n) (each keeps only
+// its partition of the seed variables) and hand workers the ordered
+// address list in WorkerSpec.Addrs; a worker pointed at a mis-sharded
+// or partially started cluster fails construction instead of hanging
+// mid-round. Each worker fans its pulls and pushes out to all shards
+// concurrently with causally consistent virtual time: every shard
+// exchange runs on a branch clock seeded at the phase start and the
+// phase completes at the maximum branch time, so a round's completion
+// vtime is its slowest shard's and no single PS link carries more than
+// its partition of the ~MB-scale gradient traffic
+// (TrainingWorker.PushWire reports the per-shard wire time).
+// TrainDistributed packages the whole cluster — one enclave node per
+// shard and per worker, optional TLS — behind one call with a PSShards
+// option (default 1, the classic deployment, which reproduces the
+// single-PS trainer exactly).
 //
 // All enclave costs (EPC paging, transitions, crypto, WAN round trips)
 // are charged to a per-platform virtual clock, so programs built on this

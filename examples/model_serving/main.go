@@ -175,6 +175,7 @@ func run() error {
 		byVer    = map[int]int{}
 	)
 	swap := make(chan struct{})
+	swapped := make(chan struct{}) // closed once the swap has completed (or failed)
 	var swapOnce sync.Once
 	triggerSwap := func() { swapOnce.Do(func() { close(swap) }) }
 	probe, err := securetf.SliceRows(tx, 0, 1)
@@ -201,6 +202,11 @@ func run() error {
 			for j := 0; j < perClient; j++ {
 				if i == 0 && j == perClient/2 {
 					triggerSwap() // signal the main goroutine to swap now
+					// Wait for the swap to land so this client's
+					// remaining requests provably resolve to digits@2 —
+					// the byVer[2] check below is deterministic, not a
+					// race against the swap goroutine.
+					<-swapped
 				}
 				_, ver, err := cl.Infer("digits", 0, probe)
 				mu.Lock()
@@ -215,6 +221,7 @@ func run() error {
 	}
 	swapErr := make(chan error, 1)
 	go func() {
+		defer close(swapped)
 		<-swap
 		if err := gateway.LoadModel("digits", 2, "volumes/models/digits-v2.stfl"); err != nil {
 			swapErr <- err

@@ -1,0 +1,227 @@
+// Package benchfmt converts `go test -json` benchmark output into the
+// committed BENCH_ci.json format and enforces the CI regression gate
+// against a baseline checked into the repository.
+//
+// The committed format is deliberately small and diff-friendly: one
+// object per benchmark (GOMAXPROCS suffix stripped), mapping metric
+// units to values. A baseline file additionally carries the gate list —
+// which (benchmark, metric) pairs must not regress, and by how much —
+// so tightening the gate is a reviewed change to a committed file, not
+// an edit to CI scripts.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metrics maps a metric unit (ns/op, req/s-virtual, …) to its value.
+type Metrics map[string]float64
+
+// Report is the committed BENCH_ci.json shape.
+type Report struct {
+	Format     int                `json:"format"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Gate is one regression rule: the named metric of the named benchmark
+// may not regress by more than MaxRegressionPct percent relative to the
+// baseline value. HigherIsBetter selects the regression direction
+// (false means a larger value is a regression, e.g. latency).
+type Gate struct {
+	Bench            string  `json:"bench"`
+	Metric           string  `json:"metric"`
+	MaxRegressionPct float64 `json:"max_regression_pct"`
+	HigherIsBetter   bool    `json:"higher_is_better"`
+}
+
+// Baseline is the committed baseline file: reference metrics plus the
+// gates enforced against them.
+type Baseline struct {
+	Format     int                `json:"format"`
+	Gates      []Gate             `json:"gates"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// testEvent is the subset of the `go test -json` event stream we read.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// ParseGoTestJSON reads a `go test -json` stream and collects every
+// benchmark result line into a Report. Benchmark names are normalized
+// by stripping the trailing -GOMAXPROCS suffix, so the committed format
+// is stable across runner core counts.
+//
+// `go test` emits one benchmark result as multiple output events (the
+// name, ending in a tab, then the measurements), so output is
+// reassembled per package and split on real newlines before parsing.
+// Events from different packages may interleave; benchmarks within one
+// package are sequential.
+func ParseGoTestJSON(r io.Reader) (*Report, error) {
+	report := &Report{Format: 1, Benchmarks: make(map[string]Metrics)}
+	pending := make(map[string]string) // package → unterminated output
+	flush := func(pkg, text string) {
+		text = pending[pkg] + text
+		for {
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			if name, metrics, ok := parseBenchLine(text[:nl]); ok {
+				report.Benchmarks[name] = metrics
+			}
+			text = text[nl+1:]
+		}
+		pending[pkg] = text
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("benchfmt: malformed test event: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		flush(ev.Package, ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark results in input")
+	}
+	return report, nil
+}
+
+// parseBenchLine parses one benchmark result line of the form
+//
+//	BenchmarkName/sub-8   1   123 ns/op   456 unit-a   7.8 unit-b
+//
+// returning the normalized name and the unit → value metrics.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	// fields[1] is the iteration count; value/unit pairs follow.
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics := make(Metrics)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return normalizeName(fields[0]), metrics, true
+}
+
+// normalizeName strips the -GOMAXPROCS suffix go appends to the last
+// path element of a benchmark name.
+func normalizeName(name string) string {
+	slash := strings.LastIndex(name, "/")
+	dash := strings.LastIndex(name, "-")
+	if dash > slash {
+		if _, err := strconv.Atoi(name[dash+1:]); err == nil {
+			return name[:dash]
+		}
+	}
+	return name
+}
+
+// Violation reports one gate failure.
+type Violation struct {
+	Gate     Gate
+	Baseline float64
+	Current  float64
+	// ChangePct is the signed relative change of the current value
+	// against the baseline, in percent.
+	ChangePct float64
+	// Missing marks a gated metric absent from the current report — a
+	// renamed or skipped benchmark must fail the gate, not pass it.
+	Missing bool
+}
+
+func (v Violation) String() string {
+	if v.Missing {
+		return fmt.Sprintf("%s %s: gated metric missing from the current run", v.Gate.Bench, v.Gate.Metric)
+	}
+	return fmt.Sprintf("%s %s: %.4g → %.4g (%+.1f%%, allowed regression %.0f%%)",
+		v.Gate.Bench, v.Gate.Metric, v.Baseline, v.Current, v.ChangePct, v.Gate.MaxRegressionPct)
+}
+
+// Check evaluates every gate of the baseline against the current
+// report and returns the violations (empty means the gate passes).
+func Check(baseline *Baseline, current *Report) ([]Violation, error) {
+	var out []Violation
+	for _, g := range baseline.Gates {
+		base, ok := baseline.Benchmarks[g.Bench][g.Metric]
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: gate references %s %s, absent from the baseline's own metrics", g.Bench, g.Metric)
+		}
+		if base == 0 {
+			return nil, fmt.Errorf("benchfmt: gate %s %s has a zero baseline value", g.Bench, g.Metric)
+		}
+		if g.MaxRegressionPct <= 0 {
+			return nil, fmt.Errorf("benchfmt: gate %s %s has no regression allowance", g.Bench, g.Metric)
+		}
+		cur, ok := current.Benchmarks[g.Bench][g.Metric]
+		if !ok {
+			out = append(out, Violation{Gate: g, Baseline: base, Missing: true})
+			continue
+		}
+		change := 100 * (cur - base) / base
+		regressed := change < -g.MaxRegressionPct
+		if !g.HigherIsBetter {
+			regressed = change > g.MaxRegressionPct
+		}
+		if regressed {
+			out = append(out, Violation{Gate: g, Baseline: base, Current: cur, ChangePct: change})
+		}
+	}
+	return out, nil
+}
+
+// Marshal renders a report as committed-format JSON. Key order is
+// stable (encoding/json sorts map keys), so re-running the converter on
+// identical results yields an identical file.
+func Marshal(r *Report) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseBaseline reads a committed baseline file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchfmt: malformed baseline: %w", err)
+	}
+	if b.Format != 1 {
+		return nil, fmt.Errorf("benchfmt: unsupported baseline format %d", b.Format)
+	}
+	if len(b.Gates) == 0 {
+		return nil, fmt.Errorf("benchfmt: baseline defines no gates")
+	}
+	return &b, nil
+}

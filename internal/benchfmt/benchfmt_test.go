@@ -1,0 +1,211 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream builds a `go test -json` event stream from raw output lines.
+func stream(lines ...string) string {
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(`{"Action":"output","Package":"p","Output":"` + l + `\n"}` + "\n")
+	}
+	return b.String()
+}
+
+func TestParseGoTestJSON(t *testing.T) {
+	in := stream(
+		`=== RUN   TestSomething`,
+		`BenchmarkServingThroughput/batch32-8   \t       1\t  52734 ns/op\t  3969 req/s-virtual\t 210.4 req/s-wall`,
+		`BenchmarkDistShardedTraining-8   \t       1\t  99 ns/op\t  1.96 speedup-2workers-x\t 52.55 push-wire-ms-shard1`,
+		`--- PASS: TestSomething`,
+		`PASS`,
+	)
+	r, err := ParseGoTestJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(r.Benchmarks), r.Benchmarks)
+	}
+	m, ok := r.Benchmarks["BenchmarkServingThroughput/batch32"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", r.Benchmarks)
+	}
+	if m["req/s-virtual"] != 3969 {
+		t.Fatalf("req/s-virtual = %v, want 3969", m["req/s-virtual"])
+	}
+	if got := r.Benchmarks["BenchmarkDistShardedTraining"]["speedup-2workers-x"]; got != 1.96 {
+		t.Fatalf("speedup-2workers-x = %v, want 1.96", got)
+	}
+}
+
+// TestParseSplitEvents covers go test's real emission shape: the
+// benchmark name and its measurements arrive as separate output events,
+// the name's event ending in a tab rather than a newline.
+func TestParseSplitEvents(t *testing.T) {
+	in := `{"Action":"output","Package":"p","Output":"BenchmarkServingThroughput/batch32\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkServingThroughput/batch32-8        \t"}
+{"Action":"output","Package":"q","Output":"ok  \tother\t0.1s\n"}
+{"Action":"output","Package":"p","Output":"       1\t  7421913 ns/op\t        11.21 req/s-virtual\n"}
+`
+	r, err := ParseGoTestJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := r.Benchmarks["BenchmarkServingThroughput/batch32"]
+	if !ok {
+		t.Fatalf("split result line not reassembled: %v", r.Benchmarks)
+	}
+	if m["req/s-virtual"] != 11.21 {
+		t.Fatalf("req/s-virtual = %v, want 11.21", m["req/s-virtual"])
+	}
+}
+
+func TestParseRejectsEmptyRun(t *testing.T) {
+	if _, err := ParseGoTestJSON(strings.NewReader(stream(`PASS`))); err == nil {
+		t.Fatal("a run with no benchmark results was accepted")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/batch32-16": "BenchmarkFoo/batch32",
+		"BenchmarkFoo/sub-case-8": "BenchmarkFoo/sub-case",
+		"BenchmarkFoo":            "BenchmarkFoo",
+		"BenchmarkFoo/x-y":        "BenchmarkFoo/x-y", // non-numeric suffix survives
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func baselineFor(t *testing.T) *Baseline {
+	t.Helper()
+	return &Baseline{
+		Format: 1,
+		Gates: []Gate{
+			{Bench: "BenchmarkServingThroughput/batch32", Metric: "req/s-virtual", MaxRegressionPct: 20, HigherIsBetter: true},
+			{Bench: "BenchmarkDistShardedTraining", Metric: "speedup-2workers-x", MaxRegressionPct: 20, HigherIsBetter: true},
+		},
+		Benchmarks: map[string]Metrics{
+			"BenchmarkServingThroughput/batch32": {"req/s-virtual": 4000},
+			"BenchmarkDistShardedTraining":       {"speedup-2workers-x": 2.0},
+		},
+	}
+}
+
+func report(reqs, speedup float64) *Report {
+	return &Report{Format: 1, Benchmarks: map[string]Metrics{
+		"BenchmarkServingThroughput/batch32": {"req/s-virtual": reqs},
+		"BenchmarkDistShardedTraining":       {"speedup-2workers-x": speedup},
+	}}
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	// 15% below baseline on both gated metrics: inside the 20% allowance.
+	v, err := Check(baselineFor(t), report(3400, 1.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Improvements never violate.
+	if v, _ := Check(baselineFor(t), report(9000, 3.5)); len(v) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", v)
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	// Virtual throughput down 25%: over the 20% allowance.
+	v, err := Check(baselineFor(t), report(3000, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || v[0].Gate.Metric != "req/s-virtual" {
+		t.Fatalf("violations = %v, want one req/s-virtual regression", v)
+	}
+	if !strings.Contains(v[0].String(), "req/s-virtual") {
+		t.Fatalf("violation string uninformative: %s", v[0])
+	}
+	// Speedup collapse is caught independently.
+	v, err = Check(baselineFor(t), report(4000, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || v[0].Gate.Metric != "speedup-2workers-x" {
+		t.Fatalf("violations = %v, want one speedup regression", v)
+	}
+}
+
+func TestCheckFlagsMissingMetric(t *testing.T) {
+	cur := &Report{Format: 1, Benchmarks: map[string]Metrics{
+		"BenchmarkServingThroughput/batch32": {"req/s-virtual": 4000},
+	}}
+	v, err := Check(baselineFor(t), cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !v[0].Missing {
+		t.Fatalf("violations = %v, want one missing-metric violation", v)
+	}
+}
+
+func TestCheckLowerIsBetter(t *testing.T) {
+	b := &Baseline{
+		Format:     1,
+		Gates:      []Gate{{Bench: "B", Metric: "ms", MaxRegressionPct: 20}},
+		Benchmarks: map[string]Metrics{"B": {"ms": 100}},
+	}
+	cur := &Report{Format: 1, Benchmarks: map[string]Metrics{"B": {"ms": 130}}}
+	if v, err := Check(b, cur); err != nil || len(v) != 1 {
+		t.Fatalf("latency growth not flagged: v=%v err=%v", v, err)
+	}
+	cur.Benchmarks["B"]["ms"] = 115
+	if v, err := Check(b, cur); err != nil || len(v) != 0 {
+		t.Fatalf("latency within allowance flagged: v=%v err=%v", v, err)
+	}
+}
+
+func TestCheckRejectsBrokenBaseline(t *testing.T) {
+	b := baselineFor(t)
+	b.Gates[0].Bench = "BenchmarkNoSuch"
+	if _, err := Check(b, report(4000, 2)); err == nil {
+		t.Fatal("gate referencing an absent baseline metric accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := report(4000, 2)
+	out, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(again) {
+		t.Fatal("Marshal is not deterministic")
+	}
+	if !strings.Contains(string(out), `"req/s-virtual": 4000`) {
+		t.Fatalf("marshalled report missing metric:\n%s", out)
+	}
+}
+
+func TestParseBaselineValidation(t *testing.T) {
+	if _, err := ParseBaseline([]byte(`{`)); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	if _, err := ParseBaseline([]byte(`{"format":2,"gates":[{"bench":"b","metric":"m","max_regression_pct":20}]}`)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := ParseBaseline([]byte(`{"format":1,"gates":[]}`)); err == nil {
+		t.Fatal("gate-less baseline accepted")
+	}
+}

@@ -238,6 +238,44 @@ func TestFigure8Shape(t *testing.T) {
 	}
 }
 
+func TestFigure8ShardSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs distributed training across 5 cluster configurations")
+	}
+	rows, err := Figure8Shards(Config{Steps: 8, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(workers, shards int) Fig8ShardRow {
+		for _, r := range rows {
+			if r.Workers == workers && r.Shards == shards {
+				return r
+			}
+		}
+		t.Fatalf("no row for workers=%d shards=%d", workers, shards)
+		return Fig8ShardRow{}
+	}
+	// The classic worker-scaling speedup survives the sharded refactor.
+	if s := get(2, 1).Speedup1W; s < 1.5 {
+		t.Errorf("2-worker speedup = %.2f, paper ≈1.96", s)
+	}
+	// The sharding headline: per-shard push wire time drops monotonically
+	// as the same 4-worker job fans its gradients over 1 → 2 → 4 shards.
+	w1, w2, w4 := get(4, 1).PushWirePerShard, get(4, 2).PushWirePerShard, get(4, 4).PushWirePerShard
+	if !(w1 > w2 && w2 > w4) {
+		t.Errorf("per-shard push wire not monotonically decreasing: 1 shard %v, 2 shards %v, 4 shards %v", w1, w2, w4)
+	}
+	// Sharding is a placement decision, not a math change: the trained
+	// loss at 4 workers must agree across shard counts (up to float
+	// summation order across concurrent pushes).
+	base := get(4, 1).FinalLoss
+	for _, shards := range []int{2, 4} {
+		if loss := get(4, shards).FinalLoss; loss < base*0.99 || loss > base*1.01 {
+			t.Errorf("4-worker loss at %d shards = %.4f, want ≈ %.4f", shards, loss, base)
+		}
+	}
+}
+
 func TestTFvsTFLiteShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a 91 MB model twice")

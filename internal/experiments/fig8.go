@@ -11,6 +11,7 @@ import (
 	"github.com/securetf/securetf/internal/fsapi"
 	"github.com/securetf/securetf/internal/models"
 	"github.com/securetf/securetf/internal/seccrypto"
+	"github.com/securetf/securetf/internal/sgx"
 	"github.com/securetf/securetf/internal/tf"
 	"github.com/securetf/securetf/internal/tf/dist"
 )
@@ -53,125 +54,228 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 	var rows []Fig8Row
 	for _, sys := range fig8Systems() {
 		for _, workers := range []int{1, 2, 3} {
-			latency, loss, err := fig8Run(cfg, sys, workers)
+			stats, err := fig8Run(cfg, sys, workers, 1)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig8 %s workers=%d: %w", sys.label, workers, err)
 			}
-			cfg.logf("fig8: %-22s workers=%d %9.2f s (loss %.3f)", sys.label, workers, latency.Seconds(), loss)
+			cfg.logf("fig8: %-22s workers=%d %9.2f s (loss %.3f)", sys.label, workers, stats.Latency.Seconds(), stats.FinalLoss)
 			rows = append(rows, Fig8Row{
 				System: sys.label, Workers: workers, Steps: cfg.Steps,
-				Latency: latency, FinalLoss: loss,
+				Latency: stats.Latency, FinalLoss: stats.FinalLoss,
 			})
 		}
 	}
 	return rows, nil
 }
 
-// fig8Run trains for cfg.Steps synchronous rounds. Each worker processes
-// its own shard; the total dataset size is fixed, so more workers means
+// Fig8ShardRow is one point of the parameter-server shard sweep: the
+// same training job with its variables hash-partitioned across Shards
+// parameter-server nodes.
+type Fig8ShardRow struct {
+	System  string
+	Workers int
+	Shards  int
+	Steps   int
+	Latency time.Duration
+	// PushWirePerShard is the mean per-shard, per-round virtual wire
+	// time of the gradient pushes — the single-PS bandwidth bottleneck
+	// sharding attacks. It shrinks as ~1/Shards because each shard's
+	// link carries only its partition of every worker's gradients.
+	PushWirePerShard time.Duration
+	FinalLoss        float64
+	// Speedup1W is this row's latency advantage over the 1-worker,
+	// 1-shard baseline of the same system (the paper's scaling axis).
+	Speedup1W float64
+}
+
+// Figure8Shards extends Figure 8 along the sharding axis the paper's
+// §3.2/§5.4 architecture assumes: 1- and 2-worker baselines on a single
+// PS (the classic speedup), then a fixed 4-worker job with the
+// parameter server sharded across 1, 2 and 4 nodes. The headline shape:
+// per-shard push wire time drops monotonically as shards are added,
+// because each PS node receives only its name-hash partition of every
+// worker's ~1.8 MB gradient push.
+func Figure8Shards(cfg Config) ([]Fig8ShardRow, error) {
+	cfg = cfg.withDefaults()
+	sys := fig8System{"secureTF HW", core.RuntimeSconeHW, true}
+	var rows []Fig8ShardRow
+	var base time.Duration
+	for _, point := range []struct{ workers, shards int }{
+		{1, 1}, {2, 1}, {4, 1}, {4, 2}, {4, 4},
+	} {
+		stats, err := fig8Run(cfg, sys, point.workers, point.shards)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig8 shards %s workers=%d shards=%d: %w",
+				sys.label, point.workers, point.shards, err)
+		}
+		if base == 0 {
+			base = stats.Latency
+		}
+		row := Fig8ShardRow{
+			System: sys.label, Workers: point.workers, Shards: point.shards, Steps: cfg.Steps,
+			Latency: stats.Latency, PushWirePerShard: stats.PushWirePerShard,
+			FinalLoss: stats.FinalLoss, Speedup1W: float64(base) / float64(stats.Latency),
+		}
+		cfg.logf("fig8-shards: %-22s workers=%d shards=%d %9.2f s (push wire/shard %v, speedup %.2fx)",
+			sys.label, point.workers, point.shards, stats.Latency.Seconds(), stats.PushWirePerShard, row.Speedup1W)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigure8Shards renders the shard-sweep rows.
+func PrintFigure8Shards(w io.Writer, rows []Fig8ShardRow) {
+	fmt.Fprintln(w, "Figure 8 (sharded PS) — distributed training with a sharded parameter server")
+	fmt.Fprintf(w, "%-24s %8s %7s %6s %12s %16s %10s\n", "system", "workers", "shards", "steps", "latency(s)", "push-wire/shard", "loss")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %8d %7d %6d %12s %16s %10.3f\n",
+			r.System, r.Workers, r.Shards, r.Steps, fmtDurS(r.Latency), r.PushWirePerShard, r.FinalLoss)
+	}
+}
+
+// fig8Run trains for cfg.Steps synchronous rounds against a parameter
+// server sharded across `shards` nodes. Each worker processes its own
+// data shard; the total dataset size is fixed, so more workers means
 // smaller shards and (with synchronized rounds) the same global progress
-// per step at less per-node wall time — the source of the speedup.
-func fig8Run(cfg Config, sys fig8System, workers int) (time.Duration, float64, error) {
+// per step at less per-node wall time — the source of the speedup. More
+// PS shards fan the same parameter traffic across more nodes, shrinking
+// the per-shard wire time that bottlenecks the single-PS deployment.
+func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error) {
 	// TLS material for the shielded variants.
 	var ca *seccrypto.CA
 	var err error
 	if sys.tls {
 		ca, err = seccrypto.NewCA("fig8-ca")
 		if err != nil {
-			return 0, 0, err
+			return fig8Stats{}, err
 		}
 	}
 
-	// Parameter-server node.
-	psPlatform, err := newPlatform("ps-node")
-	if err != nil {
-		return 0, 0, err
-	}
-	psContainer, err := core.Launch(core.Config{
-		Kind:     sys.kind,
-		Platform: psPlatform,
-		Image:    TFFullImage(),
-		HostFS:   fsapi.NewMem(),
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	defer psContainer.Close()
-	if sys.tls {
-		cert, err := ca.Issue("ps", "localhost", "127.0.0.1")
-		if err != nil {
-			return 0, 0, err
-		}
-		if err := psContainer.UseIdentity(cert, ca, true); err != nil {
-			return 0, 0, err
-		}
-	}
-	psListener, err := psContainer.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return 0, 0, err
-	}
-
+	// Parameter-server shard nodes, one enclave each.
 	ref := models.MNISTCNN(1)
 	initialVars := dist.InitialVars(ref.Graph)
-	var varBytes int64
-	for _, v := range initialVars {
-		varBytes += v.Bytes()
+	psPlatforms := make([]*sgx.Platform, shards)
+	addrs := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		psPlatform, err := newPlatform(fmt.Sprintf("ps-node-%d", s))
+		if err != nil {
+			return fig8Stats{}, err
+		}
+		psPlatforms[s] = psPlatform
+		psContainer, err := core.Launch(core.Config{
+			Kind:     sys.kind,
+			Platform: psPlatform,
+			Image:    TFFullImage(),
+			HostFS:   fsapi.NewMem(),
+		})
+		if err != nil {
+			return fig8Stats{}, err
+		}
+		defer psContainer.Close()
+		if sys.tls {
+			cert, err := ca.Issue(fmt.Sprintf("ps-%d", s), "ps", "localhost", "127.0.0.1")
+			if err != nil {
+				return fig8Stats{}, err
+			}
+			if err := psContainer.UseIdentity(cert, ca, true); err != nil {
+				return fig8Stats{}, err
+			}
+		}
+		psListener, err := psContainer.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fig8Stats{}, err
+		}
+		var varBytes int64
+		for _, v := range dist.ShardVars(initialVars, s, shards) {
+			varBytes += v.Bytes()
+		}
+		if e := psContainer.Enclave(); e != nil {
+			e.Alloc("ps/vars", varBytes)
+		}
+		psDev := psContainer.Device(1)
+		ps, err := dist.NewParameterServer(dist.PSConfig{
+			Listener: psListener,
+			Vars:     initialVars,
+			Workers:  workers,
+			LR:       0.0005,
+			Clock:    psPlatform.Clock(),
+			Params:   psPlatform.Params(),
+			Shard:    s,
+			Shards:   shards,
+			ApplyMeter: func(flops, bytes int64) {
+				psDev.Compute(flops)
+				psDev.Access(bytes, false)
+			},
+		})
+		if err != nil {
+			return fig8Stats{}, err
+		}
+		defer ps.Close()
+		addrs[s] = psListener.Addr().String()
 	}
-	if e := psContainer.Enclave(); e != nil {
-		e.Alloc("ps/vars", varBytes)
-	}
-	psDev := psContainer.Device(1)
-	ps, err := dist.NewParameterServer(dist.PSConfig{
-		Listener: psListener,
-		Vars:     initialVars,
-		Workers:  workers,
-		LR:       0.0005,
-		Clock:    psPlatform.Clock(),
-		Params:   psPlatform.Params(),
-		ApplyMeter: func(flops, bytes int64) {
-			psDev.Compute(flops)
-			psDev.Access(bytes, false)
-		},
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	defer ps.Close()
 
 	// Worker nodes. The training task is fixed (cfg.Steps rounds of
 	// cfg.BatchSize samples at one worker); N workers split it into
 	// ceil(Steps/N) synchronous rounds of N·BatchSize global samples —
 	// the source of the near-linear speedup the paper reports.
 	rounds := (cfg.Steps + workers - 1) / workers
-	losses := make([]float64, workers)
+	results := make([]fig8WorkerStats, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			losses[w], errs[w] = fig8Worker(cfg, sys, ca, psListener.Addr().String(), w, rounds)
+			results[w], errs[w] = fig8Worker(cfg, sys, ca, addrs, w, rounds)
 		}(w)
 	}
 	wg.Wait()
-	var finalLoss float64
+	var stats fig8Stats
+	var pushWire time.Duration
 	for w := 0; w < workers; w++ {
 		if errs[w] != nil {
-			return 0, 0, errs[w]
+			return fig8Stats{}, errs[w]
 		}
-		finalLoss += losses[w]
+		stats.FinalLoss += results[w].loss
+		pushWire += results[w].pushWire
+		if results[w].clock > stats.Latency {
+			stats.Latency = results[w].clock
+		}
 	}
-	finalLoss /= float64(workers)
+	stats.FinalLoss /= float64(workers)
+	// Mean per-shard, per-round wire time of the gradient pushes: the
+	// bytes each PS shard's link carries per round. This is the
+	// bandwidth bottleneck sharding attacks — it shrinks as ~1/shards.
+	stats.PushWirePerShard = pushWire / time.Duration(shards*rounds)
 
-	// The PS clock is causally synchronized with every worker through the
-	// message stamps, so it carries the end-to-end latency.
-	return psPlatform.Clock().Now(), finalLoss, nil
+	// End-to-end latency: message stamps keep every clock causally
+	// consistent, so the job finishes at the maximum over all nodes.
+	for _, p := range psPlatforms {
+		if t := p.Clock().Now(); t > stats.Latency {
+			stats.Latency = t
+		}
+	}
+	return stats, nil
 }
 
-func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addr string, id, rounds int) (float64, error) {
+// fig8Stats aggregates one fig8 run.
+type fig8Stats struct {
+	Latency          time.Duration
+	FinalLoss        float64
+	PushWirePerShard time.Duration
+}
+
+// fig8WorkerStats is one worker's contribution.
+type fig8WorkerStats struct {
+	loss     float64
+	pushWire time.Duration // summed over shards and rounds
+	clock    time.Duration
+}
+
+func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addrs []string, id, rounds int) (fig8WorkerStats, error) {
 	platform, err := newPlatform(fmt.Sprintf("worker-node-%d", id))
 	if err != nil {
-		return 0, err
+		return fig8WorkerStats{}, err
 	}
 	container, err := core.Launch(core.Config{
 		Kind:     sys.kind,
@@ -180,16 +284,16 @@ func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addr string, id, r
 		HostFS:   fsapi.NewMem(),
 	})
 	if err != nil {
-		return 0, err
+		return fig8WorkerStats{}, err
 	}
 	defer container.Close()
 	if sys.tls {
 		cert, err := ca.Issue(fmt.Sprintf("worker-%d", id))
 		if err != nil {
-			return 0, err
+			return fig8WorkerStats{}, err
 		}
 		if err := container.UseIdentity(cert, ca, false); err != nil {
-			return 0, err
+			return fig8WorkerStats{}, err
 		}
 	}
 
@@ -199,9 +303,9 @@ func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addr string, id, r
 
 	h := models.MNISTCNN(1) // same initials on every replica
 	worker, err := dist.NewWorker(dist.WorkerConfig{
-		ID:   id,
-		Addr: addr,
-		Dial: func(network, a string) (net.Conn, error) { return container.Dial(network, a, "ps") },
+		ID:    id,
+		Addrs: addrs,
+		Dial:  func(network, a string) (net.Conn, error) { return container.Dial(network, a, "ps") },
 		Model: dist.Model{
 			Graph: h.Graph, X: h.X, Y: h.Y, Loss: h.Loss, Logits: h.Logits,
 		},
@@ -212,13 +316,17 @@ func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addr string, id, r
 		Params:    platform.Params(),
 	})
 	if err != nil {
-		return 0, err
+		return fig8WorkerStats{}, err
 	}
 	defer worker.Close()
 	if err := worker.RunSteps(rounds); err != nil {
-		return 0, err
+		return fig8WorkerStats{}, err
 	}
-	return worker.LastLoss, nil
+	stats := fig8WorkerStats{loss: worker.LastLoss, clock: platform.Clock().Now()}
+	for _, d := range worker.PushWire() {
+		stats.pushWire += d
+	}
+	return stats, nil
 }
 
 // syntheticMNISTShard builds an in-memory learnable MNIST-like shard

@@ -205,6 +205,13 @@ func (g *Gateway) Close() error {
 		g.closeErr = g.ln.Close()
 		g.conns.CloseAll()
 		g.connWG.Wait()
+		// Stop dispatcher spawns before waiting on them: a Register
+		// that slipped past the closed channel either landed its
+		// dispatcher before this (and is waited on) or observes
+		// reg.closed under the lock and bails.
+		g.reg.mu.Lock()
+		g.reg.closed = true
+		g.reg.mu.Unlock()
 		// No conn handlers remain, so nothing can enqueue; release the
 		// dispatchers and wait for in-flight batches.
 		close(g.drain)

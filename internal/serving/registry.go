@@ -16,6 +16,10 @@ import (
 type registry struct {
 	mu     sync.Mutex
 	models map[string]*servedModel
+	// closed is set by Close under mu before it waits on the
+	// dispatchers, so Register's dispatcher spawn (also under mu) can
+	// never race dispatchWG.Add against dispatchWG.Wait.
+	closed bool
 }
 
 // servedModel is one named model with its versions, admission queue and
@@ -67,6 +71,11 @@ func (g *Gateway) Register(name string, version int, model *tflite.Model) error 
 	}
 
 	g.reg.mu.Lock()
+	if g.reg.closed {
+		g.reg.mu.Unlock()
+		p.close()
+		return fmt.Errorf("serving: gateway is closed")
+	}
 	m, ok := g.reg.models[name]
 	if !ok {
 		m = &servedModel{

@@ -282,8 +282,9 @@ func TestCorruptFrameRejected(t *testing.T) {
 	m := &message{Kind: msgPush, Vars: map[string]*tf.Tensor{"w": tf.Fill(tf.Shape{2}, 1)}}
 	payload := m.encode()
 	// The Vars count sits right after kind(1) + stamp(8) + worker(4) +
-	// round(8) + ok(1) + err string(4+0).
-	off := 1 + 8 + 4 + 8 + 1 + 4
+	// round(8) + shard(4) + shards(4) + ok(1) + err string(4+0) +
+	// names count(4).
+	off := 1 + 8 + 4 + 8 + 4 + 4 + 1 + 4 + 4
 	payload[off], payload[off+1], payload[off+2], payload[off+3] = 0xff, 0xff, 0xff, 0xff
 	if _, err := decode(payload); err == nil {
 		t.Fatal("corrupt variable count accepted")
@@ -337,10 +338,10 @@ func TestCloseReleasesBlockedWorkers(t *testing.T) {
 func TestWorkerConfigValidation(t *testing.T) {
 	xs, ys := tinyShard(10, 1)
 	bad := []WorkerConfig{
-		{Addr: "x", XS: xs, YS: ys, BatchSize: 5},                     // no model
-		{Addr: "x", Model: tinyModel(1), BatchSize: 5},                // no shard
-		{Addr: "x", Model: tinyModel(1), XS: xs, YS: ys},              // no batch size
-		{Model: tinyModel(1), XS: xs, YS: ys, BatchSize: 5},           // no addr
+		{Addr: "x", XS: xs, YS: ys, BatchSize: 5},                                          // no model
+		{Addr: "x", Model: tinyModel(1), BatchSize: 5},                                     // no shard
+		{Addr: "x", Model: tinyModel(1), XS: xs, YS: ys},                                   // no batch size
+		{Model: tinyModel(1), XS: xs, YS: ys, BatchSize: 5},                                // no addr
 		{Addr: "x", Model: tinyModel(1), XS: xs, YS: tf.OneHot([]int{0}, 3), BatchSize: 5}, // shard mismatch
 	}
 	for i, cfg := range bad {

@@ -15,10 +15,12 @@ import (
 
 // Message kinds of the parameter-exchange protocol.
 const (
-	msgPull uint8 = iota + 1 // worker → PS: request current variables
-	msgVars                  // PS → worker: variable snapshot
-	msgPush                  // worker → PS: gradient contribution
-	msgAck                   // PS → worker: round committed (or aborted)
+	msgPull     uint8 = iota + 1 // worker → PS: request current variables
+	msgVars                      // PS → worker: variable snapshot
+	msgPush                      // worker → PS: gradient contribution
+	msgAck                       // PS → worker: round committed (or aborted)
+	msgHello                     // worker → PS: expected shard id/count handshake
+	msgManifest                  // PS → worker: shard id/count + owned-variable manifest
 )
 
 // maxFrame bounds protocol frames on the wire (the MNIST CNN's
@@ -41,10 +43,22 @@ type message struct {
 	// aborted is rejected instead of silently seeding the next round
 	// with stale gradients.
 	Round uint64
+	// Shard and Shards carry the shard-placement handshake: on msgHello
+	// the worker's expectation of the endpoint it dialed, on msgManifest
+	// the parameter-server shard's actual identity. A mismatch means a
+	// mis-sharded or partially started cluster and fails the connection
+	// up front instead of letting a round hang on a wrong barrier.
+	Shard  uint32
+	Shards uint32
+	// Names is the sorted manifest of variable names this shard owns
+	// (msgManifest), so the worker can verify the name-hash placement it
+	// computed locally matches the server's before any round starts.
+	Names []string
 	// Vars carries the variable snapshot (msgVars) or the gradient
 	// contribution (msgPush), keyed by variable name.
 	Vars map[string]*tf.Tensor
-	// OK and Err report round commit or abort (msgAck).
+	// OK and Err report round commit or abort (msgAck) and handshake
+	// acceptance (msgManifest).
 	OK  bool
 	Err string
 }
@@ -61,12 +75,21 @@ func (m *message) encode() []byte {
 	buf.Write(scratch[:4])
 	binary.LittleEndian.PutUint64(scratch[:], m.Round)
 	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], m.Shard)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], m.Shards)
+	buf.Write(scratch[:4])
 	if m.OK {
 		buf.WriteByte(1)
 	} else {
 		buf.WriteByte(0)
 	}
 	writeString(&buf, m.Err)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(m.Names)))
+	buf.Write(scratch[:4])
+	for _, name := range m.Names {
+		writeString(&buf, name)
+	}
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(m.Vars)))
 	buf.Write(scratch[:4])
 	// Deterministic iteration is not required on the wire; the decoder
@@ -108,6 +131,14 @@ func decode(payload []byte) (*message, error) {
 	if m.Round, err = readUint(r, 8); err != nil {
 		return nil, err
 	}
+	if u64, err = readUint(r, 4); err != nil {
+		return nil, err
+	}
+	m.Shard = uint32(u64)
+	if u64, err = readUint(r, 4); err != nil {
+		return nil, err
+	}
+	m.Shards = uint32(u64)
 	okByte, err := r.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("dist: truncated ok flag: %w", err)
@@ -115,6 +146,22 @@ func decode(payload []byte) (*message, error) {
 	m.OK = okByte != 0
 	if m.Err, err = readString(r); err != nil {
 		return nil, err
+	}
+	nameCount, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Each manifest entry takes at least its length prefix; a count
+	// beyond that is a corrupt frame, not an allocation hint to honour.
+	if nameCount > uint64(r.Len())/4 {
+		return nil, fmt.Errorf("dist: manifest count %d exceeds remaining payload", nameCount)
+	}
+	for i := uint64(0); i < nameCount; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Names = append(m.Names, name)
 	}
 	count, err := readUint(r, 4)
 	if err != nil {

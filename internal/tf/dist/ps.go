@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,12 +20,21 @@ type PSConfig struct {
 	// connection. The parameter server owns it and closes it on Close.
 	Listener net.Listener
 	// Vars seeds the authoritative variable state (see InitialVars).
-	// Required and non-empty. The map is deep-copied; callers keep
-	// ownership of their tensors.
+	// Required and non-empty: pass the full model variable set — the
+	// server retains only the subset the name-hash placement assigns to
+	// its shard. The map is deep-copied; callers keep ownership of their
+	// tensors.
 	Vars map[string]*tf.Tensor
 	// Workers is the synchronous round size: a round commits only after
 	// this many gradient pushes. Required, ≥ 1.
 	Workers int
+	// Shard and Shards place this server in a sharded parameter-server
+	// cluster: it is shard Shard (0-based) of Shards, owning the
+	// variables ShardFor assigns to it. The zero value (0 of 1, after
+	// normalization) is the classic single parameter server; the
+	// single-PS deployment is exactly the 1-shard case.
+	Shard  int
+	Shards int
 	// LR is the learning rate applied to averaged gradients.
 	LR float64
 	// Clock is the PS node's virtual clock. Message stamps keep it
@@ -51,6 +61,10 @@ type PSConfig struct {
 // pushes.
 type ParameterServer struct {
 	cfg PSConfig
+
+	// manifest is the sorted list of variable names this shard owns,
+	// exchanged during the connection handshake. Immutable after New.
+	manifest []string
 
 	mu     sync.Mutex
 	vars   map[string]*tf.Tensor
@@ -84,6 +98,12 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("dist: PSConfig.Workers must be ≥ 1, got %d", cfg.Workers)
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("dist: PSConfig places shard %d in a cluster of %d", cfg.Shard, cfg.Shards)
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = &vtime.Clock{}
 	}
@@ -95,12 +115,14 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 		vars:  make(map[string]*tf.Tensor, len(cfg.Vars)),
 		conns: make(map[net.Conn]struct{}),
 	}
-	for name, t := range cfg.Vars {
+	for name, t := range ShardVars(cfg.Vars, cfg.Shard, cfg.Shards) {
 		if t == nil || t.DType() != tf.Float32 {
 			return nil, fmt.Errorf("dist: variable %q must be a Float32 tensor", name)
 		}
 		ps.vars[name] = t.Clone()
+		ps.manifest = append(ps.manifest, name)
 	}
+	sort.Strings(ps.manifest)
 	ps.wg.Add(1)
 	go ps.accept()
 	return ps, nil
@@ -183,6 +205,8 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 		}
 		var resp *message
 		switch msg.Kind {
+		case msgHello:
+			resp = ps.handshake(msg)
 		case msgPull:
 			ps.mu.Lock()
 			snapshot := ps.snapshotLocked()
@@ -202,6 +226,32 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// handshake answers a worker's msgHello with this shard's identity and
+// variable manifest. The worker states which shard it believes it dialed
+// and how many shards it thinks the cluster has; a mismatch — a worker
+// pointed at the wrong endpoint, or configured for a different shard
+// count than the running cluster — is reported explicitly so the worker
+// fails fast instead of hanging on a barrier that can never fill.
+func (ps *ParameterServer) handshake(msg *message) *message {
+	resp := &message{
+		Kind:   msgManifest,
+		Shard:  uint32(ps.cfg.Shard),
+		Shards: uint32(ps.cfg.Shards),
+		Names:  ps.manifest,
+		OK:     true,
+	}
+	if int(msg.Shards) != ps.cfg.Shards {
+		resp.OK = false
+		resp.Err = fmt.Sprintf("dist: worker %d expects a %d-shard cluster, this cluster has %d shards",
+			msg.Worker, msg.Shards, ps.cfg.Shards)
+	} else if int(msg.Shard) != ps.cfg.Shard {
+		resp.OK = false
+		resp.Err = fmt.Sprintf("dist: worker %d dialed this endpoint as shard %d, but it is shard %d",
+			msg.Worker, msg.Shard, ps.cfg.Shard)
+	}
+	return resp
 }
 
 // push accumulates one worker's gradients and blocks until the round

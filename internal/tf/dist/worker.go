@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	"github.com/securetf/securetf/internal/device"
 	"github.com/securetf/securetf/internal/sgx"
@@ -15,10 +17,17 @@ import (
 type WorkerConfig struct {
 	// ID distinguishes workers in errors and PS accounting.
 	ID int
-	// Addr is the parameter server address. Required.
+	// Addr is the parameter server address of a single-shard cluster.
+	// Exactly one of Addr and Addrs is required.
 	Addr string
-	// Dial opens the connection to the parameter server. Route it
-	// through the container so the network shield's TLS applies (the
+	// Addrs lists the parameter-server shard addresses of a sharded
+	// cluster, indexed by shard id: Addrs[s] must be the endpoint of
+	// shard s of len(Addrs). The connection handshake verifies this —
+	// a worker pointed at a mis-sharded or partially started cluster
+	// fails construction instead of hanging mid-round.
+	Addrs []string
+	// Dial opens the connections to the parameter-server shards. Route
+	// it through the container so the network shield's TLS applies (the
 	// paper's Figure 8 "w/ TLS" series). Defaults to net.Dial.
 	Dial func(network, addr string) (net.Conn, error)
 	// Model is this worker's local replica. Graph, X, Y and Loss are
@@ -40,13 +49,22 @@ type WorkerConfig struct {
 	Params sgx.Params
 }
 
-// Worker runs synchronous SGD steps against a parameter server: pull
-// the current variables, compute gradients on the next minibatch of the
-// local shard, push them and block on the round barrier.
+// Worker runs synchronous SGD steps against a (possibly sharded)
+// parameter-server cluster: pull the current variables from every shard,
+// compute gradients on the next minibatch of the local shard, push each
+// shard its partition of the gradients and block on every shard's round
+// barrier.
+//
+// The fan-out is concurrent across shards with causally consistent
+// virtual time: each shard exchange runs on a branch clock seeded at the
+// phase start, and the phase completes at the maximum branch time — the
+// round completion vtime is the slowest shard's, exactly as a real
+// worker waits for its slowest parameter server.
 type Worker struct {
-	cfg  WorkerConfig
-	conn net.Conn
-	sess *tf.Session
+	cfg    WorkerConfig
+	conns  []net.Conn // one per shard, indexed by shard id
+	router *Router
+	sess   *tf.Session
 
 	// gradient fetch plan: lossAndGrads[0] is the loss node, the rest
 	// are gradient nodes aligned with gradNames.
@@ -54,9 +72,13 @@ type Worker struct {
 	gradNames    []string
 
 	step int
-	// round is the PS barrier generation of the last pull; pushes echo
-	// it so the PS can reject gradients from a committed/aborted round.
-	round uint64
+	// rounds[s] is shard s's barrier generation at the last pull; pushes
+	// echo it so a shard can reject gradients from a committed/aborted
+	// round.
+	rounds []uint64
+	// pushWire[s] accumulates the wire-serialization vtime of push
+	// frames sent to shard s (see PushWire).
+	pushWire []time.Duration
 
 	// LastLoss is the minibatch loss of the most recent step.
 	LastLoss float64
@@ -65,8 +87,9 @@ type Worker struct {
 	LastBreakdown Breakdown
 }
 
-// NewWorker validates cfg, builds the replica's gradient subgraph and
-// connects to the parameter server.
+// NewWorker validates cfg, builds the replica's gradient subgraph,
+// connects to every parameter-server shard and verifies the shard
+// manifests against the locally computed name-hash placement.
 func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Model.Graph == nil || cfg.Model.X == nil || cfg.Model.Y == nil || cfg.Model.Loss == nil {
 		return nil, errors.New("dist: WorkerConfig.Model requires Graph, X, Y and Loss")
@@ -80,8 +103,14 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.BatchSize < 1 {
 		return nil, fmt.Errorf("dist: WorkerConfig.BatchSize must be ≥ 1, got %d", cfg.BatchSize)
 	}
-	if cfg.Addr == "" {
-		return nil, errors.New("dist: WorkerConfig.Addr is required")
+	addrs := cfg.Addrs
+	switch {
+	case cfg.Addr == "" && len(addrs) == 0:
+		return nil, errors.New("dist: one of WorkerConfig.Addr and WorkerConfig.Addrs is required")
+	case cfg.Addr != "" && len(addrs) > 0:
+		return nil, errors.New("dist: WorkerConfig.Addr and WorkerConfig.Addrs are mutually exclusive")
+	case cfg.Addr != "":
+		addrs = []string{cfg.Addr}
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = net.Dial
@@ -107,26 +136,96 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	for i, v := range vars {
 		names[i] = v.Name()
 	}
-
-	conn, err := cfg.Dial("tcp", cfg.Addr)
+	router, err := NewRouter(names, len(addrs))
 	if err != nil {
-		return nil, fmt.Errorf("dist: worker %d dial %s: %w", cfg.ID, cfg.Addr, err)
+		return nil, fmt.Errorf("dist: worker %d shard placement: %w", cfg.ID, err)
 	}
+
 	w := &Worker{
 		cfg:          cfg,
-		conn:         conn,
+		conns:        make([]net.Conn, len(addrs)),
+		router:       router,
 		sess:         tf.NewSession(cfg.Model.Graph, tf.WithDevice(cfg.Device), tf.WithSeed(int64(cfg.ID)+1)),
 		lossAndGrads: append([]*tf.Node{cfg.Model.Loss}, grads...),
 		gradNames:    names,
+		rounds:       make([]uint64, len(addrs)),
+		pushWire:     make([]time.Duration, len(addrs)),
+	}
+	for s, addr := range addrs {
+		conn, err := cfg.Dial("tcp", addr)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("dist: worker %d dial shard %d at %s: %w", cfg.ID, s, addr, err)
+		}
+		w.conns[s] = conn
+		if err := w.handshake(s); err != nil {
+			w.Close()
+			return nil, err
+		}
 	}
 	return w, nil
 }
 
-// Close disconnects from the parameter server and releases the local
-// session.
+// handshake verifies that the endpoint dialed for shard s identifies as
+// shard s of the expected cluster size and owns exactly the variables
+// the local name-hash placement assigns to it.
+func (w *Worker) handshake(s int) error {
+	req := &message{
+		Kind:   msgHello,
+		Worker: uint32(w.cfg.ID),
+		Shard:  uint32(s),
+		Shards: uint32(len(w.conns)),
+	}
+	if err := send(w.conns[s], w.cfg.Clock, w.cfg.Params, req); err != nil {
+		return fmt.Errorf("dist: worker %d handshake with shard %d: %w", w.cfg.ID, s, err)
+	}
+	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
+	resp, err := receive(w.conns[s], w.cfg.Clock, w.cfg.Params)
+	if err != nil {
+		return fmt.Errorf("dist: worker %d handshake with shard %d: %w", w.cfg.ID, s, err)
+	}
+	if resp.Kind != msgManifest {
+		return fmt.Errorf("dist: worker %d handshake with shard %d: unexpected response kind %d", w.cfg.ID, s, resp.Kind)
+	}
+	if !resp.OK {
+		return errors.New(resp.Err)
+	}
+	if int(resp.Shard) != s || int(resp.Shards) != len(w.conns) {
+		return fmt.Errorf("dist: worker %d dialed shard %d of %d but the endpoint is shard %d of %d (mis-sharded cluster)",
+			w.cfg.ID, s, len(w.conns), resp.Shard, resp.Shards)
+	}
+	if want := w.router.Names(s); !manifestEqual(resp.Names, want) {
+		return fmt.Errorf("dist: worker %d shard %d manifest %v does not match the local placement %v (model or placement mismatch)",
+			w.cfg.ID, s, resp.Names, want)
+	}
+	return nil
+}
+
+// Close disconnects from every parameter-server shard and releases the
+// local session.
 func (w *Worker) Close() error {
 	w.sess.Close()
-	return w.conn.Close()
+	var err error
+	for _, conn := range w.conns {
+		if conn == nil {
+			continue
+		}
+		if cerr := conn.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// PushWire returns the cumulative wire-serialization virtual time of the
+// gradient pushes sent to each shard, indexed by shard id. It isolates
+// the bytes-on-the-wire component of the push phase from barrier wait,
+// so experiments can show per-shard wire time shrinking as the variable
+// set fans out across more shards.
+func (w *Worker) PushWire() []time.Duration {
+	out := make([]time.Duration, len(w.pushWire))
+	copy(out, w.pushWire)
+	return out
 }
 
 // RunSteps runs n synchronous training steps.
@@ -144,9 +243,9 @@ func (w *Worker) RunSteps(n int) error {
 func (w *Worker) Step() error {
 	clock := w.cfg.Clock
 
-	// Pull: fetch the authoritative variables and install them in the
-	// local session, so this round's gradients are taken at the same
-	// point for every worker.
+	// Pull: fetch the authoritative variables from every shard and
+	// install them in the local session, so this round's gradients are
+	// taken at the same point for every worker.
 	span := clock.Start()
 	if err := w.pull(); err != nil {
 		return fmt.Errorf("dist: worker %d pull: %w", w.cfg.ID, err)
@@ -161,7 +260,10 @@ func (w *Worker) Step() error {
 	}
 	w.LastBreakdown.Compute = span.Stop()
 
-	// Push: contribute gradients and block on the round barrier.
+	// Push: contribute each shard its gradient partition and block on
+	// every shard's round barrier. The phase vtime is stamped only after
+	// the last shard's ack has been read and merged, so the breakdown
+	// reports the full wire + barrier cost, not just the send side.
 	span = clock.Start()
 	if err := w.pushGrads(grads); err != nil {
 		return fmt.Errorf("dist: worker %d push: %w", w.cfg.ID, err)
@@ -173,28 +275,65 @@ func (w *Worker) Step() error {
 	return nil
 }
 
+// fanOut runs one protocol exchange against every shard concurrently.
+// Each shard's exchange is charged to a branch clock seeded at the
+// current worker time; after all exchanges complete the worker clock
+// advances to the maximum branch time. With one shard this is arithmetic
+// identical to running the exchange directly on the worker clock, so the
+// single-PS deployment is exactly the 1-shard case.
+func (w *Worker) fanOut(fn func(s int, clock *vtime.Clock) error) error {
+	base := w.cfg.Clock.Now()
+	errs := make([]error, len(w.conns))
+	branches := make([]*vtime.Clock, len(w.conns))
+	var wg sync.WaitGroup
+	for s := range w.conns {
+		branch := &vtime.Clock{}
+		branch.AdvanceTo(base)
+		branches[s] = branch
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s, branches[s])
+		}(s)
+	}
+	wg.Wait()
+	for _, branch := range branches {
+		w.cfg.Clock.AdvanceTo(branch.Now())
+	}
+	return errors.Join(errs...)
+}
+
 func (w *Worker) pull() error {
-	req := &message{Kind: msgPull, Worker: uint32(w.cfg.ID)}
-	if err := send(w.conn, w.cfg.Clock, w.cfg.Params, req); err != nil {
-		return err
-	}
-	// The request is in flight; time passes on this node while it
-	// travels (the response stamp covers the rest of the round trip).
-	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
-	resp, err := receive(w.conn, w.cfg.Clock, w.cfg.Params)
-	if err != nil {
-		return err
-	}
-	if resp.Kind != msgVars {
-		return fmt.Errorf("unexpected response kind %d", resp.Kind)
-	}
-	w.round = resp.Round
+	var mu sync.Mutex
 	var bytes int64
-	for name, t := range resp.Vars {
-		if err := w.sess.SetVariable(name, t); err != nil {
+	err := w.fanOut(func(s int, clock *vtime.Clock) error {
+		req := &message{Kind: msgPull, Worker: uint32(w.cfg.ID)}
+		if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
 			return err
 		}
-		bytes += t.Bytes()
+		// The request is in flight; time passes on this node while it
+		// travels (the response stamp covers the rest of the round trip).
+		clock.Advance(w.cfg.Params.LANRTT / 2)
+		resp, err := receive(w.conns[s], clock, w.cfg.Params)
+		if err != nil {
+			return err
+		}
+		if resp.Kind != msgVars {
+			return fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		w.rounds[s] = resp.Round
+		for name, t := range resp.Vars {
+			if err := w.sess.SetVariable(name, t); err != nil {
+				return err
+			}
+			bytes += t.Bytes()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	// Installing the parameters is real memory traffic on this node.
 	w.cfg.Device.Access(bytes, false)
@@ -227,23 +366,34 @@ func (w *Worker) compute() (float64, map[string]*tf.Tensor, error) {
 	return float64(out[0].Floats()[0]), grads, nil
 }
 
+// pushGrads partitions the gradients across shards by the name-hash
+// placement and fans the pushes out concurrently, blocking until every
+// shard's round barrier releases (or aborts).
 func (w *Worker) pushGrads(grads map[string]*tf.Tensor) error {
-	req := &message{Kind: msgPush, Worker: uint32(w.cfg.ID), Vars: grads, Round: w.round}
-	if err := send(w.conn, w.cfg.Clock, w.cfg.Params, req); err != nil {
-		return err
-	}
-	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
-	resp, err := receive(w.conn, w.cfg.Clock, w.cfg.Params)
+	parts, err := w.router.Partition(grads)
 	if err != nil {
 		return err
 	}
-	if resp.Kind != msgAck {
-		return fmt.Errorf("unexpected response kind %d", resp.Kind)
-	}
-	if !resp.OK {
-		return errors.New(resp.Err)
-	}
-	return nil
+	return w.fanOut(func(s int, clock *vtime.Clock) error {
+		req := &message{Kind: msgPush, Worker: uint32(w.cfg.ID), Vars: parts[s], Round: w.rounds[s]}
+		wireStart := clock.Now()
+		if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
+			return err
+		}
+		w.pushWire[s] += clock.Now() - wireStart
+		clock.Advance(w.cfg.Params.LANRTT / 2)
+		resp, err := receive(w.conns[s], clock, w.cfg.Params)
+		if err != nil {
+			return err
+		}
+		if resp.Kind != msgAck {
+			return fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
+		}
+		if !resp.OK {
+			return errors.New(resp.Err)
+		}
+		return nil
+	})
 }
 
 // sliceRows returns rows [lo, hi) of a tensor's leading dimension as a
