@@ -197,6 +197,41 @@ func BenchmarkDistShardedTraining(b *testing.B) {
 	}
 }
 
+// BenchmarkDistAsync measures the bounded-staleness parameter-server
+// sweep (Figure8Async): 4 workers, 2 PS shards, one straggler, the same
+// global step budget trained synchronously and at staleness bounds
+// K ∈ {0, 2, 8, ∞}. Metric async-speedup-kinf-x — the virtual-time
+// throughput of unbounded async over the synchronous barrier — is the
+// CI bench gate's regression subject (the async rows run on a
+// deterministic discrete-event schedule, so it is stable run to run);
+// loss-ratio-k8 tracks the convergence cost of the bound and
+// k0-retries the rejection traffic at the tightest bound.
+func BenchmarkDistAsync(b *testing.B) {
+	var rows []experiments.Fig8AsyncRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure8Async(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	get := func(policy string) experiments.Fig8AsyncRow {
+		for _, r := range rows {
+			if r.Policy == policy {
+				return r
+			}
+		}
+		b.Fatalf("missing async-sweep row %q", policy)
+		return experiments.Fig8AsyncRow{}
+	}
+	sync := get("sync")
+	b.ReportMetric(sync.Throughput, "steps-per-s-sync")
+	b.ReportMetric(get("async K=inf").Throughput, "steps-per-s-kinf")
+	b.ReportMetric(get("async K=inf").Throughput/sync.Throughput, "async-speedup-kinf-x")
+	b.ReportMetric(get("async K=8").FinalLoss/sync.FinalLoss, "loss-ratio-k8")
+	b.ReportMetric(float64(get("async K=0").Retries), "k0-retries")
+}
+
 // BenchmarkTFvsTFLite regenerates the §5.3 #4 comparison: full
 // TensorFlow versus TensorFlow Lite inference in HW mode. Metric
 // tflite-speedup-x is the paper's ~71×.

@@ -10,7 +10,8 @@
 //
 // Figures: 4 (attestation latency), 5 (classification latency across
 // runtimes), 6 (file-system shield effect), 7 (scale-up/scale-out),
-// 8 (distributed training), tf-vs-tflite (§5.3 #4 comparison), elastic
+// 8 (distributed training), 8-async (bounded-staleness consistency
+// sweep with a straggler), tf-vs-tflite (§5.3 #4 comparison), elastic
 // (challenge ➍: attesting an autoscaling wave, CAS vs IAS).
 //
 // Absolute numbers come from the calibrated virtual-time cost model and
@@ -37,7 +38,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("securetf-bench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, tf-vs-tflite, all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 8-async, tf-vs-tflite, all")
 		runs    = fs.Int("runs", 0, "classification runs averaged per point (paper: 1000)")
 		images  = fs.Int("images", 0, "figure 7 batch size (paper: 800)")
 		steps   = fs.Int("steps", 0, "figure 8 training steps")
@@ -97,6 +98,14 @@ func run(args []string, w io.Writer) error {
 			experiments.PrintFigure8(w, rows)
 			return nil
 		}},
+		{"8-async", func() error {
+			rows, err := experiments.Figure8Async(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure8Async(w, rows)
+			return nil
+		}},
 		{"tf-vs-tflite", func() error {
 			rows, err := experiments.TFvsTFLite(cfg)
 			if err != nil {
@@ -130,7 +139,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, tf-vs-tflite, elastic or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, 8-async, tf-vs-tflite, elastic or all)", *fig)
 	}
 	return nil
 }

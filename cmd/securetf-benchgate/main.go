@@ -8,9 +8,12 @@
 //	securetf-benchgate -in bench.raw.json -baseline BENCH_baseline.json -out BENCH_ci.json
 //
 // The command exits non-zero when a gated metric regresses beyond its
-// allowance, printing every violation. With -update-baseline it instead
-// rewrites the baseline's metrics from the current run (keeping the
-// gate definitions), the reviewed path for intentional perf changes.
+// allowance, printing every violation — and when the run produced a
+// metric the baseline has no reference for, so a newly added benchmark
+// cannot silently sail through the gate untracked. With
+// -update-baseline it instead rewrites the baseline's metrics from the
+// current run (keeping the gate definitions), the reviewed path for
+// intentional perf changes and for admitting new benchmarks.
 package main
 
 import (
@@ -106,6 +109,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A metric the run produced but the baseline has never seen would
+	// otherwise pass forever untracked (a zero-value pass). Report every
+	// one and fail: the reviewed way to admit a new benchmark is
+	// -update-baseline.
+	missing := benchfmt.MissingBaseline(base, report)
+	for _, m := range missing {
+		fmt.Fprintf(w, "UNTRACKED: %s produced by this run but absent from %s\n", m, *baseline)
+	}
 	for _, g := range base.Gates {
 		baseVal := base.Benchmarks[g.Bench][g.Metric]
 		curVal, ok := report.Benchmarks[g.Bench][g.Metric]
@@ -121,6 +132,9 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "REGRESSION: %s\n", v)
 		}
 		return fmt.Errorf("%d benchmark gate(s) failed", len(violations))
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%d metric(s) missing from the baseline; run with -update-baseline (and add any gates) to admit them", len(missing))
 	}
 	fmt.Fprintln(w, "all benchmark gates passed")
 	return nil

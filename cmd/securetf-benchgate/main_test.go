@@ -20,18 +20,23 @@ const sampleBaseline = `{
     {"bench": "BenchmarkDistShardedTraining", "metric": "speedup-2workers-x", "max_regression_pct": 20, "higher_is_better": true}
   ],
   "benchmarks": {
-    "BenchmarkServingThroughput/batch32": {"req/s-virtual": %s},
-    "BenchmarkDistShardedTraining": {"speedup-2workers-x": 1.9}
+    "BenchmarkServingThroughput/batch32": {"ns/op": 7000000, "req/s-virtual": %s},
+    "BenchmarkDistShardedTraining": {"ns/op": 100, "speedup-2workers-x": 1.9}
   }
 }`
 
 func runGate(t *testing.T, baselineReqs string) (string, string, error) {
 	t.Helper()
+	return runGateStream(t, sampleStream, baselineReqs)
+}
+
+func runGateStream(t *testing.T, stream, baselineReqs string) (string, string, error) {
+	t.Helper()
 	dir := t.TempDir()
 	in := filepath.Join(dir, "bench.raw.json")
 	baseline := filepath.Join(dir, "BENCH_baseline.json")
 	out := filepath.Join(dir, "BENCH_ci.json")
-	if err := os.WriteFile(in, []byte(sampleStream), 0o644); err != nil {
+	if err := os.WriteFile(in, []byte(stream), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	base := strings.Replace(sampleBaseline, "%s", baselineReqs, 1)
@@ -57,6 +62,72 @@ func TestGatePassesAndWritesReport(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"req/s-virtual": 11.21`) {
 		t.Fatalf("BENCH_ci.json missing converted metric:\n%s", data)
+	}
+}
+
+// TestGateFailsOnMetricMissingFromBaseline pins the no-zero-value-pass
+// rule: a benchmark (or a new metric of a known benchmark) produced by
+// the CI run but absent from the committed baseline must fail the gate
+// with an explicit report, not pass untracked.
+func TestGateFailsOnMetricMissingFromBaseline(t *testing.T) {
+	cases := []struct {
+		name string
+		line string // appended to the healthy sample stream
+		want string // the "bench metric" the report must name
+	}{
+		{
+			"new benchmark",
+			`{"Action":"output","Package":"p","Output":"BenchmarkDistAsync-8 \t       1\t  55 ns/op\t  4.049 async-speedup-kinf-x\n"}` + "\n",
+			"BenchmarkDistAsync async-speedup-kinf-x",
+		},
+		{
+			"new metric on a tracked benchmark",
+			`{"Action":"output","Package":"p","Output":"BenchmarkServingThroughput/batch32-8 \t       1\t  7421913 ns/op\t  11.21 req/s-virtual\t  3.5 brand-new-unit\n"}` + "\n",
+			"BenchmarkServingThroughput/batch32 brand-new-unit",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			output, _, err := runGateStream(t, sampleStream+tc.line, "11.0")
+			if err == nil {
+				t.Fatalf("gate passed with %s untracked:\n%s", tc.want, output)
+			}
+			if !strings.Contains(err.Error(), "missing from the baseline") {
+				t.Fatalf("error does not explain the missing baseline metric: %v", err)
+			}
+			if !strings.Contains(output, "UNTRACKED: "+tc.want) {
+				t.Fatalf("report does not name the untracked metric %q:\n%s", tc.want, output)
+			}
+		})
+	}
+}
+
+// TestUpdateBaselineAdmitsNewBenchmark checks the documented remedy:
+// -update-baseline merges the new metrics into the baseline, after
+// which the same run gates cleanly.
+func TestUpdateBaselineAdmitsNewBenchmark(t *testing.T) {
+	stream := sampleStream +
+		`{"Action":"output","Package":"p","Output":"BenchmarkDistAsync-8 \t       1\t  55 ns/op\t  4.049 async-speedup-kinf-x\n"}` + "\n"
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.raw.json")
+	baseline := filepath.Join(dir, "BENCH_baseline.json")
+	if err := os.WriteFile(in, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := strings.Replace(sampleBaseline, "%s", "11.0", 1)
+	if err := os.WriteFile(baseline, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-baseline", baseline, "-out", "", "-update-baseline"}, &buf); err != nil {
+		t.Fatalf("update-baseline failed: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-in", in, "-baseline", baseline, "-out", ""}, &buf); err != nil {
+		t.Fatalf("gate still fails after -update-baseline: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "all benchmark gates passed") {
+		t.Fatalf("missing pass message after update:\n%s", buf.String())
 	}
 }
 

@@ -17,9 +17,12 @@
 // training cluster in-process: -ps-shards parameter-server nodes (one
 // enclave and one listener per shard, the model variables partitioned
 // across them by name hash) and -train-workers worker enclaves running
-// synchronous data-parallel SGD on MNIST:
+// data-parallel SGD on MNIST. -train-consistency selects the commit
+// policy: "sync" (barrier rounds, the default) or "async"
+// (apply-on-push with the -train-staleness bound K; -1 is unbounded):
 //
 //	securetf-worker -train -train-workers 3 -ps-shards 2 -train-rounds 4
+//	securetf-worker -train -train-workers 4 -train-consistency async -train-staleness 8
 package main
 
 import (
@@ -69,6 +72,8 @@ func run(args []string, w io.Writer) error {
 		trainBatch   = fs.Int("train-batch", 50, "per-worker minibatch size (with -train)")
 		trainLR      = fs.Float64("train-lr", 0.01, "learning rate (with -train)")
 		trainTLS     = fs.Bool("train-tls", true, "route parameter traffic through the network shield's TLS (with -train)")
+		trainCons    = fs.String("train-consistency", "sync", "parameter-server commit policy: sync (barrier rounds) or async (apply-on-push, with -train-staleness)")
+		trainStale   = fs.Int("train-staleness", 8, "async staleness bound K in variable versions; -1 for unbounded (with -train-consistency async)")
 
 		casAddr  = fs.String("cas", "", "CAS address (required)")
 		casInfo  = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
@@ -92,7 +97,16 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *train {
-		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS)
+		var policy securetf.ConsistencyPolicy
+		switch *trainCons {
+		case "sync":
+			policy = securetf.SyncConsistency()
+		case "async":
+			policy = securetf.AsyncConsistency(*trainStale)
+		default:
+			return fmt.Errorf("-train-consistency must be sync or async, got %q", *trainCons)
+		}
+		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS, policy)
 	}
 	if *casAddr == "" || *casInfo == "" || *trustdir == "" {
 		return errors.New("-cas, -cas-info and -trustdir are required")
@@ -220,19 +234,20 @@ func run(args []string, w io.Writer) error {
 
 // runTraining stands up an in-process distributed training cluster —
 // one enclave node per parameter-server shard and per worker — trains
-// for the requested rounds and reports the per-round losses, the
-// per-phase virtual-time breakdown and the per-shard push wire time the
-// sharding exists to shrink.
-func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, withTLS bool) error {
-	fmt.Fprintf(w, "training cluster: %d workers, %d parameter-server shards (TLS %v)\n", workers, shards, withTLS)
+// for the requested rounds under the chosen consistency policy and
+// reports the per-round losses, the per-phase virtual-time breakdown
+// and the per-shard push wire time the sharding exists to shrink.
+func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, withTLS bool, policy securetf.ConsistencyPolicy) error {
+	fmt.Fprintf(w, "training cluster: %d workers, %d parameter-server shards (TLS %v, %v)\n", workers, shards, withTLS, policy)
 	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
-		TLS:       withTLS,
-		Workers:   workers,
-		PSShards:  shards,
-		Rounds:    rounds,
-		BatchSize: batch,
-		LR:        lr,
-		NewModel:  func() securetf.Model { return securetf.NewMNISTCNN(1) },
+		TLS:         withTLS,
+		Workers:     workers,
+		PSShards:    shards,
+		Rounds:      rounds,
+		BatchSize:   batch,
+		LR:          lr,
+		Consistency: policy,
+		NewModel:    func() securetf.Model { return securetf.NewMNISTCNN(1) },
 		ShardData: func(worker int) (*securetf.Tensor, *securetf.Tensor, error) {
 			fs := securetf.NewMemFS()
 			if err := securetf.GenerateMNIST(fs, "shard", rounds*batch, 0, int64(31+worker)); err != nil {
@@ -255,6 +270,9 @@ func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, wi
 	fmt.Fprintf(w, "breakdown (max over workers): pull %v, compute %v, push %v\n",
 		res.Breakdown.Pull, res.Breakdown.Compute, res.Breakdown.Push)
 	fmt.Fprintf(w, "push wire per shard per round: %v\n", res.PushWirePerShard)
+	if res.StalenessRetries > 0 {
+		fmt.Fprintf(w, "staleness-bound retries: %d\n", res.StalenessRetries)
+	}
 	fmt.Fprintf(w, "end-to-end training latency (virtual): %v\n", res.Latency)
 	return nil
 }

@@ -24,6 +24,24 @@ type TrainingWorker = dist.Worker
 // from the same seed so replicas match this state.
 func InitialVariables(m Model) map[string]*Tensor { return dist.InitialVars(m.Graph) }
 
+// ConsistencyPolicy selects how a parameter-server shard commits
+// gradient pushes: SyncConsistency (barrier rounds, the default) or
+// AsyncConsistency (apply-on-push under a bounded staleness K).
+type ConsistencyPolicy = dist.ConsistencyPolicy
+
+// SyncConsistency is the synchronous barrier policy — every worker in
+// lockstep, gradients averaged per round. The zero ConsistencyPolicy
+// value is the same thing, so existing configurations are unchanged.
+func SyncConsistency() ConsistencyPolicy { return dist.Sync() }
+
+// AsyncConsistency applies every gradient push the moment it arrives
+// (no barrier — a straggler no longer gates its peers) and rejects, for
+// worker-side retry, any push computed against variables more than
+// `staleness` versions old. 0 demands fresh gradients; negative means
+// unbounded. Each applied push is scaled by LR/Workers, so async is a
+// relaxation of the same optimizer the synchronous rounds run.
+func AsyncConsistency(staleness int) ConsistencyPolicy { return dist.Async(staleness) }
+
 // PSOption tunes a parameter server.
 type PSOption func(*dist.PSConfig)
 
@@ -42,6 +60,13 @@ func WithRoundTimeout(d time.Duration) PSOption {
 // the classic single parameter server — exactly the 1-shard case.
 func WithShard(shard, shards int) PSOption {
 	return func(cfg *dist.PSConfig) { cfg.Shard, cfg.Shards = shard, shards }
+}
+
+// WithConsistency sets the shard's commit policy. Workers must expect
+// the same policy for this shard (WorkerSpec.Consistency /
+// ShardConsistency) — the connection handshake rejects mismatches.
+func WithConsistency(p ConsistencyPolicy) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.Consistency = p }
 }
 
 // StartParameterServer starts a parameter server inside a container,
@@ -120,6 +145,13 @@ type WorkerSpec struct {
 	// Threads bounds the worker's compute parallelism (0 uses the
 	// container default).
 	Threads int
+	// Consistency is the commit policy this worker expects every shard
+	// to run (default SyncConsistency); ShardConsistency overrides it
+	// per shard id for clusters that mix policies deliberately. The
+	// handshake verifies each expectation, so a mixed-up cluster fails
+	// at construction instead of stranding a barrier.
+	Consistency      ConsistencyPolicy
+	ShardConsistency map[int]ConsistencyPolicy
 }
 
 // StartTrainingWorker connects a worker inside a container to a
@@ -151,12 +183,14 @@ func StartTrainingWorker(c *Container, spec WorkerSpec) (*TrainingWorker, error)
 			Loss:   spec.Model.Loss,
 			Logits: spec.Model.Logits,
 		},
-		XS:        spec.XS,
-		YS:        spec.YS,
-		BatchSize: spec.BatchSize,
-		Device:    c.Device(spec.Threads),
-		Clock:     c.Clock(),
-		Params:    c.Params(),
+		XS:               spec.XS,
+		YS:               spec.YS,
+		BatchSize:        spec.BatchSize,
+		Device:           c.Device(spec.Threads),
+		Clock:            c.Clock(),
+		Params:           c.Params(),
+		Consistency:      spec.Consistency,
+		ShardConsistency: spec.ShardConsistency,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("securetf: start training worker %d: %w", spec.ID, err)
@@ -200,8 +234,17 @@ type DistTrainConfig struct {
 	// ShardData returns worker w's private training shard.
 	ShardData func(worker int) (xs, ys *Tensor, err error)
 	// RoundTimeout bounds how long a round may wait on a straggler
-	// before aborting. Zero disables the timeout.
+	// before aborting. Zero disables the timeout. Only meaningful for
+	// synchronous shards — async shards never block.
 	RoundTimeout time.Duration
+	// Consistency selects the commit policy of every parameter-server
+	// shard (default SyncConsistency — bit-for-bit today's synchronous
+	// behavior); ShardConsistency overrides it per shard id, so a
+	// cluster can run its hot shard under AsyncConsistency(K) while the
+	// rest stay synchronous. Workers are configured to expect the same
+	// per-shard policies automatically.
+	Consistency      ConsistencyPolicy
+	ShardConsistency map[int]ConsistencyPolicy
 }
 
 // DistTrainResult reports a distributed training job's outcome.
@@ -210,8 +253,15 @@ type DistTrainResult struct {
 	FinalLoss float64
 	// Losses[w][r] is worker w's minibatch loss at round r.
 	Losses [][]float64
-	// Rounds is the number of rounds committed by every shard.
+	// Rounds is the number of rounds committed by every shard when the
+	// whole cluster is synchronous. With any async shard, commits are
+	// per-push and per-shard, so Rounds reports the per-worker step
+	// count instead.
 	Rounds int
+	// StalenessRetries is the total number of pushes rejected by an
+	// async shard's staleness bound and retried, summed over workers.
+	// Always 0 for a fully synchronous cluster.
+	StalenessRetries int
 	// Latency is the end-to-end virtual time: the maximum over every
 	// node clock (shards and workers) when the job finished.
 	Latency time.Duration
@@ -250,6 +300,23 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 	}
 	if cfg.Kind == 0 {
 		cfg.Kind = SconeHW
+	}
+	for s := range cfg.ShardConsistency {
+		if s < 0 || s >= cfg.PSShards {
+			return nil, fmt.Errorf("securetf: DistTrainConfig.ShardConsistency names shard %d of a %d-shard cluster", s, cfg.PSShards)
+		}
+	}
+	policyFor := func(s int) ConsistencyPolicy {
+		if p, ok := cfg.ShardConsistency[s]; ok {
+			return p
+		}
+		return cfg.Consistency
+	}
+	allSync := true
+	for s := 0; s < cfg.PSShards; s++ {
+		if policyFor(s).Kind != dist.ConsistencySync {
+			allSync = false
+		}
 	}
 
 	var ca *seccrypto.CA
@@ -306,7 +373,8 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 		}
 		shardNodes[s] = c
 		ps, addr, err := StartParameterServer(c, "127.0.0.1:0", vars, cfg.Workers, cfg.LR,
-			WithShard(s, cfg.PSShards), WithRoundTimeout(cfg.RoundTimeout))
+			WithShard(s, cfg.PSShards), WithRoundTimeout(cfg.RoundTimeout),
+			WithConsistency(policyFor(s)))
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +436,9 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 				ServerName: "parameter-server",
 				Model:      cfg.NewModel(),
 				XS:         xs, YS: ys,
-				BatchSize: cfg.BatchSize,
+				BatchSize:        cfg.BatchSize,
+				Consistency:      cfg.Consistency,
+				ShardConsistency: cfg.ShardConsistency,
 			})
 			if err != nil {
 				errs[w] = err
@@ -411,11 +481,21 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 	}
 	res.FinalLoss /= float64(cfg.Workers)
 	res.PushWirePerShard = pushWire / time.Duration(cfg.PSShards*cfg.Rounds)
-	res.Rounds = shards[0].Rounds()
-	for s, ps := range shards {
-		if got := ps.Rounds(); got != res.Rounds {
-			return nil, fmt.Errorf("securetf: shard %d committed %d rounds, shard 0 committed %d", s, got, res.Rounds)
+	for _, worker := range workers {
+		res.StalenessRetries += worker.StalenessRetries()
+	}
+	if allSync {
+		res.Rounds = shards[0].Rounds()
+		for s, ps := range shards {
+			if got := ps.Rounds(); got != res.Rounds {
+				return nil, fmt.Errorf("securetf: shard %d committed %d rounds, shard 0 committed %d", s, got, res.Rounds)
+			}
 		}
+	} else {
+		// Async shards commit per push (and sync shards per barrier), so
+		// cross-shard commit counts are not comparable; the job-level
+		// round count is the per-worker step count.
+		res.Rounds = cfg.Rounds
 	}
 	for _, c := range shardNodes {
 		if t := c.Clock().Now(); t > res.Latency {

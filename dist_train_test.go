@@ -237,6 +237,114 @@ func TestTrainDistributedWorkerFailureAborts(t *testing.T) {
 	}
 }
 
+// TestTrainDistributedAsync runs the facade under AsyncConsistency:
+// the job completes without barriers, learns, and reports a round count
+// equal to the per-worker step count. RoundTimeout is left at zero on
+// purpose — async shards never block, so nothing needs a timeout.
+func TestTrainDistributedAsync(t *testing.T) {
+	const workers, rounds, batch = 2, 4, 20
+	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Kind:        securetf.SconeSIM,
+		Workers:     workers,
+		PSShards:    2,
+		Rounds:      rounds,
+		BatchSize:   batch,
+		LR:          0.05,
+		Consistency: securetf.AsyncConsistency(8),
+		NewModel:    func() securetf.Model { return securetf.NewMNISTMLP(3) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return mlpShard(w, rounds, batch)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("async Rounds = %d, want the per-worker step count %d", res.Rounds, rounds)
+	}
+	for w := 0; w < workers; w++ {
+		if len(res.Losses[w]) != rounds {
+			t.Fatalf("worker %d recorded %d losses, want %d", w, len(res.Losses[w]), rounds)
+		}
+		if res.Losses[w][rounds-1] >= res.Losses[w][0] {
+			t.Fatalf("worker %d did not learn under async: %v", w, res.Losses[w])
+		}
+	}
+	if res.Latency <= 0 {
+		t.Fatal("virtual latency did not advance")
+	}
+}
+
+// TestTrainDistributedPerShardConsistency mixes policies: shard 1 runs
+// async while shard 0 stays synchronous, via the ShardConsistency
+// override. The job must train — the facade wires the same per-shard
+// expectations into every worker, so the handshakes agree.
+func TestTrainDistributedPerShardConsistency(t *testing.T) {
+	const workers, rounds, batch = 2, 3, 20
+	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Kind:      securetf.SconeSIM,
+		Workers:   workers,
+		PSShards:  2,
+		Rounds:    rounds,
+		BatchSize: batch,
+		LR:        0.05,
+		ShardConsistency: map[int]securetf.ConsistencyPolicy{
+			1: securetf.AsyncConsistency(-1),
+		},
+		NewModel: func() securetf.Model { return securetf.NewMNISTMLP(3) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return mlpShard(w, rounds, batch)
+		},
+		RoundTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("mixed-policy Rounds = %d, want %d", res.Rounds, rounds)
+	}
+	if res.FinalLoss >= res.Losses[0][0] {
+		t.Fatalf("mixed-policy cluster did not learn: %v", res.Losses[0])
+	}
+}
+
+// TestTrainDistributedSyncTrajectoryUnchangedByAsyncSupport re-pins the
+// backstop acceptance: the synchronous facade path must stay bit-for-bit
+// identical whether or not the async machinery exists — an explicit
+// SyncConsistency() and the zero value produce the same trajectory.
+func TestTrainDistributedSyncTrajectoryUnchangedByAsyncSupport(t *testing.T) {
+	const workers, rounds, batch = 2, 3, 20
+	base := distTrain(t, workers, 2, rounds, batch)
+	explicit, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Kind:        securetf.SconeSIM,
+		Workers:     workers,
+		PSShards:    2,
+		Rounds:      rounds,
+		BatchSize:   batch,
+		LR:          0.05,
+		Consistency: securetf.SyncConsistency(),
+		NewModel:    func() securetf.Model { return securetf.NewMNISTMLP(3) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return mlpShard(w, rounds, batch)
+		},
+		RoundTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range base.Losses {
+		for r := range base.Losses[w] {
+			if base.Losses[w][r] != explicit.Losses[w][r] {
+				t.Fatalf("worker %d round %d: explicit sync loss %v differs from default %v",
+					w, r, explicit.Losses[w][r], base.Losses[w][r])
+			}
+		}
+	}
+	if explicit.StalenessRetries != 0 {
+		t.Fatalf("synchronous cluster reported %d staleness retries", explicit.StalenessRetries)
+	}
+}
+
 // TestTrainDistributedValidation spot-checks the config guards.
 func TestTrainDistributedValidation(t *testing.T) {
 	model := func() securetf.Model { return securetf.NewMNISTMLP(3) }
@@ -246,6 +354,8 @@ func TestTrainDistributedValidation(t *testing.T) {
 		{Workers: 1, Rounds: 0, BatchSize: 1, LR: 0.1, NewModel: model, ShardData: data},
 		{Workers: 1, Rounds: 1, BatchSize: 1, LR: 0.1, ShardData: data},
 		{Workers: 1, PSShards: -1, Rounds: 1, BatchSize: 1, LR: 0.1, NewModel: model, ShardData: data},
+		{Workers: 1, Rounds: 1, BatchSize: 1, LR: 0.1, NewModel: model, ShardData: data,
+			ShardConsistency: map[int]securetf.ConsistencyPolicy{3: securetf.AsyncConsistency(0)}},
 	}
 	for i, cfg := range bad {
 		if _, err := securetf.TrainDistributed(cfg); err == nil {

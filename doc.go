@@ -107,6 +107,30 @@
 // option (default 1, the classic deployment, which reproduces the
 // single-PS trainer exactly).
 //
+// Each shard commits gradients under a ConsistencyPolicy.
+// SyncConsistency (the zero value) is the barrier above: a round
+// commits only after every worker's push, averaged and applied as one
+// SGD step, bit-for-bit today's behavior. AsyncConsistency(K) applies
+// every push the moment it arrives, scaled by LR/Workers so a full
+// wave of async pushes moves the variables by the same total magnitude
+// as one synchronous round — no barrier, so a straggler stops gating
+// its peers — under a bounded staleness K: the shard bumps a variable
+// version on every applied push, and a push computed from variables
+// more than K versions old is refused with a retryable stale status,
+// upon which the worker re-pulls that shard, recomputes against the
+// fresh parameters and pushes again (TrainingWorker.StalenessRetries
+// counts these; K = 0 demands fresh gradients, negative K is
+// unbounded). The policy is per shard — WithConsistency on the server,
+// WorkerSpec.Consistency/ShardConsistency on the workers,
+// DistTrainConfig.Consistency/ShardConsistency on the facade — and the
+// connection handshake carries it both ways, so a worker whose
+// expectation differs from a shard's actual policy fails at
+// construction instead of stranding on a barrier the other side never
+// fills. The throughput-vs-convergence tradeoff this opens is measured
+// by the Figure8Async experiment: 4 workers with a straggler, swept
+// over K ∈ {0, 2, 8, ∞} on a deterministic virtual-time event
+// schedule.
+//
 // All enclave costs (EPC paging, transitions, crypto, WAN round trips)
 // are charged to a per-platform virtual clock, so programs built on this
 // package are deterministic and fast while preserving the performance

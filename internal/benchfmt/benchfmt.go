@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -198,6 +199,26 @@ func Check(baseline *Baseline, current *Report) ([]Violation, error) {
 		}
 	}
 	return out, nil
+}
+
+// MissingBaseline lists every "bench metric" the current run produced
+// that the baseline carries no reference value for, sorted. A non-empty
+// result means the baseline predates the benchmark suite: a newly added
+// benchmark (or metric) would otherwise sail through the gate untracked
+// — a zero-value pass — until someone remembered to commit it. The gate
+// treats this as a failure so adding a benchmark forces the reviewed
+// baseline update in the same change.
+func MissingBaseline(baseline *Baseline, current *Report) []string {
+	var out []string
+	for bench, metrics := range current.Benchmarks {
+		for metric := range metrics {
+			if _, ok := baseline.Benchmarks[bench][metric]; !ok {
+				out = append(out, bench+" "+metric)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Marshal renders a report as committed-format JSON. Key order is

@@ -741,3 +741,137 @@ func TestCloseWithIdleConnectionsDoesNotHang(t *testing.T) {
 		t.Fatal("register succeeded after close")
 	}
 }
+
+// TestGatewayChurnUnderLoad hammers the registry's mutating API —
+// Register / SetServing / RemoveVersion cycling through versions — while
+// concurrent clients keep request load on the gateway (run under -race
+// in CI). The contract under churn: zero dropped requests — every
+// request gets a definitive answer — and a pinned request for a drained
+// or not-yet-registered version is refused with NOT_FOUND (or
+// OVERLOADED under queue pressure), never left hanging on a version
+// whose pool was released.
+func TestGatewayChurnUnderLoad(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{
+		Replicas: 2, MaxBatch: 4, BatchWindow: time.Millisecond, QueueCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	model := buildModel(t, 7)
+	if err := g.Register("m", 1, model); err != nil {
+		t.Fatal(err)
+	}
+	probe := input(1, 42)
+
+	// Churner: register the next version, make it serving, drain and
+	// remove the previous one — a full hot-swap per iteration.
+	const versions = 8
+	churned := make(chan error, 1)
+	go func() {
+		for v := 2; v <= versions; v++ {
+			if err := g.Register("m", v, model); err != nil {
+				churned <- fmt.Errorf("register v%d: %w", v, err)
+				return
+			}
+			if err := g.SetServing("m", v); err != nil {
+				churned <- fmt.Errorf("set serving v%d: %w", v, err)
+				return
+			}
+			if err := g.RemoveVersion("m", v-1); err != nil {
+				churned <- fmt.Errorf("remove v%d: %w", v-1, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		churned <- nil
+	}()
+
+	type tally struct{ ok, overloaded, notFound int }
+	const clients, perClient = 8, 40
+	results := make(chan tally, clients)
+	failures := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		go func(w int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				failures <- err
+				return
+			}
+			defer cl.Close()
+			var tl tally
+			for i := 0; i < perClient; i++ {
+				version := 0 // unpinned: always resolves to a live version
+				if w%2 == 0 {
+					// Pinned across the churn window: sometimes live,
+					// sometimes drained, sometimes not yet registered.
+					version = 1 + i%versions
+				}
+				_, _, err := cl.Infer("m", version, probe)
+				switch {
+				case err == nil:
+					tl.ok++
+				case errors.Is(err, ErrOverloaded):
+					tl.overloaded++
+				case errors.Is(err, ErrNotFound) && version != 0:
+					tl.notFound++
+				default:
+					failures <- fmt.Errorf("client %d request %d (version %d): %w", w, i, version, err)
+					return
+				}
+			}
+			results <- tl
+			failures <- nil
+		}(w)
+	}
+
+	var total tally
+	for w := 0; w < clients; w++ {
+		select {
+		case err := <-failures:
+			if err != nil {
+				t.Fatal(err)
+			}
+			total2 := <-results
+			total.ok += total2.ok
+			total.overloaded += total2.overloaded
+			total.notFound += total2.notFound
+		case <-time.After(60 * time.Second):
+			t.Fatal("a request hung during registry churn")
+		}
+	}
+	select {
+	case err := <-churned:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("churner hung (RemoveVersion stuck draining?)")
+	}
+
+	// Zero dropped: every issued request is accounted for by a
+	// definitive outcome.
+	if got := total.ok + total.overloaded + total.notFound; got != clients*perClient {
+		t.Fatalf("%d of %d requests accounted for (ok %d, overloaded %d, not-found %d)",
+			got, clients*perClient, total.ok, total.overloaded, total.notFound)
+	}
+	if total.ok == 0 {
+		t.Fatal("no request succeeded under churn")
+	}
+	// Served() sums the counters of the *registered* versions, and the
+	// churn removed all but the last — so it can only undercount, never
+	// exceed what clients observed.
+	if got := g.Served(); got == 0 || got > total.ok {
+		t.Fatalf("gateway counts %d served, clients saw %d OKs", got, total.ok)
+	}
+	if got := g.ServingVersion("m"); got != versions {
+		t.Fatalf("serving version = %d after churn, want %d", got, versions)
+	}
+	// Exactly one version remains registered; the drained ones are gone.
+	for v := 1; v < versions; v++ {
+		if err := g.SetServing("m", v); err == nil {
+			t.Fatalf("drained version %d still registered after churn", v)
+		}
+	}
+}

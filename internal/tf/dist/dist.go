@@ -1,11 +1,12 @@
 // Package dist implements the distributed training architecture of the
-// paper's §5.4: synchronous between-graph data-parallel SGD with a
-// parameter server, the classic TF1 deployment secureTF runs inside SGX
-// enclaves.
+// paper's §5.4: between-graph data-parallel SGD with a parameter server,
+// the classic TF1 deployment secureTF runs inside SGX enclaves.
 //
-// A ParameterServer owns the authoritative variable values and applies
-// synchronously averaged gradients; Workers hold a full model replica
-// each, train on private data shards and exchange parameters and
+// A ParameterServer owns the authoritative variable values and commits
+// gradients under a per-shard ConsistencyPolicy: synchronous barrier
+// rounds (averaged gradients, every worker in lockstep) or asynchronous
+// apply-on-push under a bounded staleness K. Workers hold a full model
+// replica each, train on private data shards and exchange parameters and
 // gradients over a length-prefixed wire protocol on ordinary net.Conn
 // values. Callers supply the listener and dial function, so connections
 // go through the container's network shield and Figure 8's "w/ TLS"
@@ -20,6 +21,7 @@
 package dist
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/securetf/securetf/internal/tf"
@@ -54,6 +56,73 @@ func InitialVars(g *tf.Graph) map[string]*tf.Tensor {
 		}
 	}
 	return out
+}
+
+// ConsistencyKind selects how a parameter-server shard commits gradient
+// pushes.
+type ConsistencyKind uint8
+
+const (
+	// ConsistencySync is the classic synchronous barrier: a round
+	// commits only after every worker's push, applied as one averaged
+	// SGD step. This is the zero value, so existing configurations keep
+	// today's behavior unchanged.
+	ConsistencySync ConsistencyKind = iota
+	// ConsistencyAsync applies each worker's gradient immediately on
+	// push, bounded by the policy's staleness K.
+	ConsistencyAsync
+)
+
+// ConsistencyPolicy is one parameter-server shard's commit discipline.
+// Every shard of a cluster may choose its own policy, but every worker
+// must expect the policy its shards actually run: the connection
+// handshake carries the policy both ways and a mismatch fails the
+// worker at construction (mixed-policy clusters fail fast instead of
+// hanging one side on a barrier the other never fills).
+type ConsistencyPolicy struct {
+	Kind ConsistencyKind
+	// Staleness is the async bound K, measured in shard variable
+	// versions (the shard bumps its version on every applied push). A
+	// push whose pulled version lags the shard's current version by
+	// more than K is rejected; the worker re-pulls, recomputes against
+	// the fresh variables and retries. 0 demands gradients against the
+	// latest variables; negative means unbounded (classic hogwild-style
+	// async). Ignored in sync mode.
+	Staleness int
+}
+
+// Sync is the synchronous barrier policy — today's default.
+func Sync() ConsistencyPolicy { return ConsistencyPolicy{Kind: ConsistencySync} }
+
+// Async is the apply-on-push policy with staleness bound K (negative
+// for unbounded).
+func Async(staleness int) ConsistencyPolicy {
+	return ConsistencyPolicy{Kind: ConsistencyAsync, Staleness: staleness}
+}
+
+// normalize canonicalizes the policy so equality comparisons (the
+// handshake, tests) are well defined: sync carries no staleness, and
+// every unbounded async value collapses to -1.
+func (p ConsistencyPolicy) normalize() ConsistencyPolicy {
+	if p.Kind == ConsistencySync {
+		return ConsistencyPolicy{Kind: ConsistencySync}
+	}
+	if p.Staleness < 0 {
+		p.Staleness = -1
+	}
+	return p
+}
+
+// String renders the policy for errors and experiment labels.
+func (p ConsistencyPolicy) String() string {
+	p = p.normalize()
+	if p.Kind == ConsistencySync {
+		return "sync"
+	}
+	if p.Staleness < 0 {
+		return "async(staleness=inf)"
+	}
+	return fmt.Sprintf("async(staleness=%d)", p.Staleness)
 }
 
 // Breakdown is the per-phase virtual time of one synchronous training

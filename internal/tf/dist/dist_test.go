@@ -264,7 +264,7 @@ func TestLateStragglerRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err = w1.pushGrads(grads)
+	_, err = w1.pushGrads(grads)
 	if err == nil {
 		t.Fatal("stale push accepted")
 	}
@@ -282,9 +282,10 @@ func TestCorruptFrameRejected(t *testing.T) {
 	m := &message{Kind: msgPush, Vars: map[string]*tf.Tensor{"w": tf.Fill(tf.Shape{2}, 1)}}
 	payload := m.encode()
 	// The Vars count sits right after kind(1) + stamp(8) + worker(4) +
-	// round(8) + shard(4) + shards(4) + ok(1) + err string(4+0) +
+	// round(8) + step(8) + shard(4) + shards(4) + policy(1) +
+	// staleness(8) + ok(1) + stale(1) + err string(4+0) +
 	// names count(4).
-	off := 1 + 8 + 4 + 8 + 4 + 4 + 1 + 4 + 4
+	off := 1 + 8 + 4 + 8 + 8 + 4 + 4 + 1 + 8 + 1 + 1 + 4 + 4
 	payload[off], payload[off+1], payload[off+2], payload[off+3] = 0xff, 0xff, 0xff, 0xff
 	if _, err := decode(payload); err == nil {
 		t.Fatal("corrupt variable count accepted")

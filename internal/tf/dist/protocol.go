@@ -37,12 +37,18 @@ type message struct {
 	Kind   uint8
 	Stamp  int64
 	Worker uint32
-	// Round is the PS's barrier generation: handed out with each
-	// variable snapshot (msgVars) and echoed back on the matching push,
-	// so a straggler's push for a round that has already committed or
-	// aborted is rejected instead of silently seeding the next round
-	// with stale gradients.
+	// Round is the PS's barrier generation (sync) or variable version
+	// (async): handed out with each variable snapshot (msgVars) and
+	// echoed back on the matching push. In sync mode a push for a round
+	// that has already committed or aborted is rejected instead of
+	// silently seeding the next round with stale gradients; in async
+	// mode a push whose version lags the shard's current one by more
+	// than the staleness bound is rejected for retry.
 	Round uint64
+	// Step is the pushing worker's local step counter, carried on every
+	// push so the parameter server can account per-worker progress (the
+	// bounded-staleness experiments read it back via WorkerSteps).
+	Step uint64
 	// Shard and Shards carry the shard-placement handshake: on msgHello
 	// the worker's expectation of the endpoint it dialed, on msgManifest
 	// the parameter-server shard's actual identity. A mismatch means a
@@ -50,6 +56,15 @@ type message struct {
 	// up front instead of letting a round hang on a wrong barrier.
 	Shard  uint32
 	Shards uint32
+	// Policy and Staleness carry the shard's ConsistencyPolicy through
+	// the handshake: on msgHello the worker's expectation, on
+	// msgManifest the shard's actual policy. A mismatch — a worker
+	// configured sync against an async shard, or for a different
+	// staleness bound — fails the connection up front, so mixed-policy
+	// clusters cannot strand one side on a barrier the other never
+	// fills.
+	Policy    uint8
+	Staleness int64
 	// Names is the sorted manifest of variable names this shard owns
 	// (msgManifest), so the worker can verify the name-hash placement it
 	// computed locally matches the server's before any round starts.
@@ -58,9 +73,13 @@ type message struct {
 	// contribution (msgPush), keyed by variable name.
 	Vars map[string]*tf.Tensor
 	// OK and Err report round commit or abort (msgAck) and handshake
-	// acceptance (msgManifest).
-	OK  bool
-	Err string
+	// acceptance (msgManifest). Stale marks an async rejection for
+	// exceeding the staleness bound — the one retryable failure: the
+	// worker re-pulls, recomputes and pushes again rather than aborting
+	// the job.
+	OK    bool
+	Stale bool
+	Err   string
 }
 
 // encode serializes the message payload (everything after the length
@@ -75,11 +94,21 @@ func (m *message) encode() []byte {
 	buf.Write(scratch[:4])
 	binary.LittleEndian.PutUint64(scratch[:], m.Round)
 	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], m.Step)
+	buf.Write(scratch[:])
 	binary.LittleEndian.PutUint32(scratch[:4], m.Shard)
 	buf.Write(scratch[:4])
 	binary.LittleEndian.PutUint32(scratch[:4], m.Shards)
 	buf.Write(scratch[:4])
+	buf.WriteByte(m.Policy)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(m.Staleness))
+	buf.Write(scratch[:])
 	if m.OK {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	if m.Stale {
 		buf.WriteByte(1)
 	} else {
 		buf.WriteByte(0)
@@ -131,6 +160,9 @@ func decode(payload []byte) (*message, error) {
 	if m.Round, err = readUint(r, 8); err != nil {
 		return nil, err
 	}
+	if m.Step, err = readUint(r, 8); err != nil {
+		return nil, err
+	}
 	if u64, err = readUint(r, 4); err != nil {
 		return nil, err
 	}
@@ -139,11 +171,23 @@ func decode(payload []byte) (*message, error) {
 		return nil, err
 	}
 	m.Shards = uint32(u64)
+	if m.Policy, err = r.ReadByte(); err != nil {
+		return nil, fmt.Errorf("dist: truncated policy byte: %w", err)
+	}
+	if u64, err = readUint(r, 8); err != nil {
+		return nil, err
+	}
+	m.Staleness = int64(u64)
 	okByte, err := r.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("dist: truncated ok flag: %w", err)
 	}
 	m.OK = okByte != 0
+	staleByte, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dist: truncated stale flag: %w", err)
+	}
+	m.Stale = staleByte != 0
 	if m.Err, err = readString(r); err != nil {
 		return nil, err
 	}
@@ -224,6 +268,17 @@ func readString(r *bytes.Reader) (string, error) {
 		return "", err
 	}
 	return string(raw), nil
+}
+
+// wirePolicy flattens a policy into its two wire fields.
+func wirePolicy(p ConsistencyPolicy) (uint8, int64) {
+	p = p.normalize()
+	return uint8(p.Kind), int64(p.Staleness)
+}
+
+// policyFromWire rebuilds a normalized policy from the wire fields.
+func policyFromWire(kind uint8, staleness int64) ConsistencyPolicy {
+	return ConsistencyPolicy{Kind: ConsistencyKind(kind), Staleness: int(staleness)}.normalize()
 }
 
 // send serializes m onto conn as a length-prefixed frame, charging wire

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/securetf/securetf/internal/tf"
+)
+
+// fuzzSeedFrames builds the seed corpus from real protocol frames: the
+// handshake pair, a pull, a variable snapshot, a gradient push and both
+// ack shapes — every message kind the trainer actually exchanges.
+func fuzzSeedFrames() [][]byte {
+	tensor := tf.Fill(tf.Shape{4, 3}, 0.25)
+	frames := []*message{
+		{Kind: msgHello, Worker: 3, Shard: 1, Shards: 2, Policy: 1, Staleness: 8},
+		{Kind: msgManifest, Shard: 1, Shards: 2, Policy: 1, Staleness: 8, OK: true, Names: []string{"b", "w"}},
+		{Kind: msgPull, Worker: 2},
+		{Kind: msgVars, OK: true, Round: 7, Vars: map[string]*tf.Tensor{"w": tensor}},
+		{Kind: msgPush, Worker: 1, Round: 7, Step: 42, Vars: map[string]*tf.Tensor{"w": tensor, "b": tf.Fill(tf.Shape{3}, -1)}},
+		{Kind: msgAck, OK: true},
+		{Kind: msgAck, OK: false, Stale: true, Err: "dist: push exceeds the staleness bound"},
+	}
+	out := make([][]byte, len(frames))
+	for i, m := range frames {
+		out[i] = m.encode()
+	}
+	return out
+}
+
+// FuzzFrameCodec fuzzes the length-prefixed frame decoder: truncated,
+// oversized and bit-flipped payloads must produce an error, never a
+// panic or an allocation driven by an attacker-controlled count. A
+// payload that does decode must survive an encode/decode round trip —
+// the decoder and encoder agree on the format.
+func FuzzFrameCodec(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+		// Truncations and bit flips of real frames steer the fuzzer at
+		// the interesting boundaries from the start.
+		if len(frame) > 2 {
+			f.Add(frame[:len(frame)/2])
+			flipped := append([]byte(nil), frame...)
+			flipped[len(flipped)-1] ^= 0x80
+			f.Add(flipped)
+		}
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decode(payload)
+		if err != nil {
+			return
+		}
+		// The count guards must have kept every decoded collection within
+		// the physical payload: each manifest name costs ≥ 4 bytes, each
+		// variable entry ≥ 8.
+		if len(m.Names)*4 > len(payload) || len(m.Vars)*8 > len(payload) {
+			t.Fatalf("decoded %d names and %d vars out of a %d-byte payload", len(m.Names), len(m.Vars), len(payload))
+		}
+		reenc := m.encode()
+		back, err := decode(reenc)
+		if err != nil {
+			t.Fatalf("re-decoding an encoded message failed: %v", err)
+		}
+		if back.Kind != m.Kind || back.Round != m.Round || back.Step != m.Step ||
+			back.Worker != m.Worker || back.OK != m.OK || back.Stale != m.Stale ||
+			back.Policy != m.Policy || back.Staleness != m.Staleness || back.Err != m.Err {
+			t.Fatalf("round trip changed the header: %+v vs %+v", m, back)
+		}
+		if len(back.Names) != len(m.Names) || len(back.Vars) != len(m.Vars) {
+			t.Fatalf("round trip changed the payload: %d/%d names, %d/%d vars",
+				len(back.Names), len(m.Names), len(back.Vars), len(m.Vars))
+		}
+	})
+}

@@ -35,6 +35,18 @@ type PSConfig struct {
 	// single-PS deployment is exactly the 1-shard case.
 	Shard  int
 	Shards int
+	// Consistency selects this shard's commit discipline. The zero
+	// value is Sync() — barrier rounds of Workers pushes, averaged and
+	// applied together, exactly today's behavior. Async(K) instead
+	// applies every push the moment it arrives, scaled by LR/Workers so
+	// a full wave of async pushes moves the variables by the same total
+	// magnitude as one synchronous averaged round, and rejects (for
+	// worker-side retry) any push whose pulled variable version lags
+	// the shard's current version by more than K. Workers keeps its
+	// meaning as the cluster's worker count; in async mode it is the
+	// averaging scale, not a barrier size, and RoundTimeout is unused
+	// because nothing ever blocks.
+	Consistency ConsistencyPolicy
 	// LR is the learning rate applied to averaged gradients.
 	LR float64
 	// Clock is the PS node's virtual clock. Message stamps keep it
@@ -72,19 +84,33 @@ type ParameterServer struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 
-	// Per-round barrier state, reset on commit or abort. gen guards the
-	// timeout callback against firing into a later round.
+	// Per-round barrier state, reset on commit or abort (sync mode
+	// only). gen guards the timeout callback against firing into a
+	// later round; in async mode it is the variable version, bumped on
+	// every applied push, and the staleness bound is measured against
+	// it.
 	sum     map[string]*tf.Tensor
 	pushes  int
 	waiters []chan error
 	timer   *time.Timer
 	gen     uint64
 
+	// steps tracks each worker's latest pushed local step (async
+	// accounting; sync pushes record it too, it just never gates
+	// anything there).
+	steps map[uint32]uint64
+
 	wg sync.WaitGroup
 }
 
 // errRoundTimeout is what blocked workers receive when a round aborts.
 var errRoundTimeout = errors.New("dist: synchronous round aborted: timeout waiting for all workers")
+
+// errStalePush rejects an async push whose gradients were computed
+// against variables more than Staleness versions behind. It travels as
+// the Stale wire flag, so workers retry (re-pull, recompute, re-push)
+// instead of aborting.
+var errStalePush = errors.New("dist: push exceeds the staleness bound")
 
 // NewParameterServer validates cfg, deep-copies the seed variables and
 // starts accepting worker connections.
@@ -110,10 +136,15 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 	if cfg.Params.WireBandwidth == 0 {
 		cfg.Params = sgx.DefaultParams()
 	}
+	cfg.Consistency = cfg.Consistency.normalize()
+	if cfg.Consistency.Kind > ConsistencyAsync {
+		return nil, fmt.Errorf("dist: unknown consistency kind %d", cfg.Consistency.Kind)
+	}
 	ps := &ParameterServer{
 		cfg:   cfg,
 		vars:  make(map[string]*tf.Tensor, len(cfg.Vars)),
 		conns: make(map[net.Conn]struct{}),
+		steps: make(map[uint32]uint64),
 	}
 	for name, t := range ShardVars(cfg.Vars, cfg.Shard, cfg.Shards) {
 		if t == nil || t.DType() != tf.Float32 {
@@ -128,11 +159,31 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 	return ps, nil
 }
 
-// Rounds reports how many synchronous rounds have committed.
+// Rounds reports how many commits the shard has applied: synchronous
+// barrier rounds in sync mode, individual applied pushes in async mode
+// (where every push is its own commit).
 func (ps *ParameterServer) Rounds() int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return ps.rounds
+}
+
+// Consistency reports the shard's normalized commit policy.
+func (ps *ParameterServer) Consistency() ConsistencyPolicy { return ps.cfg.Consistency }
+
+// WorkerSteps snapshots the latest local step each worker's push has
+// reported — the per-worker progress view the bounded-staleness
+// experiments read. In async mode an entry is recorded only when the
+// push is applied; in sync mode it is recorded when the push joins the
+// round, so a later abort of that round does not roll it back.
+func (ps *ParameterServer) WorkerSteps() map[int]uint64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make(map[int]uint64, len(ps.steps))
+	for w, s := range ps.steps {
+		out[int(w)] = s
+	}
+	return out
 }
 
 // Vars returns a snapshot of the current variable values.
@@ -217,6 +268,7 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 			resp = &message{Kind: msgAck, OK: true}
 			if err := ps.push(msg); err != nil {
 				resp.OK = false
+				resp.Stale = errors.Is(err, errStalePush)
 				resp.Err = err.Error()
 			}
 		default:
@@ -235,12 +287,15 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 // count than the running cluster — is reported explicitly so the worker
 // fails fast instead of hanging on a barrier that can never fill.
 func (ps *ParameterServer) handshake(msg *message) *message {
+	policy, staleness := wirePolicy(ps.cfg.Consistency)
 	resp := &message{
-		Kind:   msgManifest,
-		Shard:  uint32(ps.cfg.Shard),
-		Shards: uint32(ps.cfg.Shards),
-		Names:  ps.manifest,
-		OK:     true,
+		Kind:      msgManifest,
+		Shard:     uint32(ps.cfg.Shard),
+		Shards:    uint32(ps.cfg.Shards),
+		Policy:    policy,
+		Staleness: staleness,
+		Names:     ps.manifest,
+		OK:        true,
 	}
 	if int(msg.Shards) != ps.cfg.Shards {
 		resp.OK = false
@@ -250,18 +305,27 @@ func (ps *ParameterServer) handshake(msg *message) *message {
 		resp.OK = false
 		resp.Err = fmt.Sprintf("dist: worker %d dialed this endpoint as shard %d, but it is shard %d",
 			msg.Worker, msg.Shard, ps.cfg.Shard)
+	} else if want := policyFromWire(msg.Policy, msg.Staleness); want != ps.cfg.Consistency {
+		resp.OK = false
+		resp.Err = fmt.Sprintf("dist: worker %d expects shard %d to run %v, but it runs %v (mixed-policy cluster)",
+			msg.Worker, ps.cfg.Shard, want, ps.cfg.Consistency)
 	}
 	return resp
 }
 
-// push accumulates one worker's gradients and blocks until the round
-// commits (nil) or aborts (error). It is the synchronization barrier:
-// fast workers wait in here for the stragglers.
+// push routes one worker's gradient push to the shard's consistency
+// policy: the synchronous barrier (block until the round commits or
+// aborts) or the asynchronous immediate apply.
 func (ps *ParameterServer) push(msg *message) error {
 	ps.mu.Lock()
 	if ps.closed {
 		ps.mu.Unlock()
 		return errors.New("dist: parameter server closed")
+	}
+	if ps.cfg.Consistency.Kind == ConsistencyAsync {
+		err := ps.pushAsyncLocked(msg)
+		ps.mu.Unlock()
+		return err
 	}
 	// A push must belong to the barrier generation its parameters were
 	// pulled from. A mismatch means the worker's round has already
@@ -273,17 +337,11 @@ func (ps *ParameterServer) push(msg *message) error {
 	}
 	// Validate before accumulating so one malformed push cannot poison
 	// the round for everyone.
-	for name, g := range msg.Vars {
-		v, ok := ps.vars[name]
-		if !ok {
-			ps.mu.Unlock()
-			return fmt.Errorf("dist: worker %d pushed gradient for unknown variable %q", msg.Worker, name)
-		}
-		if g.DType() != tf.Float32 || !g.Shape().Equal(v.Shape()) {
-			ps.mu.Unlock()
-			return fmt.Errorf("dist: worker %d gradient for %q has shape %v, want %v", msg.Worker, name, g.Shape(), v.Shape())
-		}
+	if err := ps.validatePushLocked(msg); err != nil {
+		ps.mu.Unlock()
+		return err
 	}
+	ps.steps[msg.Worker] = msg.Step
 	if ps.sum == nil {
 		ps.sum = make(map[string]*tf.Tensor, len(ps.vars))
 	}
@@ -310,6 +368,62 @@ func (ps *ParameterServer) push(msg *message) error {
 	}
 	ps.mu.Unlock()
 	return <-ch
+}
+
+// validatePushLocked checks every pushed gradient against the shard's
+// variable set, so a malformed push is an explicit error instead of
+// corrupted state.
+func (ps *ParameterServer) validatePushLocked(msg *message) error {
+	for name, g := range msg.Vars {
+		v, ok := ps.vars[name]
+		if !ok {
+			return fmt.Errorf("dist: worker %d pushed gradient for unknown variable %q", msg.Worker, name)
+		}
+		if g.DType() != tf.Float32 || !g.Shape().Equal(v.Shape()) {
+			return fmt.Errorf("dist: worker %d gradient for %q has shape %v, want %v", msg.Worker, name, g.Shape(), v.Shape())
+		}
+	}
+	return nil
+}
+
+// pushAsyncLocked is the bounded-staleness commit path: the push is
+// applied the moment it arrives — no barrier, nothing blocks — unless
+// the variables have moved more than Staleness versions past the ones
+// the gradient was computed from, in which case the push is rejected
+// with the retryable stale error and the worker re-pulls and
+// recomputes. Each applied push is scaled by LR/Workers, the same
+// per-contribution magnitude as a synchronous averaged round, so async
+// is a relaxation of the same optimizer rather than a different one.
+func (ps *ParameterServer) pushAsyncLocked(msg *message) error {
+	if err := ps.validatePushLocked(msg); err != nil {
+		return err
+	}
+	if msg.Round > ps.gen {
+		return fmt.Errorf("dist: worker %d pushed against variable version %d, but the shard is only at %d", msg.Worker, msg.Round, ps.gen)
+	}
+	if k := ps.cfg.Consistency.Staleness; k >= 0 && ps.gen-msg.Round > uint64(k) {
+		return fmt.Errorf("%w: worker %d pushed against variable version %d, current is %d (bound %d)",
+			errStalePush, msg.Worker, msg.Round, ps.gen, k)
+	}
+	scale := float32(ps.cfg.LR) / float32(ps.cfg.Workers)
+	var elems int64
+	for name, g := range msg.Vars {
+		v := ps.vars[name].Floats()
+		src := g.Floats()
+		for i := range v {
+			v[i] -= scale * src[i]
+		}
+		elems += int64(len(src))
+	}
+	if ps.cfg.ApplyMeter != nil {
+		// Scale and subtract one contribution: 2 FLOPs per element.
+		// Traffic: read the gradient, read+write the variables.
+		ps.cfg.ApplyMeter(elems*2, elems*4*3)
+	}
+	ps.steps[msg.Worker] = msg.Step
+	ps.rounds++
+	ps.gen++
+	return nil
 }
 
 // commitLocked averages the round's gradients, applies them at the

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -36,6 +38,74 @@ func TestShardForPlacement(t *testing.T) {
 			coarse, fine := ShardFor(name, k), ShardFor(name, 2*k)
 			if fine/2 != coarse {
 				t.Errorf("ShardFor(%q): %d-shard home %d is not refined by %d-shard home %d", name, k, coarse, 2*k, fine)
+			}
+		}
+	}
+}
+
+// TestShardPlacementProperty is the property-style companion of
+// TestShardForPlacement: over randomly generated variable-name sets it
+// checks (a) totality — every name maps to exactly one in-range shard
+// at every shard count, with Router and ShardFor agreeing — and (b) the
+// hierarchical refinement invariant — doubling the shard count moves a
+// variable from shard i only to shard 2i or 2i+1, never anywhere else.
+// (b) is what makes shard-count growth a refinement instead of a
+// reshuffle: it follows from range partitioning, because
+// ⌊h·2n/2³²⌋ ∈ {2⌊h·n/2³²⌋, 2⌊h·n/2³²⌋+1} for every 32-bit h.
+func TestShardPlacementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260727))
+	alphabet := []string{"conv", "fc", "bias", "w", "b", "gamma", "beta", "ema", "opt", "head"}
+	randomName := func() string {
+		depth := 1 + rng.Intn(3)
+		parts := make([]string, depth)
+		for i := range parts {
+			parts[i] = fmt.Sprintf("%s%d", alphabet[rng.Intn(len(alphabet))], rng.Intn(100))
+		}
+		return strings.Join(parts, "/")
+	}
+	for trial := 0; trial < 50; trial++ {
+		set := make(map[string]bool)
+		for len(set) < 1+rng.Intn(40) {
+			set[randomName()] = true
+		}
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		for _, shards := range []int{1, 2, 3, 4, 8, 16} {
+			r, err := NewRouter(names, shards)
+			if err != nil {
+				t.Fatalf("trial %d: NewRouter(%d): %v", trial, shards, err)
+			}
+			manifestHomes := make(map[string]int)
+			for s := 0; s < shards; s++ {
+				for _, name := range r.Names(s) {
+					if prev, dup := manifestHomes[name]; dup {
+						t.Fatalf("trial %d shards=%d: %q in manifests of shards %d and %d", trial, shards, name, prev, s)
+					}
+					manifestHomes[name] = s
+				}
+			}
+			for _, name := range names {
+				s := ShardFor(name, shards)
+				if s < 0 || s >= shards {
+					t.Fatalf("trial %d: ShardFor(%q, %d) = %d out of range", trial, name, shards, s)
+				}
+				if home, ok := manifestHomes[name]; !ok || home != s || r.Owner(name) != s {
+					t.Fatalf("trial %d shards=%d: %q placed at %d but manifest/Owner say %d/%d",
+						trial, shards, name, s, home, r.Owner(name))
+				}
+			}
+		}
+		// Refinement: each doubling sends shard i's variables to exactly
+		// {2i, 2i+1}.
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			for _, name := range names {
+				coarse, fine := ShardFor(name, n), ShardFor(name, 2*n)
+				if fine != 2*coarse && fine != 2*coarse+1 {
+					t.Fatalf("trial %d: %q moves from shard %d of %d to shard %d of %d — not a refinement",
+						trial, name, coarse, n, fine, 2*n)
+				}
 			}
 		}
 	}

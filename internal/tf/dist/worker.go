@@ -47,13 +47,25 @@ type WorkerConfig struct {
 	// Params supplies cost-model constants. The zero value falls back to
 	// sgx.DefaultParams.
 	Params sgx.Params
+	// Consistency is the commit policy this worker expects every shard
+	// to run. The zero value is Sync(), today's barrier behavior. The
+	// connection handshake verifies the expectation against each
+	// shard's actual policy, so a worker wired into a mixed-policy or
+	// misconfigured cluster fails at construction instead of stranding
+	// on a barrier the shard never fills (or vice versa).
+	Consistency ConsistencyPolicy
+	// ShardConsistency overrides Consistency per shard id, for clusters
+	// that mix policies deliberately (e.g. a hot shard running
+	// Async(K) while the rest stay synchronous).
+	ShardConsistency map[int]ConsistencyPolicy
 }
 
-// Worker runs synchronous SGD steps against a (possibly sharded)
-// parameter-server cluster: pull the current variables from every shard,
-// compute gradients on the next minibatch of the local shard, push each
-// shard its partition of the gradients and block on every shard's round
-// barrier.
+// Worker runs SGD steps against a (possibly sharded) parameter-server
+// cluster: pull the current variables from every shard, compute
+// gradients on the next minibatch of the local shard, and push each
+// shard its partition of the gradients — blocking on the round barrier
+// of synchronous shards, while async shards ack immediately (retrying
+// after a re-pull + recompute when a push exceeds the staleness bound).
 //
 // The fan-out is concurrent across shards with causally consistent
 // virtual time: each shard exchange runs on a branch clock seeded at the
@@ -65,6 +77,12 @@ type Worker struct {
 	conns  []net.Conn // one per shard, indexed by shard id
 	router *Router
 	sess   *tf.Session
+	// sessMu guards the shared session during concurrent per-shard
+	// variable installs.
+	sessMu sync.Mutex
+	// policies[s] is the normalized commit policy expected of (and
+	// verified against) shard s.
+	policies []ConsistencyPolicy
 
 	// gradient fetch plan: lossAndGrads[0] is the loss node, the rest
 	// are gradient nodes aligned with gradNames.
@@ -72,13 +90,23 @@ type Worker struct {
 	gradNames    []string
 
 	step int
-	// rounds[s] is shard s's barrier generation at the last pull; pushes
-	// echo it so a shard can reject gradients from a committed/aborted
-	// round.
+	// rounds[s] is shard s's barrier generation (sync) or variable
+	// version (async) at the last pull; pushes echo it so a shard can
+	// reject gradients from a committed/aborted round or from
+	// variables beyond the staleness bound.
 	rounds []uint64
 	// pushWire[s] accumulates the wire-serialization vtime of push
 	// frames sent to shard s (see PushWire).
 	pushWire []time.Duration
+
+	// staged step state between BeginStep and FinishStep.
+	staged      bool
+	stagedLoss  float64
+	stagedGrads map[string]*tf.Tensor
+
+	// staleRetries counts pushes rejected for exceeding an async
+	// shard's staleness bound and retried after a re-pull + recompute.
+	staleRetries int
 
 	// LastLoss is the minibatch loss of the most recent step.
 	LastLoss float64
@@ -86,6 +114,14 @@ type Worker struct {
 	// step.
 	LastBreakdown Breakdown
 }
+
+// maxStaleRetries bounds how often one step re-pulls and recomputes
+// after staleness rejections before the step fails: under any sane
+// schedule a retry computed against freshly pulled variables is within
+// every bound K ≥ 0 unless other workers keep racing ahead, and 16
+// consecutive losses of that race signal a misconfigured cluster
+// rather than bad luck.
+const maxStaleRetries = 16
 
 // NewWorker validates cfg, builds the replica's gradient subgraph,
 // connects to every parameter-server shard and verifies the shard
@@ -140,12 +176,28 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %d shard placement: %w", cfg.ID, err)
 	}
+	policies := make([]ConsistencyPolicy, len(addrs))
+	for s := range policies {
+		policies[s] = cfg.Consistency.normalize()
+	}
+	for s, p := range cfg.ShardConsistency {
+		if s < 0 || s >= len(addrs) {
+			return nil, fmt.Errorf("dist: WorkerConfig.ShardConsistency names shard %d of a %d-shard cluster", s, len(addrs))
+		}
+		policies[s] = p.normalize()
+	}
+	for s, p := range policies {
+		if p.Kind > ConsistencyAsync {
+			return nil, fmt.Errorf("dist: unknown consistency kind %d expected of shard %d", p.Kind, s)
+		}
+	}
 
 	w := &Worker{
 		cfg:          cfg,
 		conns:        make([]net.Conn, len(addrs)),
 		router:       router,
 		sess:         tf.NewSession(cfg.Model.Graph, tf.WithDevice(cfg.Device), tf.WithSeed(int64(cfg.ID)+1)),
+		policies:     policies,
 		lossAndGrads: append([]*tf.Node{cfg.Model.Loss}, grads...),
 		gradNames:    names,
 		rounds:       make([]uint64, len(addrs)),
@@ -167,14 +219,18 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 }
 
 // handshake verifies that the endpoint dialed for shard s identifies as
-// shard s of the expected cluster size and owns exactly the variables
-// the local name-hash placement assigns to it.
+// shard s of the expected cluster size, runs the consistency policy
+// this worker expects of it, and owns exactly the variables the local
+// name-hash placement assigns to it.
 func (w *Worker) handshake(s int) error {
+	policy, staleness := wirePolicy(w.policies[s])
 	req := &message{
-		Kind:   msgHello,
-		Worker: uint32(w.cfg.ID),
-		Shard:  uint32(s),
-		Shards: uint32(len(w.conns)),
+		Kind:      msgHello,
+		Worker:    uint32(w.cfg.ID),
+		Shard:     uint32(s),
+		Shards:    uint32(len(w.conns)),
+		Policy:    policy,
+		Staleness: staleness,
 	}
 	if err := send(w.conns[s], w.cfg.Clock, w.cfg.Params, req); err != nil {
 		return fmt.Errorf("dist: worker %d handshake with shard %d: %w", w.cfg.ID, s, err)
@@ -193,6 +249,10 @@ func (w *Worker) handshake(s int) error {
 	if int(resp.Shard) != s || int(resp.Shards) != len(w.conns) {
 		return fmt.Errorf("dist: worker %d dialed shard %d of %d but the endpoint is shard %d of %d (mis-sharded cluster)",
 			w.cfg.ID, s, len(w.conns), resp.Shard, resp.Shards)
+	}
+	if got := policyFromWire(resp.Policy, resp.Staleness); got != w.policies[s] {
+		return fmt.Errorf("dist: worker %d expects shard %d to run %v, but it runs %v (mixed-policy cluster)",
+			w.cfg.ID, s, w.policies[s], got)
 	}
 	if want := w.router.Names(s); !manifestEqual(resp.Names, want) {
 		return fmt.Errorf("dist: worker %d shard %d manifest %v does not match the local placement %v (model or placement mismatch)",
@@ -228,7 +288,7 @@ func (w *Worker) PushWire() []time.Duration {
 	return out
 }
 
-// RunSteps runs n synchronous training steps.
+// RunSteps runs n training steps.
 func (w *Worker) RunSteps(n int) error {
 	for i := 0; i < n; i++ {
 		if err := w.Step(); err != nil {
@@ -238,9 +298,31 @@ func (w *Worker) RunSteps(n int) error {
 	return nil
 }
 
-// Step runs one synchronous training step (pull, compute, push) and
-// records its loss and per-phase virtual-time breakdown.
+// StalenessRetries reports how many pushes were rejected by an async
+// shard's staleness bound and retried (re-pull, recompute, re-push)
+// over the worker's lifetime.
+func (w *Worker) StalenessRetries() int { return w.staleRetries }
+
+// Step runs one training step (pull, compute, push) and records its
+// loss and per-phase virtual-time breakdown. It is exactly
+// BeginStep + FinishStep; against synchronous shards FinishStep blocks
+// on the round barrier.
 func (w *Worker) Step() error {
+	if err := w.BeginStep(); err != nil {
+		return err
+	}
+	return w.FinishStep()
+}
+
+// BeginStep runs the pull and compute phases of one step and stages
+// the resulting gradients for FinishStep. Splitting the step in two
+// lets virtual-time schedulers (the bounded-staleness experiments)
+// interleave many workers' phases deterministically in one goroutine —
+// only FinishStep against a synchronous shard ever blocks.
+func (w *Worker) BeginStep() error {
+	if w.staged {
+		return fmt.Errorf("dist: worker %d BeginStep called with a step already staged", w.cfg.ID)
+	}
 	clock := w.cfg.Clock
 
 	// Pull: fetch the authoritative variables from every shard and
@@ -260,19 +342,87 @@ func (w *Worker) Step() error {
 	}
 	w.LastBreakdown.Compute = span.Stop()
 
-	// Push: contribute each shard its gradient partition and block on
-	// every shard's round barrier. The phase vtime is stamped only after
-	// the last shard's ack has been read and merged, so the breakdown
-	// reports the full wire + barrier cost, not just the send side.
-	span = clock.Start()
-	if err := w.pushGrads(grads); err != nil {
+	w.staged, w.stagedLoss, w.stagedGrads = true, loss, grads
+	return nil
+}
+
+// FinishStep pushes the gradients staged by BeginStep: each shard gets
+// its partition, synchronous shards block on the round barrier, and an
+// async shard's staleness rejection triggers a re-pull + recompute +
+// re-push of that shard's partition. The phase vtime is stamped only
+// after the last shard's ack has been read and merged, so the
+// breakdown reports the full wire + barrier (or retry) cost, not just
+// the send side.
+func (w *Worker) FinishStep() error {
+	if !w.staged {
+		return fmt.Errorf("dist: worker %d FinishStep called without a staged step", w.cfg.ID)
+	}
+	// The staged step is consumed up front, success or failure: after a
+	// failed push the cluster is in an unknown partial state (an async
+	// shard may already have applied its partition of the gradients),
+	// so re-running FinishStep with the same staged gradients would
+	// double-apply them there. A failed step is not retryable — the
+	// next BeginStep starts clean.
+	grads, loss := w.stagedGrads, w.stagedLoss
+	w.staged, w.stagedGrads = false, nil
+	clock := w.cfg.Clock
+
+	span := clock.Start()
+	stale, err := w.pushGrads(grads)
+	if err != nil {
 		return fmt.Errorf("dist: worker %d push: %w", w.cfg.ID, err)
+	}
+	for attempt := 0; len(stale) > 0; attempt++ {
+		if attempt >= maxStaleRetries {
+			return fmt.Errorf("dist: worker %d push: shards %v still beyond the staleness bound after %d retries", w.cfg.ID, stale, attempt)
+		}
+		w.staleRetries += len(stale)
+		if loss, stale, err = w.retryStale(stale); err != nil {
+			return fmt.Errorf("dist: worker %d push retry: %w", w.cfg.ID, err)
+		}
 	}
 	w.LastBreakdown.Push = span.Stop()
 
 	w.LastLoss = loss
 	w.step++
 	return nil
+}
+
+// retryStale handles one round of staleness rejections: re-pull the
+// rejected shards (refreshing their variables and version tags),
+// recompute the gradients of the same minibatch against the now-fresher
+// parameters, and re-push only the rejected partitions. It runs
+// sequentially on the worker clock — the backoff a real worker pays for
+// losing the staleness race is exactly this extra pull + compute +
+// push virtual time.
+func (w *Worker) retryStale(stale []int) (float64, []int, error) {
+	clock := w.cfg.Clock
+	for _, s := range stale {
+		n, err := w.pullExchange(s, clock)
+		if err != nil {
+			return 0, nil, err
+		}
+		w.cfg.Device.Access(n, false)
+	}
+	loss, grads, err := w.compute()
+	if err != nil {
+		return 0, nil, err
+	}
+	parts, err := w.router.Partition(grads)
+	if err != nil {
+		return 0, nil, err
+	}
+	var still []int
+	for _, s := range stale {
+		redo, err := w.pushExchange(s, clock, parts[s])
+		if err != nil {
+			return 0, nil, err
+		}
+		if redo {
+			still = append(still, s)
+		}
+	}
+	return loss, still, nil
 }
 
 // fanOut runs one protocol exchange against every shard concurrently.
@@ -307,29 +457,13 @@ func (w *Worker) pull() error {
 	var mu sync.Mutex
 	var bytes int64
 	err := w.fanOut(func(s int, clock *vtime.Clock) error {
-		req := &message{Kind: msgPull, Worker: uint32(w.cfg.ID)}
-		if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
-			return err
-		}
-		// The request is in flight; time passes on this node while it
-		// travels (the response stamp covers the rest of the round trip).
-		clock.Advance(w.cfg.Params.LANRTT / 2)
-		resp, err := receive(w.conns[s], clock, w.cfg.Params)
+		n, err := w.pullExchange(s, clock)
 		if err != nil {
 			return err
 		}
-		if resp.Kind != msgVars {
-			return fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
-		}
 		mu.Lock()
-		defer mu.Unlock()
-		w.rounds[s] = resp.Round
-		for name, t := range resp.Vars {
-			if err := w.sess.SetVariable(name, t); err != nil {
-				return err
-			}
-			bytes += t.Bytes()
-		}
+		bytes += n
+		mu.Unlock()
 		return nil
 	})
 	if err != nil {
@@ -338,6 +472,37 @@ func (w *Worker) pull() error {
 	// Installing the parameters is real memory traffic on this node.
 	w.cfg.Device.Access(bytes, false)
 	return nil
+}
+
+// pullExchange fetches shard s's variables on the given clock, installs
+// them in the local session, records the shard's round generation /
+// variable version and returns the installed byte count.
+func (w *Worker) pullExchange(s int, clock *vtime.Clock) (int64, error) {
+	req := &message{Kind: msgPull, Worker: uint32(w.cfg.ID)}
+	if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
+		return 0, err
+	}
+	// The request is in flight; time passes on this node while it
+	// travels (the response stamp covers the rest of the round trip).
+	clock.Advance(w.cfg.Params.LANRTT / 2)
+	resp, err := receive(w.conns[s], clock, w.cfg.Params)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Kind != msgVars {
+		return 0, fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
+	}
+	w.sessMu.Lock()
+	defer w.sessMu.Unlock()
+	w.rounds[s] = resp.Round
+	var bytes int64
+	for name, t := range resp.Vars {
+		if err := w.sess.SetVariable(name, t); err != nil {
+			return 0, err
+		}
+		bytes += t.Bytes()
+	}
+	return bytes, nil
 }
 
 func (w *Worker) compute() (float64, map[string]*tf.Tensor, error) {
@@ -367,33 +532,64 @@ func (w *Worker) compute() (float64, map[string]*tf.Tensor, error) {
 }
 
 // pushGrads partitions the gradients across shards by the name-hash
-// placement and fans the pushes out concurrently, blocking until every
-// shard's round barrier releases (or aborts).
-func (w *Worker) pushGrads(grads map[string]*tf.Tensor) error {
+// placement and fans the pushes out concurrently: synchronous shards
+// block until their round barrier releases (or aborts), async shards
+// ack immediately. It returns the shards that rejected their push for
+// staleness, for the caller to retry.
+func (w *Worker) pushGrads(grads map[string]*tf.Tensor) ([]int, error) {
 	parts, err := w.router.Partition(grads)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return w.fanOut(func(s int, clock *vtime.Clock) error {
-		req := &message{Kind: msgPush, Worker: uint32(w.cfg.ID), Vars: parts[s], Round: w.rounds[s]}
-		wireStart := clock.Now()
-		if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
-			return err
-		}
-		w.pushWire[s] += clock.Now() - wireStart
-		clock.Advance(w.cfg.Params.LANRTT / 2)
-		resp, err := receive(w.conns[s], clock, w.cfg.Params)
-		if err != nil {
-			return err
-		}
-		if resp.Kind != msgAck {
-			return fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
-		}
-		if !resp.OK {
-			return errors.New(resp.Err)
-		}
-		return nil
+	redo := make([]bool, len(w.conns))
+	err = w.fanOut(func(s int, clock *vtime.Clock) error {
+		r, err := w.pushExchange(s, clock, parts[s])
+		redo[s] = r
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
+	var stale []int
+	for s, r := range redo {
+		if r {
+			stale = append(stale, s)
+		}
+	}
+	return stale, nil
+}
+
+// pushExchange sends shard s its gradient partition on the given clock
+// and reads the ack. A staleness rejection is reported as stale=true —
+// the one retryable outcome; every other rejection is an error.
+func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Tensor) (stale bool, err error) {
+	req := &message{
+		Kind:   msgPush,
+		Worker: uint32(w.cfg.ID),
+		Vars:   vars,
+		Round:  w.rounds[s],
+		Step:   uint64(w.step),
+	}
+	wireStart := clock.Now()
+	if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
+		return false, err
+	}
+	w.pushWire[s] += clock.Now() - wireStart
+	clock.Advance(w.cfg.Params.LANRTT / 2)
+	resp, err := receive(w.conns[s], clock, w.cfg.Params)
+	if err != nil {
+		return false, err
+	}
+	if resp.Kind != msgAck {
+		return false, fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
+	}
+	if !resp.OK {
+		if resp.Stale {
+			return true, nil
+		}
+		return false, errors.New(resp.Err)
+	}
+	return false, nil
 }
 
 // sliceRows returns rows [lo, hi) of a tensor's leading dimension as a
