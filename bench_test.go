@@ -232,6 +232,47 @@ func BenchmarkDistAsync(b *testing.B) {
 	b.ReportMetric(float64(get("async K=0").Retries), "k0-retries")
 }
 
+// BenchmarkDistCompress measures the gradient codecs on the push path
+// (Figure8Compress): the fixed 4-worker, 2-shard MNIST job pushed raw,
+// int8-quantized and top-k-sparsified, with and without TLS. Metrics
+// int8-wire-reduction-x and topk-wire-reduction-x are the exact
+// push-frame-byte ratios versus the uncompressed run (≥3× and more,
+// deterministic — they count bytes, not time) and are the CI bench
+// gate's regression subjects; loss-ratio-int8 / loss-ratio-topk track
+// the convergence cost the error-feedback residual keeps near 1.
+func BenchmarkDistCompress(b *testing.B) {
+	var rows []experiments.Fig8CompressRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure8Compress(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	get := func(codec string, tls bool) experiments.Fig8CompressRow {
+		for _, r := range rows {
+			if r.Codec == codec && r.TLS == tls {
+				return r
+			}
+		}
+		b.Fatalf("missing compress-sweep row codec=%q tls=%v", codec, tls)
+		return experiments.Fig8CompressRow{}
+	}
+	none, int8r, topk := get("none", true), get("int8", true), get("topk f=0.05", true)
+	b.ReportMetric(float64(none.PushBytesPerRound)/1024, "push-kb-none")
+	b.ReportMetric(float64(int8r.PushBytesPerRound)/1024, "push-kb-int8")
+	b.ReportMetric(float64(topk.PushBytesPerRound)/1024, "push-kb-topk")
+	b.ReportMetric(float64(none.PushBytesPerRound)/float64(int8r.PushBytesPerRound), "int8-wire-reduction-x")
+	b.ReportMetric(float64(none.PushBytesPerRound)/float64(topk.PushBytesPerRound), "topk-wire-reduction-x")
+	b.ReportMetric(int8r.FinalLoss/none.FinalLoss, "loss-ratio-int8")
+	b.ReportMetric(topk.FinalLoss/none.FinalLoss, "loss-ratio-topk")
+	// The honest-vtime half of the story: send() charges serialization
+	// for the bytes actually framed, so the per-shard push wire time
+	// drops by the codec's ratio too (deterministic, unlike end-to-end
+	// latency, which jitters with concurrent push arrival order).
+	b.ReportMetric(float64(none.PushWirePerShard)/float64(topk.PushWirePerShard), "wire-vtime-reduction-topk-x")
+}
+
 // BenchmarkTFvsTFLite regenerates the §5.3 #4 comparison: full
 // TensorFlow versus TensorFlow Lite inference in HW mode. Metric
 // tflite-speedup-x is the paper's ~71×.

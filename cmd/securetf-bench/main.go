@@ -11,8 +11,9 @@
 // Figures: 4 (attestation latency), 5 (classification latency across
 // runtimes), 6 (file-system shield effect), 7 (scale-up/scale-out),
 // 8 (distributed training), 8-async (bounded-staleness consistency
-// sweep with a straggler), tf-vs-tflite (§5.3 #4 comparison), elastic
-// (challenge ➍: attesting an autoscaling wave, CAS vs IAS).
+// sweep with a straggler), 8-compress (gradient codecs on the push
+// path, TLS × {none, int8, top-k}), tf-vs-tflite (§5.3 #4 comparison),
+// elastic (challenge ➍: attesting an autoscaling wave, CAS vs IAS).
 //
 // Absolute numbers come from the calibrated virtual-time cost model and
 // are not expected to match the paper's testbed; EXPERIMENTS.md records
@@ -38,7 +39,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("securetf-bench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 8-async, tf-vs-tflite, all")
+		fig     = fs.String("fig", "all", "figure to regenerate: 4, 5, 6, 7, 8, 8-async, 8-compress, tf-vs-tflite, all")
 		runs    = fs.Int("runs", 0, "classification runs averaged per point (paper: 1000)")
 		images  = fs.Int("images", 0, "figure 7 batch size (paper: 800)")
 		steps   = fs.Int("steps", 0, "figure 8 training steps")
@@ -106,6 +107,14 @@ func run(args []string, w io.Writer) error {
 			experiments.PrintFigure8Async(w, rows)
 			return nil
 		}},
+		{"8-compress", func() error {
+			rows, err := experiments.Figure8Compress(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure8Compress(w, rows)
+			return nil
+		}},
 		{"tf-vs-tflite", func() error {
 			rows, err := experiments.TFvsTFLite(cfg)
 			if err != nil {
@@ -139,7 +148,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, 8-async, tf-vs-tflite, elastic or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 4, 5, 6, 7, 8, 8-async, 8-compress, tf-vs-tflite, elastic or all)", *fig)
 	}
 	return nil
 }

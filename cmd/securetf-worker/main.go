@@ -19,10 +19,19 @@
 // across them by name hash) and -train-workers worker enclaves running
 // data-parallel SGD on MNIST. -train-consistency selects the commit
 // policy: "sync" (barrier rounds, the default) or "async"
-// (apply-on-push with the -train-staleness bound K; -1 is unbounded):
+// (apply-on-push with the -train-staleness bound K; -1 is unbounded).
+// -train-compress selects the push-path gradient codec: "none" (raw
+// float32, the default), "int8" (per-tensor symmetric quantization,
+// ~4× fewer wire bytes) or "topk" (the top -train-topk fraction of
+// entries by magnitude, sent sparse); both lossy codecs keep a
+// worker-side error-feedback residual, so convergence is preserved.
+// Flag combinations that contradict each other — -train-staleness under
+// sync, -train-topk without the topk codec, a fraction outside (0, 1] —
+// are usage errors, not silently ignored:
 //
 //	securetf-worker -train -train-workers 3 -ps-shards 2 -train-rounds 4
 //	securetf-worker -train -train-workers 4 -train-consistency async -train-staleness 8
+//	securetf-worker -train -train-workers 4 -train-compress topk -train-topk 0.05
 package main
 
 import (
@@ -74,6 +83,8 @@ func run(args []string, w io.Writer) error {
 		trainTLS     = fs.Bool("train-tls", true, "route parameter traffic through the network shield's TLS (with -train)")
 		trainCons    = fs.String("train-consistency", "sync", "parameter-server commit policy: sync (barrier rounds) or async (apply-on-push, with -train-staleness)")
 		trainStale   = fs.Int("train-staleness", 8, "async staleness bound K in variable versions; -1 for unbounded (with -train-consistency async)")
+		trainComp    = fs.String("train-compress", "none", "gradient codec on the push path: none, int8 (per-tensor symmetric quantization) or topk (with -train-topk)")
+		trainTopK    = fs.Float64("train-topk", 0.05, "top-k fraction of gradient entries pushed, in (0, 1] (with -train-compress topk)")
 
 		casAddr  = fs.String("cas", "", "CAS address (required)")
 		casInfo  = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
@@ -97,16 +108,45 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *train {
+		// Flags that only mean something under another flag's setting
+		// are rejected when that setting contradicts them — training
+		// with a config the user didn't ask for is worse than a usage
+		// error.
+		set := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		var policy securetf.ConsistencyPolicy
 		switch *trainCons {
 		case "sync":
+			if set["train-staleness"] {
+				return errors.New("-train-staleness only applies with -train-consistency async; sync rounds have no staleness bound")
+			}
 			policy = securetf.SyncConsistency()
 		case "async":
 			policy = securetf.AsyncConsistency(*trainStale)
 		default:
 			return fmt.Errorf("-train-consistency must be sync or async, got %q", *trainCons)
 		}
-		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS, policy)
+		var comp securetf.GradCompression
+		switch *trainComp {
+		case "none":
+			if set["train-topk"] {
+				return errors.New("-train-topk only applies with -train-compress topk")
+			}
+			comp = securetf.NoGradCompression()
+		case "int8":
+			if set["train-topk"] {
+				return errors.New("-train-topk only applies with -train-compress topk")
+			}
+			comp = securetf.Int8GradCompression()
+		case "topk":
+			if !(*trainTopK > 0 && *trainTopK <= 1) {
+				return fmt.Errorf("-train-topk must be in (0, 1], got %g", *trainTopK)
+			}
+			comp = securetf.TopKGradCompression(*trainTopK)
+		default:
+			return fmt.Errorf("-train-compress must be none, int8 or topk, got %q", *trainComp)
+		}
+		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS, policy, comp)
 	}
 	if *casAddr == "" || *casInfo == "" || *trustdir == "" {
 		return errors.New("-cas, -cas-info and -trustdir are required")
@@ -237,8 +277,8 @@ func run(args []string, w io.Writer) error {
 // for the requested rounds under the chosen consistency policy and
 // reports the per-round losses, the per-phase virtual-time breakdown
 // and the per-shard push wire time the sharding exists to shrink.
-func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, withTLS bool, policy securetf.ConsistencyPolicy) error {
-	fmt.Fprintf(w, "training cluster: %d workers, %d parameter-server shards (TLS %v, %v)\n", workers, shards, withTLS, policy)
+func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, withTLS bool, policy securetf.ConsistencyPolicy, comp securetf.GradCompression) error {
+	fmt.Fprintf(w, "training cluster: %d workers, %d parameter-server shards (TLS %v, %v, compress %v)\n", workers, shards, withTLS, policy, comp)
 	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
 		TLS:         withTLS,
 		Workers:     workers,
@@ -247,6 +287,7 @@ func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, wi
 		BatchSize:   batch,
 		LR:          lr,
 		Consistency: policy,
+		Compression: comp,
 		NewModel:    func() securetf.Model { return securetf.NewMNISTCNN(1) },
 		ShardData: func(worker int) (*securetf.Tensor, *securetf.Tensor, error) {
 			fs := securetf.NewMemFS()
@@ -270,6 +311,7 @@ func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, wi
 	fmt.Fprintf(w, "breakdown (max over workers): pull %v, compute %v, push %v\n",
 		res.Breakdown.Pull, res.Breakdown.Compute, res.Breakdown.Push)
 	fmt.Fprintf(w, "push wire per shard per round: %v\n", res.PushWirePerShard)
+	fmt.Fprintf(w, "push wire bytes (total): %d\n", res.PushBytes)
 	if res.StalenessRetries > 0 {
 		fmt.Fprintf(w, "staleness-bound retries: %d\n", res.StalenessRetries)
 	}

@@ -172,6 +172,104 @@ func TestWorkerRequiresFlags(t *testing.T) {
 	}
 }
 
+// TestWorkerTrainsCompressed runs the training mode under the int8
+// gradient codec and checks the cluster reports the codec and its wire
+// volume.
+func TestWorkerTrainsCompressed(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-train",
+		"-train-workers", "2",
+		"-train-rounds", "2",
+		"-train-batch", "10",
+		"-train-compress", "int8",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("compressed train mode: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"compress int8",
+		"round 2: mean loss",
+		"push wire bytes (total):",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestWorkerTrainFlagValidation pins the usage-error contract: a flag
+// that only applies under another flag's setting must be rejected when
+// the settings contradict, not silently ignored.
+func TestWorkerTrainFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"staleness under sync",
+			[]string{"-train", "-train-staleness", "4"},
+			"-train-staleness only applies",
+		},
+		{
+			"staleness under explicit sync",
+			[]string{"-train", "-train-consistency", "sync", "-train-staleness", "4"},
+			"-train-staleness only applies",
+		},
+		{
+			"topk fraction without the topk codec",
+			[]string{"-train", "-train-topk", "0.1"},
+			"-train-topk only applies",
+		},
+		{
+			"topk fraction under int8",
+			[]string{"-train", "-train-compress", "int8", "-train-topk", "0.1"},
+			"-train-topk only applies",
+		},
+		{
+			"negative topk fraction",
+			[]string{"-train", "-train-compress", "topk", "-train-topk", "-0.1"},
+			"must be in (0, 1]",
+		},
+		{
+			"topk fraction above 1",
+			[]string{"-train", "-train-compress", "topk", "-train-topk", "1.5"},
+			"must be in (0, 1]",
+		},
+		{
+			"unknown codec",
+			[]string{"-train", "-train-compress", "zstd"},
+			"-train-compress must be",
+		},
+		{
+			"unknown consistency",
+			[]string{"-train", "-train-consistency", "eventual"},
+			"-train-consistency must be",
+		},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil {
+			t.Errorf("%s: accepted (training ran with a config the user didn't ask for)", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+	// An async run may set the staleness bound; a topk run its fraction.
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-train", "-train-rounds", "1", "-train-batch", "5", "-train-workers", "1",
+		"-train-consistency", "async", "-train-staleness", "2",
+		"-train-compress", "topk", "-train-topk", "0.2",
+	}, &buf); err != nil {
+		t.Fatalf("valid async+topk flag combination rejected: %v\n%s", err, buf.String())
+	}
+}
+
 func TestLoadModelSpecs(t *testing.T) {
 	for _, spec := range []string{"densenet", "inception_v3"} {
 		m, err := loadModel(spec, "")

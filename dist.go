@@ -42,6 +42,29 @@ func SyncConsistency() ConsistencyPolicy { return dist.Sync() }
 // relaxation of the same optimizer the synchronous rounds run.
 func AsyncConsistency(staleness int) ConsistencyPolicy { return dist.Async(staleness) }
 
+// GradCompression selects the gradient codec of a training cluster's
+// push path: NoGradCompression (raw float32, the default),
+// Int8GradCompression (per-tensor symmetric int8, ~4× fewer wire bytes)
+// or TopKGradCompression(f) (top fraction f of entries by magnitude,
+// sent sparse). The lossy codecs keep a worker-side error-feedback
+// residual — the mass a frame rounds away or drops is re-added to the
+// next step's gradient — so convergence is preserved. Like the
+// consistency policy, the codec is negotiated in the connection
+// handshake and a mixed-codec cluster fails at worker construction.
+type GradCompression = dist.Compression
+
+// NoGradCompression is the raw float32 push path — bit-for-bit today's
+// wire format, and the zero value.
+func NoGradCompression() GradCompression { return dist.NoCompression() }
+
+// Int8GradCompression quantizes each pushed gradient tensor to int8
+// with one symmetric per-tensor scale.
+func Int8GradCompression() GradCompression { return dist.Int8Compression() }
+
+// TopKGradCompression sparsifies each pushed gradient tensor to the top
+// fraction f ∈ (0, 1] of entries by magnitude.
+func TopKGradCompression(f float64) GradCompression { return dist.TopKCompression(f) }
+
 // PSOption tunes a parameter server.
 type PSOption func(*dist.PSConfig)
 
@@ -67,6 +90,15 @@ func WithShard(shard, shards int) PSOption {
 // ShardConsistency) — the connection handshake rejects mismatches.
 func WithConsistency(p ConsistencyPolicy) PSOption {
 	return func(cfg *dist.PSConfig) { cfg.Consistency = p }
+}
+
+// WithCompression sets the gradient codec the shard decodes on its push
+// path. Workers must push with the same codec
+// (WorkerSpec.Compression) — the connection handshake rejects
+// mismatches, since a mixed-codec cluster would corrupt gradients
+// silently.
+func WithCompression(c GradCompression) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.Compression = c }
 }
 
 // StartParameterServer starts a parameter server inside a container,
@@ -152,6 +184,12 @@ type WorkerSpec struct {
 	// at construction instead of stranding a barrier.
 	Consistency      ConsistencyPolicy
 	ShardConsistency map[int]ConsistencyPolicy
+	// Compression is the gradient codec this worker pushes with
+	// (default NoGradCompression — raw float32). Every shard must run
+	// the same codec (StartParameterServer's WithCompression); the
+	// handshake rejects mismatches. Lossy codecs keep their
+	// error-feedback residual on this worker.
+	Compression GradCompression
 }
 
 // StartTrainingWorker connects a worker inside a container to a
@@ -191,6 +229,7 @@ func StartTrainingWorker(c *Container, spec WorkerSpec) (*TrainingWorker, error)
 		Params:           c.Params(),
 		Consistency:      spec.Consistency,
 		ShardConsistency: spec.ShardConsistency,
+		Compression:      spec.Compression,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("securetf: start training worker %d: %w", spec.ID, err)
@@ -245,6 +284,14 @@ type DistTrainConfig struct {
 	// per-shard policies automatically.
 	Consistency      ConsistencyPolicy
 	ShardConsistency map[int]ConsistencyPolicy
+	// Compression selects the gradient codec of the whole cluster's
+	// push path (default NoGradCompression — raw float32, bit-for-bit
+	// the existing behavior). The facade wires the same codec into
+	// every shard and every worker, so the handshakes always agree;
+	// lossy codecs keep their error-feedback residuals worker-side and
+	// the trained variables converge to within quantization tolerance
+	// of the uncompressed run.
+	Compression GradCompression
 }
 
 // DistTrainResult reports a distributed training job's outcome.
@@ -273,6 +320,10 @@ type DistTrainResult struct {
 	// attacks: with N shards each parameter server receives only ~1/N of
 	// every worker's gradient bytes.
 	PushWirePerShard time.Duration
+	// PushBytes is the total raw frame bytes of every gradient push,
+	// summed over workers, shards and rounds — the quantity the
+	// gradient codec shrinks (independent of the bandwidth cost model).
+	PushBytes int64
 }
 
 // TrainDistributed runs a complete synchronous data-parallel training
@@ -374,7 +425,7 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 		shardNodes[s] = c
 		ps, addr, err := StartParameterServer(c, "127.0.0.1:0", vars, cfg.Workers, cfg.LR,
 			WithShard(s, cfg.PSShards), WithRoundTimeout(cfg.RoundTimeout),
-			WithConsistency(policyFor(s)))
+			WithConsistency(policyFor(s)), WithCompression(cfg.Compression))
 		if err != nil {
 			return nil, err
 		}
@@ -439,6 +490,7 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 				BatchSize:        cfg.BatchSize,
 				Consistency:      cfg.Consistency,
 				ShardConsistency: cfg.ShardConsistency,
+				Compression:      cfg.Compression,
 			})
 			if err != nil {
 				errs[w] = err
@@ -477,6 +529,9 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 		}
 		for _, d := range worker.PushWire() {
 			pushWire += d
+		}
+		for _, n := range worker.PushBytes() {
+			res.PushBytes += n
 		}
 	}
 	res.FinalLoss /= float64(cfg.Workers)

@@ -345,6 +345,62 @@ func TestTrainDistributedSyncTrajectoryUnchangedByAsyncSupport(t *testing.T) {
 	}
 }
 
+// TestTrainDistributedCompressed runs the facade under both lossy
+// gradient codecs: the job trains end to end through sharded,
+// codec-negotiated pushes, the loss still falls, the push wire bytes
+// shrink against the raw baseline, and an explicit NoGradCompression
+// reproduces the default trajectory bit-for-bit.
+func TestTrainDistributedCompressed(t *testing.T) {
+	const workers, shards, rounds, batch = 2, 2, 4, 20
+	run := func(c securetf.GradCompression) *securetf.DistTrainResult {
+		res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+			Kind:        securetf.SconeSIM,
+			Workers:     workers,
+			PSShards:    shards,
+			Rounds:      rounds,
+			BatchSize:   batch,
+			LR:          0.05,
+			Compression: c,
+			NewModel:    func() securetf.Model { return securetf.NewMNISTMLP(3) },
+			ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+				return mlpShard(w, rounds, batch)
+			},
+			RoundTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := distTrain(t, workers, shards, rounds, batch)
+	raw := run(securetf.NoGradCompression())
+	for w := range base.Losses {
+		for r := range base.Losses[w] {
+			if raw.Losses[w][r] != base.Losses[w][r] {
+				t.Fatalf("worker %d round %d: explicit NoGradCompression loss %v differs from default %v",
+					w, r, raw.Losses[w][r], base.Losses[w][r])
+			}
+		}
+	}
+	if raw.PushBytes != base.PushBytes {
+		t.Fatalf("explicit NoGradCompression pushed %d bytes, default pushed %d", raw.PushBytes, base.PushBytes)
+	}
+	for _, c := range []securetf.GradCompression{
+		securetf.Int8GradCompression(),
+		securetf.TopKGradCompression(0.05),
+	} {
+		res := run(c)
+		for w := 0; w < workers; w++ {
+			if res.Losses[w][rounds-1] >= res.Losses[w][0] {
+				t.Fatalf("%v: worker %d did not learn: %v", c, w, res.Losses[w])
+			}
+		}
+		if res.PushBytes >= raw.PushBytes {
+			t.Fatalf("%v: pushed %d bytes, raw pushed %d — no wire win", c, res.PushBytes, raw.PushBytes)
+		}
+	}
+}
+
 // TestTrainDistributedValidation spot-checks the config guards.
 func TestTrainDistributedValidation(t *testing.T) {
 	model := func() securetf.Model { return securetf.NewMNISTMLP(3) }

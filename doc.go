@@ -131,6 +131,33 @@
 // over K ∈ {0, 2, 8, ∞} on a deterministic virtual-time event
 // schedule.
 //
+// The push path runs a negotiated gradient codec (GradCompression).
+// NoGradCompression (the zero value) pushes raw float32 tensors —
+// bit-for-bit the original wire format. Int8GradCompression quantizes
+// each pushed tensor to int8 under one symmetric per-tensor scale
+// (~4× fewer wire bytes); TopKGradCompression(f) sends only the top
+// fraction f of entries by magnitude as sparse index+value pairs
+// (~10×+ at f = 0.05). Both lossy codecs keep an error-feedback
+// residual per variable on the worker: the mass a frame rounds away or
+// drops is folded into the next push of that variable, so over time
+// the optimizer receives the full gradient signal — only delayed — and
+// convergence stays within a few percent of the uncompressed run. The
+// residual is committed only when a push is acked as applied; an async
+// staleness rejection leaves it untouched, since the parameter server
+// discarded that frame, and the retry re-encodes a fresh gradient
+// against the same residual. Residuals are worker state, not model
+// state: checkpoints of the parameter-server variables are unaffected.
+// The codec rides the same hello/manifest handshake as the consistency
+// policy — WithCompression on the server, WorkerSpec.Compression on
+// workers, DistTrainConfig.Compression on the facade — and a
+// mixed-codec cluster fails at worker construction, because decoding a
+// frame under the wrong codec would corrupt gradients silently.
+// Encoded frames are charged their real (smaller) serialization vtime,
+// so compression shows up honestly in the Figure 8 breakdown: the
+// Figure8Compress experiment (securetf-bench -fig 8-compress) sweeps
+// codec × {TLS, plain} at 4 workers / 2 shards, and the TLS-vs-plain
+// latency gap — a wire-bytes story in §5.4 — shrinks with the codec.
+//
 // All enclave costs (EPC paging, transitions, crypto, WAN round trips)
 // are charged to a per-platform virtual clock, so programs built on this
 // package are deterministic and fast while preserving the performance

@@ -140,6 +140,8 @@ func run() error {
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	stats := make([]string, workers)
+	losses := make([]float64, workers)
+	pushBytes := make([]int64, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -171,6 +173,10 @@ func run() error {
 			var wire time.Duration
 			for _, d := range worker.PushWire() {
 				wire += d
+			}
+			losses[w] = worker.LastLoss
+			for _, n := range worker.PushBytes() {
+				pushBytes[w] += n
 			}
 			stats[w] = fmt.Sprintf("worker %d: loss %.3f (pull %v, compute %v, push %v; push wire %v/shard/round)",
 				w, worker.LastLoss, b.Pull, b.Compute, b.Push, wire/time.Duration(psShards*rounds))
@@ -219,6 +225,43 @@ func run() error {
 	}
 	fmt.Printf("async (staleness ≤ 2): %d steps/worker, final loss %.3f, %d staleness retries, latency %v\n",
 		async.Rounds, async.FinalLoss, async.StalenessRetries, async.Latency)
+
+	// --- Gradient compression on the push path. ---
+	// The MNIST CNN pushes ~1.8 MB of float32 gradients per worker per
+	// round; the top-k codec sends only the top 5% of entries by
+	// magnitude and keeps the rest in a worker-side error-feedback
+	// residual, cutting the wire bytes ~10× while the residual re-adds
+	// every dropped entry to a later step. The codec is negotiated in
+	// the connection handshake, exactly like the consistency policy.
+	// The uncompressed baseline — push bytes and final loss — is the
+	// synchronous cluster above: same workers, shards, rounds, batch,
+	// learning rate and data, so no extra job is needed to compare.
+	var rawBytes int64
+	var rawLoss float64
+	for w := 0; w < workers; w++ {
+		rawBytes += pushBytes[w]
+		rawLoss += losses[w] / float64(workers)
+	}
+	compressed, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Workers:     workers,
+		PSShards:    psShards,
+		Rounds:      rounds,
+		BatchSize:   batchSize,
+		LR:          lr,
+		Compression: securetf.TopKGradCompression(0.05),
+		NewModel:    func() securetf.Model { return securetf.NewMNISTCNN(1) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return shard(w)
+		},
+		RoundTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compressed (top-k f=0.05): push bytes %d → %d (%.1fx less wire), final loss %.3f vs %.3f uncompressed\n",
+		rawBytes, compressed.PushBytes,
+		float64(rawBytes)/float64(compressed.PushBytes),
+		compressed.FinalLoss, rawLoss)
 	return nil
 }
 

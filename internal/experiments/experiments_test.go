@@ -276,6 +276,60 @@ func TestFigure8ShardSweepShape(t *testing.T) {
 	}
 }
 
+func TestFigure8CompressShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs distributed training across 6 codec/TLS configurations")
+	}
+	rows, err := Figure8Compress(Config{Steps: 8, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows (3 codecs × TLS on/off), got %d", len(rows))
+	}
+	get := func(codec string, tls bool) Fig8CompressRow {
+		for _, r := range rows {
+			if r.Codec == codec && r.TLS == tls {
+				return r
+			}
+		}
+		t.Fatalf("no row for codec=%q tls=%v", codec, tls)
+		return Fig8CompressRow{}
+	}
+	for _, tls := range []bool{false, true} {
+		none, int8r, topk := get("none", tls), get("int8", tls), get("topk f=0.05", tls)
+		// The wire headline: ≥3× fewer push bytes for int8, and top-k at
+		// f=0.05 beats int8.
+		if r := float64(none.PushBytesPerRound) / float64(int8r.PushBytesPerRound); r < 3 {
+			t.Errorf("tls=%v: int8 push-byte reduction %.2fx, want ≥3x", tls, r)
+		}
+		if topk.PushBytesPerRound >= int8r.PushBytesPerRound {
+			t.Errorf("tls=%v: top-k pushed %d B/round, not below int8's %d", tls, topk.PushBytesPerRound, int8r.PushBytesPerRound)
+		}
+		// Smaller frames must show up as less per-shard push wire vtime
+		// by at least the same ≥3× factor: send() charges serialization
+		// for the bytes actually framed, so this pins the "honest vtime"
+		// half of the story. (End-to-end latency also drops, but it
+		// carries run-to-run jitter from concurrent push arrival order,
+		// so the assertions stick to the deterministic wire quantities.)
+		if r := float64(none.PushWirePerShard) / float64(int8r.PushWirePerShard); r < 3 {
+			t.Errorf("tls=%v: int8 push wire vtime reduction %.2fx, want ≥3x", tls, r)
+		}
+		if !(none.PushWirePerShard > int8r.PushWirePerShard && int8r.PushWirePerShard > topk.PushWirePerShard) {
+			t.Errorf("tls=%v: push wire not monotone over codecs: none %v, int8 %v, topk %v",
+				tls, none.PushWirePerShard, int8r.PushWirePerShard, topk.PushWirePerShard)
+		}
+		// The convergence guarantee: error feedback keeps the lossy
+		// codecs' final loss within 10% of the uncompressed run.
+		for _, r := range []Fig8CompressRow{int8r, topk} {
+			if ratio := r.FinalLoss / none.FinalLoss; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("tls=%v codec=%s: final loss %.4f vs uncompressed %.4f (ratio %.3f outside ±10%%)",
+					tls, r.Codec, r.FinalLoss, none.FinalLoss, ratio)
+			}
+		}
+	}
+}
+
 func TestTFvsTFLiteShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a 91 MB model twice")

@@ -54,7 +54,7 @@ func Figure8(cfg Config) ([]Fig8Row, error) {
 	var rows []Fig8Row
 	for _, sys := range fig8Systems() {
 		for _, workers := range []int{1, 2, 3} {
-			stats, err := fig8Run(cfg, sys, workers, 1)
+			stats, err := fig8Run(cfg, sys, workers, 1, dist.NoCompression())
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig8 %s workers=%d: %w", sys.label, workers, err)
 			}
@@ -103,7 +103,7 @@ func Figure8Shards(cfg Config) ([]Fig8ShardRow, error) {
 	for _, point := range []struct{ workers, shards int }{
 		{1, 1}, {2, 1}, {4, 1}, {4, 2}, {4, 4},
 	} {
-		stats, err := fig8Run(cfg, sys, point.workers, point.shards)
+		stats, err := fig8Run(cfg, sys, point.workers, point.shards, dist.NoCompression())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig8 shards %s workers=%d shards=%d: %w",
 				sys.label, point.workers, point.shards, err)
@@ -140,7 +140,10 @@ func PrintFigure8Shards(w io.Writer, rows []Fig8ShardRow) {
 // per step at less per-node wall time — the source of the speedup. More
 // PS shards fan the same parameter traffic across more nodes, shrinking
 // the per-shard wire time that bottlenecks the single-PS deployment.
-func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error) {
+// comp selects the push-path gradient codec (NoCompression for the
+// classic runs); it is wired into every shard and worker so the
+// handshakes agree.
+func fig8Run(cfg Config, sys fig8System, workers, shards int, comp dist.Compression) (fig8Stats, error) {
 	// TLS material for the shielded variants.
 	var ca *seccrypto.CA
 	var err error
@@ -194,14 +197,15 @@ func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error)
 		}
 		psDev := psContainer.Device(1)
 		ps, err := dist.NewParameterServer(dist.PSConfig{
-			Listener: psListener,
-			Vars:     initialVars,
-			Workers:  workers,
-			LR:       0.0005,
-			Clock:    psPlatform.Clock(),
-			Params:   psPlatform.Params(),
-			Shard:    s,
-			Shards:   shards,
+			Listener:    psListener,
+			Vars:        initialVars,
+			Workers:     workers,
+			LR:          0.0005,
+			Clock:       psPlatform.Clock(),
+			Params:      psPlatform.Params(),
+			Shard:       s,
+			Shards:      shards,
+			Compression: comp,
 			ApplyMeter: func(flops, bytes int64) {
 				psDev.Compute(flops)
 				psDev.Access(bytes, false)
@@ -226,7 +230,7 @@ func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w], errs[w] = fig8Worker(cfg, sys, ca, addrs, w, rounds)
+			results[w], errs[w] = fig8Worker(cfg, sys, ca, addrs, w, rounds, comp)
 		}(w)
 	}
 	wg.Wait()
@@ -238,6 +242,7 @@ func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error)
 		}
 		stats.FinalLoss += results[w].loss
 		pushWire += results[w].pushWire
+		stats.PushBytes += results[w].pushBytes
 		if results[w].clock > stats.Latency {
 			stats.Latency = results[w].clock
 		}
@@ -247,6 +252,9 @@ func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error)
 	// bytes each PS shard's link carries per round. This is the
 	// bandwidth bottleneck sharding attacks — it shrinks as ~1/shards.
 	stats.PushWirePerShard = pushWire / time.Duration(shards*rounds)
+	// Mean wire bytes of one worker's full gradient push per round
+	// (summed over shards) — the quantity the codec shrinks.
+	stats.PushBytesPerRound = stats.PushBytes / int64(workers*rounds)
 
 	// End-to-end latency: message stamps keep every clock causally
 	// consistent, so the job finishes at the maximum over all nodes.
@@ -260,19 +268,22 @@ func fig8Run(cfg Config, sys fig8System, workers, shards int) (fig8Stats, error)
 
 // fig8Stats aggregates one fig8 run.
 type fig8Stats struct {
-	Latency          time.Duration
-	FinalLoss        float64
-	PushWirePerShard time.Duration
+	Latency           time.Duration
+	FinalLoss         float64
+	PushWirePerShard  time.Duration
+	PushBytes         int64 // total push frame bytes, all workers/shards/rounds
+	PushBytesPerRound int64 // mean per worker per round, summed over shards
 }
 
 // fig8WorkerStats is one worker's contribution.
 type fig8WorkerStats struct {
-	loss     float64
-	pushWire time.Duration // summed over shards and rounds
-	clock    time.Duration
+	loss      float64
+	pushWire  time.Duration // summed over shards and rounds
+	pushBytes int64         // summed over shards and rounds
+	clock     time.Duration
 }
 
-func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addrs []string, id, rounds int) (fig8WorkerStats, error) {
+func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addrs []string, id, rounds int, comp dist.Compression) (fig8WorkerStats, error) {
 	platform, err := newPlatform(fmt.Sprintf("worker-node-%d", id))
 	if err != nil {
 		return fig8WorkerStats{}, err
@@ -310,10 +321,11 @@ func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addrs []string, id
 			Graph: h.Graph, X: h.X, Y: h.Y, Loss: h.Loss, Logits: h.Logits,
 		},
 		XS: xs, YS: ys,
-		BatchSize: cfg.BatchSize,
-		Device:    container.Device(0),
-		Clock:     platform.Clock(),
-		Params:    platform.Params(),
+		BatchSize:   cfg.BatchSize,
+		Device:      container.Device(0),
+		Clock:       platform.Clock(),
+		Params:      platform.Params(),
+		Compression: comp,
 	})
 	if err != nil {
 		return fig8WorkerStats{}, err
@@ -325,6 +337,9 @@ func fig8Worker(cfg Config, sys fig8System, ca *seccrypto.CA, addrs []string, id
 	stats := fig8WorkerStats{loss: worker.LastLoss, clock: platform.Clock().Now()}
 	for _, d := range worker.PushWire() {
 		stats.pushWire += d
+	}
+	for _, n := range worker.PushBytes() {
+		stats.pushBytes += n
 	}
 	return stats, nil
 }

@@ -22,9 +22,11 @@ type ModelMetrics struct {
 	Batches int64
 	// Errors counts interpreter failures attributed to this version.
 	Errors int64
-	// Rejected and QueueDepth describe admission control for the whole
-	// model (identical across its versions): requests refused with
-	// StatusOverloaded, and the queue occupancy at snapshot time.
+	// Rejected and QueueDepth describe admission control, which happens
+	// per model — before a request resolves to any version. They are
+	// reported once per model, on its serving row, and are zero on
+	// every other version row, so summing a snapshot never
+	// double-counts a rejection.
 	Rejected   int64
 	QueueDepth int
 	// P50 and P99 are virtual request latencies (enqueue → response
@@ -89,18 +91,24 @@ func (g *Gateway) Metrics() []ModelMetrics {
 		m.mu.Lock()
 		for ver, v := range m.versions {
 			p50, p99 := v.lat.percentiles()
-			out = append(out, ModelMetrics{
-				Model:      name,
-				Version:    ver,
-				Serving:    ver == m.serving,
-				Served:     v.served.Load(),
-				Batches:    v.batches.Load(),
-				Errors:     v.errors.Load(),
-				Rejected:   m.rejected.Load(),
-				QueueDepth: len(m.queue),
-				P50:        p50,
-				P99:        p99,
-			})
+			entry := ModelMetrics{
+				Model:   name,
+				Version: ver,
+				Serving: ver == m.serving,
+				Served:  v.served.Load(),
+				Batches: v.batches.Load(),
+				Errors:  v.errors.Load(),
+				P50:     p50,
+				P99:     p99,
+			}
+			// Admission control is per model, not per version: report it
+			// once, on the serving row, so summing a snapshot counts
+			// each rejection exactly once.
+			if entry.Serving {
+				entry.Rejected = m.rejected.Load()
+				entry.QueueDepth = len(m.queue)
+			}
+			out = append(out, entry)
 		}
 		m.mu.Unlock()
 	}

@@ -458,6 +458,12 @@ func TestOverloadRejection(t *testing.T) {
 	if err := g.Register("m", 1, buildModel(t, 6)); err != nil {
 		t.Fatal(err)
 	}
+	// A second, non-serving version: admission control is per model, so
+	// its row must not repeat the rejection counters (summing a
+	// snapshot used to double-count them, one copy per version).
+	if err := g.Register("m", 2, buildModel(t, 6)); err != nil {
+		t.Fatal(err)
+	}
 
 	// Fill the admission queue while the dispatcher is gated.
 	errs := make(chan error, 2)
@@ -491,9 +497,22 @@ func TestOverloadRejection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m := g.Metrics()[0]
-	if m.Rejected != 1 || m.Served != 2 {
-		t.Fatalf("rejected %d served %d, want 1 and 2", m.Rejected, m.Served)
+	var total int64
+	for _, m := range g.Metrics() {
+		total += m.Rejected
+		switch {
+		case m.Serving:
+			if m.Rejected != 1 || m.Served != 2 {
+				t.Fatalf("serving row: rejected %d served %d, want 1 and 2", m.Rejected, m.Served)
+			}
+		default:
+			if m.Rejected != 0 || m.QueueDepth != 0 {
+				t.Fatalf("non-serving row %s@%d repeats the per-model counters: %+v", m.Model, m.Version, m)
+			}
+		}
+	}
+	if total != 1 {
+		t.Fatalf("snapshot sums to %d rejections, want exactly 1", total)
 	}
 }
 

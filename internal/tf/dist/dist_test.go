@@ -304,7 +304,7 @@ func TestPushValidation(t *testing.T) {
 	}
 	defer conn.Close()
 	bogus := map[string]*tf.Tensor{"no-such-var": tf.Fill(tf.Shape{2}, 1)}
-	if err := send(conn, clock, params, &message{Kind: msgPush, Vars: bogus}); err != nil {
+	if _, err := send(conn, clock, params, &message{Kind: msgPush, Vars: bogus}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := receive(conn, clock, params)

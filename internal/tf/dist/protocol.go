@@ -69,9 +69,23 @@ type message struct {
 	// (msgManifest), so the worker can verify the name-hash placement it
 	// computed locally matches the server's before any round starts.
 	Names []string
+	// Codec and TopK carry the cluster's gradient Compression through
+	// the handshake exactly like the consistency policy: on msgHello the
+	// codec the worker will push with, on msgManifest the codec the
+	// shard decodes. A mismatch fails the connection up front — a
+	// mixed-codec cluster would corrupt gradients silently, so it must
+	// not connect at all. TopK is the fraction's IEEE-754 bits, so the
+	// comparison is exact.
+	Codec uint8
+	TopK  uint64
 	// Vars carries the variable snapshot (msgVars) or the gradient
 	// contribution (msgPush), keyed by variable name.
 	Vars map[string]*tf.Tensor
+	// Grads carries the compressed gradient contribution (msgPush under
+	// a non-None codec), keyed by variable name: one self-describing
+	// blob per tensor in the compress format. Exactly one of Vars and
+	// Grads is populated on a push.
+	Grads map[string][]byte
 	// OK and Err report round commit or abort (msgAck) and handshake
 	// acceptance (msgManifest). Stale marks an async rejection for
 	// exceeding the staleness bound — the one retryable failure: the
@@ -129,6 +143,17 @@ func (m *message) encode() []byte {
 		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
 		buf.Write(scratch[:4])
 		buf.Write(enc)
+	}
+	buf.WriteByte(m.Codec)
+	binary.LittleEndian.PutUint64(scratch[:], m.TopK)
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(m.Grads)))
+	buf.Write(scratch[:4])
+	for name, blob := range m.Grads {
+		writeString(&buf, name)
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(blob)))
+		buf.Write(scratch[:4])
+		buf.Write(blob)
 	}
 	return buf.Bytes()
 }
@@ -241,6 +266,42 @@ func decode(payload []byte) (*message, error) {
 		}
 		m.Vars[name] = t
 	}
+	if m.Codec, err = r.ReadByte(); err != nil {
+		return nil, fmt.Errorf("dist: truncated codec byte: %w", err)
+	}
+	if m.TopK, err = readUint(r, 8); err != nil {
+		return nil, err
+	}
+	gradCount, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Each compressed entry takes at least its two length prefixes; a
+	// count beyond that is a corrupt frame, not an allocation hint.
+	if gradCount > uint64(r.Len())/8 {
+		return nil, fmt.Errorf("dist: compressed gradient count %d exceeds remaining payload", gradCount)
+	}
+	if gradCount > 0 {
+		m.Grads = make(map[string][]byte, gradCount)
+	}
+	for i := uint64(0); i < gradCount; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		n, err := readUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("dist: compressed gradient %q of %d bytes exceeds remaining payload", name, n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, err
+		}
+		m.Grads[name] = blob
+	}
 	return &m, nil
 }
 
@@ -285,11 +346,13 @@ func policyFromWire(kind uint8, staleness int64) ConsistencyPolicy {
 // serialization to clock and stamping the message with the resulting
 // virtual time. The propagation half-RTT is accounted on the receiving
 // side (AdvanceTo(stamp + LANRTT/2)), matching the CAS convention so
-// latency is never double-counted.
-func send(conn net.Conn, clock *vtime.Clock, params sgx.Params, m *message) error {
+// latency is never double-counted. It reports the total frame size in
+// bytes (header + payload), so callers can account the wire volume a
+// codec saves independently of the bandwidth cost model.
+func send(conn net.Conn, clock *vtime.Clock, params sgx.Params, m *message) (int, error) {
 	payload := m.encode()
 	if len(payload) > maxFrame {
-		return fmt.Errorf("dist: frame of %d bytes exceeds limit", len(payload))
+		return 0, fmt.Errorf("dist: frame of %d bytes exceeds limit", len(payload))
 	}
 	clock.Advance(sgx.TimeAtThroughput(float64(len(payload)+4), params.WireBandwidth))
 	// Stamp after charging serialization; the stamp sits at a fixed
@@ -298,10 +361,12 @@ func send(conn net.Conn, clock *vtime.Clock, params sgx.Params, m *message) erro
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := conn.Write(payload)
-	return err
+	if _, err := conn.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(payload), nil
 }
 
 // receive reads one frame from conn and advances clock to the causally

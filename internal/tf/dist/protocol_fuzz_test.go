@@ -11,12 +11,29 @@ import (
 // ack shapes — every message kind the trainer actually exchanges.
 func fuzzSeedFrames() [][]byte {
 	tensor := tf.Fill(tf.Shape{4, 3}, 0.25)
+	int8Blob, _, err := Int8Compression().compress(tensor, nil)
+	if err != nil {
+		panic(err)
+	}
+	topkBlob, _, err := TopKCompression(0.25).compress(tf.Fill(tf.Shape{3}, -1), nil)
+	if err != nil {
+		panic(err)
+	}
+	int8Codec, int8Frac := wireCompression(Int8Compression())
+	topkCodec, topkFrac := wireCompression(TopKCompression(0.05))
 	frames := []*message{
 		{Kind: msgHello, Worker: 3, Shard: 1, Shards: 2, Policy: 1, Staleness: 8},
-		{Kind: msgManifest, Shard: 1, Shards: 2, Policy: 1, Staleness: 8, OK: true, Names: []string{"b", "w"}},
+		{Kind: msgHello, Worker: 4, Shards: 1, Codec: topkCodec, TopK: topkFrac},
+		{Kind: msgManifest, Shard: 1, Shards: 2, Policy: 1, Staleness: 8, OK: true, Names: []string{"b", "w"},
+			Codec: int8Codec, TopK: int8Frac},
 		{Kind: msgPull, Worker: 2},
 		{Kind: msgVars, OK: true, Round: 7, Vars: map[string]*tf.Tensor{"w": tensor}},
 		{Kind: msgPush, Worker: 1, Round: 7, Step: 42, Vars: map[string]*tf.Tensor{"w": tensor, "b": tf.Fill(tf.Shape{3}, -1)}},
+		// Compressed pushes: the frames a lossy-codec cluster actually
+		// exchanges, one per codec, so the fuzzer starts at the nested
+		// blob boundaries.
+		{Kind: msgPush, Worker: 1, Round: 7, Step: 42, Grads: map[string][]byte{"w": int8Blob}},
+		{Kind: msgPush, Worker: 2, Round: 9, Step: 3, Grads: map[string][]byte{"b": topkBlob}},
 		{Kind: msgAck, OK: true},
 		{Kind: msgAck, OK: false, Stale: true, Err: "dist: push exceeds the staleness bound"},
 	}
@@ -51,9 +68,10 @@ func FuzzFrameCodec(f *testing.F) {
 		}
 		// The count guards must have kept every decoded collection within
 		// the physical payload: each manifest name costs ≥ 4 bytes, each
-		// variable entry ≥ 8.
-		if len(m.Names)*4 > len(payload) || len(m.Vars)*8 > len(payload) {
-			t.Fatalf("decoded %d names and %d vars out of a %d-byte payload", len(m.Names), len(m.Vars), len(payload))
+		// variable or compressed-gradient entry ≥ 8.
+		if len(m.Names)*4 > len(payload) || len(m.Vars)*8 > len(payload) || len(m.Grads)*8 > len(payload) {
+			t.Fatalf("decoded %d names, %d vars and %d grads out of a %d-byte payload",
+				len(m.Names), len(m.Vars), len(m.Grads), len(payload))
 		}
 		reenc := m.encode()
 		back, err := decode(reenc)
@@ -62,12 +80,13 @@ func FuzzFrameCodec(f *testing.F) {
 		}
 		if back.Kind != m.Kind || back.Round != m.Round || back.Step != m.Step ||
 			back.Worker != m.Worker || back.OK != m.OK || back.Stale != m.Stale ||
-			back.Policy != m.Policy || back.Staleness != m.Staleness || back.Err != m.Err {
+			back.Policy != m.Policy || back.Staleness != m.Staleness || back.Err != m.Err ||
+			back.Codec != m.Codec || back.TopK != m.TopK {
 			t.Fatalf("round trip changed the header: %+v vs %+v", m, back)
 		}
-		if len(back.Names) != len(m.Names) || len(back.Vars) != len(m.Vars) {
-			t.Fatalf("round trip changed the payload: %d/%d names, %d/%d vars",
-				len(back.Names), len(m.Names), len(back.Vars), len(m.Vars))
+		if len(back.Names) != len(m.Names) || len(back.Vars) != len(m.Vars) || len(back.Grads) != len(m.Grads) {
+			t.Fatalf("round trip changed the payload: %d/%d names, %d/%d vars, %d/%d grads",
+				len(back.Names), len(m.Names), len(back.Vars), len(m.Vars), len(back.Grads), len(m.Grads))
 		}
 	})
 }

@@ -47,6 +47,15 @@ type PSConfig struct {
 	// averaging scale, not a barrier size, and RoundTimeout is unused
 	// because nothing ever blocks.
 	Consistency ConsistencyPolicy
+	// Compression selects the gradient codec this shard decodes on the
+	// push path. The zero value is NoCompression() — raw float32
+	// gradients, bit-for-bit today's wire format. Int8Compression()
+	// expects per-tensor symmetric int8 frames (~4× smaller) and
+	// TopKCompression(f) sparse index+value frames; both lossy codecs
+	// rely on the workers' error-feedback residuals, so the shard only
+	// decodes — no state is kept here. The handshake carries the codec
+	// both ways and a mismatched worker fails at construction.
+	Compression Compression
 	// LR is the learning rate applied to averaged gradients.
 	LR float64
 	// Clock is the PS node's virtual clock. Message stamps keep it
@@ -140,6 +149,10 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 	if cfg.Consistency.Kind > ConsistencyAsync {
 		return nil, fmt.Errorf("dist: unknown consistency kind %d", cfg.Consistency.Kind)
 	}
+	cfg.Compression = cfg.Compression.normalize()
+	if err := cfg.Compression.validate(); err != nil {
+		return nil, err
+	}
 	ps := &ParameterServer{
 		cfg:   cfg,
 		vars:  make(map[string]*tf.Tensor, len(cfg.Vars)),
@@ -170,6 +183,9 @@ func (ps *ParameterServer) Rounds() int {
 
 // Consistency reports the shard's normalized commit policy.
 func (ps *ParameterServer) Consistency() ConsistencyPolicy { return ps.cfg.Consistency }
+
+// Compression reports the shard's normalized gradient codec.
+func (ps *ParameterServer) Compression() Compression { return ps.cfg.Compression }
 
 // WorkerSteps snapshots the latest local step each worker's push has
 // reported — the per-worker progress view the bounded-staleness
@@ -274,7 +290,7 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 		default:
 			resp = &message{Kind: msgAck, Err: fmt.Sprintf("dist: unknown message kind %d", msg.Kind)}
 		}
-		if err := send(conn, ps.cfg.Clock, ps.cfg.Params, resp); err != nil {
+		if _, err := send(conn, ps.cfg.Clock, ps.cfg.Params, resp); err != nil {
 			return
 		}
 	}
@@ -288,12 +304,15 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 // fails fast instead of hanging on a barrier that can never fill.
 func (ps *ParameterServer) handshake(msg *message) *message {
 	policy, staleness := wirePolicy(ps.cfg.Consistency)
+	codec, topk := wireCompression(ps.cfg.Compression)
 	resp := &message{
 		Kind:      msgManifest,
 		Shard:     uint32(ps.cfg.Shard),
 		Shards:    uint32(ps.cfg.Shards),
 		Policy:    policy,
 		Staleness: staleness,
+		Codec:     codec,
+		TopK:      topk,
 		Names:     ps.manifest,
 		OK:        true,
 	}
@@ -309,14 +328,60 @@ func (ps *ParameterServer) handshake(msg *message) *message {
 		resp.OK = false
 		resp.Err = fmt.Sprintf("dist: worker %d expects shard %d to run %v, but it runs %v (mixed-policy cluster)",
 			msg.Worker, ps.cfg.Shard, want, ps.cfg.Consistency)
+	} else if want := compressionFromWire(msg.Codec, msg.TopK); want != ps.cfg.Compression {
+		resp.OK = false
+		resp.Err = fmt.Sprintf("dist: worker %d pushes with codec %v, but shard %d decodes %v (mixed-codec cluster)",
+			msg.Worker, want, ps.cfg.Shard, ps.cfg.Compression)
 	}
 	return resp
+}
+
+// decodePush rebuilds dense gradients from a compressed push in place:
+// msg.Grads is decoded against the shard's authoritative variable
+// shapes into msg.Vars, so the barrier and apply paths see exactly what
+// an uncompressed push would carry. A push whose framing disagrees with
+// the negotiated codec — raw tensors on a compressed cluster, blobs on
+// an uncompressed one, or a blob under the wrong codec kind — is an
+// explicit error: the handshake should have made it impossible, so it
+// signals a client bypassing negotiation. ps.vars is structurally
+// immutable after construction, so the shape lookups need no lock.
+func (ps *ParameterServer) decodePush(msg *message) error {
+	if ps.cfg.Compression.Kind == CompressNone {
+		if len(msg.Grads) > 0 {
+			return fmt.Errorf("dist: worker %d pushed compressed gradients to an uncompressed shard", msg.Worker)
+		}
+		return nil
+	}
+	if len(msg.Vars) > 0 {
+		return fmt.Errorf("dist: worker %d pushed raw gradients to a shard running codec %v", msg.Worker, ps.cfg.Compression)
+	}
+	vars := make(map[string]*tf.Tensor, len(msg.Grads))
+	for name, blob := range msg.Grads {
+		v, ok := ps.vars[name]
+		if !ok {
+			return fmt.Errorf("dist: worker %d pushed gradient for unknown variable %q", msg.Worker, name)
+		}
+		if len(blob) > 0 && CompressionKind(blob[0]) != ps.cfg.Compression.Kind {
+			return fmt.Errorf("dist: worker %d pushed a %d-codec blob for %q, shard decodes %v",
+				msg.Worker, blob[0], name, ps.cfg.Compression)
+		}
+		t, err := decompressGrad(blob, v.Shape())
+		if err != nil {
+			return fmt.Errorf("dist: worker %d gradient for %q: %w", msg.Worker, name, err)
+		}
+		vars[name] = t
+	}
+	msg.Vars, msg.Grads = vars, nil
+	return nil
 }
 
 // push routes one worker's gradient push to the shard's consistency
 // policy: the synchronous barrier (block until the round commits or
 // aborts) or the asynchronous immediate apply.
 func (ps *ParameterServer) push(msg *message) error {
+	if err := ps.decodePush(msg); err != nil {
+		return err
+	}
 	ps.mu.Lock()
 	if ps.closed {
 		ps.mu.Unlock()

@@ -58,6 +58,16 @@ type WorkerConfig struct {
 	// that mix policies deliberately (e.g. a hot shard running
 	// Async(K) while the rest stay synchronous).
 	ShardConsistency map[int]ConsistencyPolicy
+	// Compression is the gradient codec this worker pushes with and
+	// expects every shard to decode. The zero value is NoCompression()
+	// — raw float32 pushes, bit-for-bit today's wire format. The lossy
+	// codecs (Int8Compression, TopKCompression) keep a per-variable
+	// error-feedback residual on this worker: the mass a frame rounds
+	// away or drops is re-added to the next step's gradient, so the
+	// optimizer's total update is preserved over time. The handshake
+	// verifies the codec against every shard, so a mixed-codec cluster
+	// fails at construction instead of corrupting gradients silently.
+	Compression Compression
 }
 
 // Worker runs SGD steps against a (possibly sharded) parameter-server
@@ -96,8 +106,20 @@ type Worker struct {
 	// variables beyond the staleness bound.
 	rounds []uint64
 	// pushWire[s] accumulates the wire-serialization vtime of push
-	// frames sent to shard s (see PushWire).
-	pushWire []time.Duration
+	// frames sent to shard s (see PushWire); pushBytes[s] the raw frame
+	// bytes of the same pushes (see PushBytes) — the quantity the
+	// gradient codec exists to shrink.
+	pushWire  []time.Duration
+	pushBytes []int64
+
+	// residuals[name] is the error-feedback state of one variable under
+	// a lossy codec: the gradient mass earlier pushes rounded away or
+	// dropped, folded into the next push of that variable. Allocated
+	// lazily before the first push; slices are only ever mutated by the
+	// one shard that owns the variable, and only after an applied push
+	// — a staleness-rejected frame leaves the residual untouched, since
+	// the parameter server discarded it.
+	residuals map[string][]float32
 
 	// staged step state between BeginStep and FinishStep.
 	staged      bool
@@ -191,6 +213,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 			return nil, fmt.Errorf("dist: unknown consistency kind %d expected of shard %d", p.Kind, s)
 		}
 	}
+	cfg.Compression = cfg.Compression.normalize()
+	if err := cfg.Compression.validate(); err != nil {
+		return nil, fmt.Errorf("dist: worker %d: %w", cfg.ID, err)
+	}
 
 	w := &Worker{
 		cfg:          cfg,
@@ -202,6 +228,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		gradNames:    names,
 		rounds:       make([]uint64, len(addrs)),
 		pushWire:     make([]time.Duration, len(addrs)),
+		pushBytes:    make([]int64, len(addrs)),
 	}
 	for s, addr := range addrs {
 		conn, err := cfg.Dial("tcp", addr)
@@ -224,6 +251,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 // name-hash placement assigns to it.
 func (w *Worker) handshake(s int) error {
 	policy, staleness := wirePolicy(w.policies[s])
+	codec, topk := wireCompression(w.cfg.Compression)
 	req := &message{
 		Kind:      msgHello,
 		Worker:    uint32(w.cfg.ID),
@@ -231,8 +259,10 @@ func (w *Worker) handshake(s int) error {
 		Shards:    uint32(len(w.conns)),
 		Policy:    policy,
 		Staleness: staleness,
+		Codec:     codec,
+		TopK:      topk,
 	}
-	if err := send(w.conns[s], w.cfg.Clock, w.cfg.Params, req); err != nil {
+	if _, err := send(w.conns[s], w.cfg.Clock, w.cfg.Params, req); err != nil {
 		return fmt.Errorf("dist: worker %d handshake with shard %d: %w", w.cfg.ID, s, err)
 	}
 	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
@@ -253,6 +283,10 @@ func (w *Worker) handshake(s int) error {
 	if got := policyFromWire(resp.Policy, resp.Staleness); got != w.policies[s] {
 		return fmt.Errorf("dist: worker %d expects shard %d to run %v, but it runs %v (mixed-policy cluster)",
 			w.cfg.ID, s, w.policies[s], got)
+	}
+	if got := compressionFromWire(resp.Codec, resp.TopK); got != w.cfg.Compression {
+		return fmt.Errorf("dist: worker %d pushes with codec %v, but shard %d decodes %v (mixed-codec cluster)",
+			w.cfg.ID, w.cfg.Compression, s, got)
 	}
 	if want := w.router.Names(s); !manifestEqual(resp.Names, want) {
 		return fmt.Errorf("dist: worker %d shard %d manifest %v does not match the local placement %v (model or placement mismatch)",
@@ -285,6 +319,17 @@ func (w *Worker) Close() error {
 func (w *Worker) PushWire() []time.Duration {
 	out := make([]time.Duration, len(w.pushWire))
 	copy(out, w.pushWire)
+	return out
+}
+
+// PushBytes returns the cumulative raw frame bytes of the gradient
+// pushes sent to each shard, indexed by shard id — the quantity the
+// gradient codec shrinks. Unlike PushWire it is independent of the
+// bandwidth cost model, so compression experiments can pin exact
+// reduction ratios.
+func (w *Worker) PushBytes() []int64 {
+	out := make([]int64, len(w.pushBytes))
+	copy(out, w.pushBytes)
 	return out
 }
 
@@ -351,8 +396,12 @@ func (w *Worker) BeginStep() error {
 // async shard's staleness rejection triggers a re-pull + recompute +
 // re-push of that shard's partition. The phase vtime is stamped only
 // after the last shard's ack has been read and merged, so the
-// breakdown reports the full wire + barrier (or retry) cost, not just
-// the send side.
+// breakdown reports the full wire + barrier cost, not just the send
+// side. Staleness-retry work is attributed to the phase it actually is:
+// the retry's re-pull extends LastBreakdown.Pull, its recompute extends
+// Compute, and only its re-push lands in Push — so the pull / compute /
+// push decomposition stays honest for async workloads instead of
+// lumping the whole retry loop into the push column.
 func (w *Worker) FinishStep() error {
 	if !w.staged {
 		return fmt.Errorf("dist: worker %d FinishStep called without a staged step", w.cfg.ID)
@@ -372,16 +421,21 @@ func (w *Worker) FinishStep() error {
 	if err != nil {
 		return fmt.Errorf("dist: worker %d push: %w", w.cfg.ID, err)
 	}
+	push := span.Stop()
 	for attempt := 0; len(stale) > 0; attempt++ {
 		if attempt >= maxStaleRetries {
 			return fmt.Errorf("dist: worker %d push: shards %v still beyond the staleness bound after %d retries", w.cfg.ID, stale, attempt)
 		}
 		w.staleRetries += len(stale)
-		if loss, stale, err = w.retryStale(stale); err != nil {
+		var rb Breakdown
+		if loss, stale, err = w.retryStale(stale, &rb); err != nil {
 			return fmt.Errorf("dist: worker %d push retry: %w", w.cfg.ID, err)
 		}
+		w.LastBreakdown.Pull += rb.Pull
+		w.LastBreakdown.Compute += rb.Compute
+		push += rb.Push
 	}
-	w.LastBreakdown.Push = span.Stop()
+	w.LastBreakdown.Push = push
 
 	w.LastLoss = loss
 	w.step++
@@ -394,9 +448,11 @@ func (w *Worker) FinishStep() error {
 // parameters, and re-push only the rejected partitions. It runs
 // sequentially on the worker clock — the backoff a real worker pays for
 // losing the staleness race is exactly this extra pull + compute +
-// push virtual time.
-func (w *Worker) retryStale(stale []int) (float64, []int, error) {
+// push virtual time — and reports each sub-phase's vtime in rb so the
+// caller can extend the matching breakdown columns.
+func (w *Worker) retryStale(stale []int, rb *Breakdown) (float64, []int, error) {
 	clock := w.cfg.Clock
+	span := clock.Start()
 	for _, s := range stale {
 		n, err := w.pullExchange(s, clock)
 		if err != nil {
@@ -404,10 +460,14 @@ func (w *Worker) retryStale(stale []int) (float64, []int, error) {
 		}
 		w.cfg.Device.Access(n, false)
 	}
+	rb.Pull = span.Stop()
+	span = clock.Start()
 	loss, grads, err := w.compute()
 	if err != nil {
 		return 0, nil, err
 	}
+	rb.Compute = span.Stop()
+	span = clock.Start()
 	parts, err := w.router.Partition(grads)
 	if err != nil {
 		return 0, nil, err
@@ -422,6 +482,7 @@ func (w *Worker) retryStale(stale []int) (float64, []int, error) {
 			still = append(still, s)
 		}
 	}
+	rb.Push = span.Stop()
 	return loss, still, nil
 }
 
@@ -479,7 +540,7 @@ func (w *Worker) pull() error {
 // variable version and returns the installed byte count.
 func (w *Worker) pullExchange(s int, clock *vtime.Clock) (int64, error) {
 	req := &message{Kind: msgPull, Worker: uint32(w.cfg.ID)}
-	if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
+	if _, err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
 		return 0, err
 	}
 	// The request is in flight; time passes on this node while it
@@ -541,6 +602,19 @@ func (w *Worker) pushGrads(grads map[string]*tf.Tensor) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Allocate the error-feedback residuals before the concurrent
+	// fan-out: afterwards each shard only mutates the slice contents of
+	// the variables it owns, so no map write ever races.
+	if w.cfg.Compression.Kind != CompressNone {
+		if w.residuals == nil {
+			w.residuals = make(map[string][]float32, len(grads))
+		}
+		for name, g := range grads {
+			if w.residuals[name] == nil {
+				w.residuals[name] = make([]float32, len(g.Floats()))
+			}
+		}
+	}
 	redo := make([]bool, len(w.conns))
 	err = w.fanOut(func(s int, clock *vtime.Clock) error {
 		r, err := w.pushExchange(s, clock, parts[s])
@@ -561,20 +635,41 @@ func (w *Worker) pushGrads(grads map[string]*tf.Tensor) ([]int, error) {
 
 // pushExchange sends shard s its gradient partition on the given clock
 // and reads the ack. A staleness rejection is reported as stale=true —
-// the one retryable outcome; every other rejection is an error.
+// the one retryable outcome; every other rejection is an error. Under a
+// lossy codec the partition is compressed with the error-feedback
+// residual folded in, and the new residual — the mass this frame drops
+// — is committed only on an applied push: a rejected frame was
+// discarded by the parameter server, so its unsent mass must not be
+// double-counted when the retry re-encodes a fresh gradient.
 func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Tensor) (stale bool, err error) {
 	req := &message{
 		Kind:   msgPush,
 		Worker: uint32(w.cfg.ID),
-		Vars:   vars,
 		Round:  w.rounds[s],
 		Step:   uint64(w.step),
 	}
+	var pending map[string][]float32
+	if w.cfg.Compression.Kind == CompressNone {
+		req.Vars = vars
+	} else {
+		req.Grads = make(map[string][]byte, len(vars))
+		pending = make(map[string][]float32, len(vars))
+		for name, g := range vars {
+			blob, newRes, err := w.cfg.Compression.compress(g, w.residuals[name])
+			if err != nil {
+				return false, fmt.Errorf("shard %d: compress %q: %w", s, name, err)
+			}
+			req.Grads[name] = blob
+			pending[name] = newRes
+		}
+	}
 	wireStart := clock.Now()
-	if err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
+	n, err := send(w.conns[s], clock, w.cfg.Params, req)
+	if err != nil {
 		return false, err
 	}
 	w.pushWire[s] += clock.Now() - wireStart
+	w.pushBytes[s] += int64(n)
 	clock.Advance(w.cfg.Params.LANRTT / 2)
 	resp, err := receive(w.conns[s], clock, w.cfg.Params)
 	if err != nil {
@@ -588,6 +683,11 @@ func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Ten
 			return true, nil
 		}
 		return false, errors.New(resp.Err)
+	}
+	// Applied: commit this partition's residuals in place (the slices
+	// were allocated before the fan-out; only this shard touches them).
+	for name, res := range pending {
+		copy(w.residuals[name], res)
 	}
 	return false, nil
 }
