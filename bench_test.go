@@ -389,6 +389,143 @@ func BenchmarkServingThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServingAutoscale measures the control plane's elasticity
+// story at batch 32: the same 32-client workload runs against a static
+// two-replica gateway and against the autoscaler starting from a single
+// replica, each also hosting a second model that receives two warmup
+// requests and then goes idle. Metric recovery-x — autoscaled virtual
+// req/s over the static baseline — is the CI bench gate's regression
+// subject (the acceptance bar is recovery within 20%, i.e. ≥ 0.8);
+// replica-seconds-static vs replica-seconds-autoscale show the enclave
+// capacity the right-sizing and scale-to-zero save (fewer interpreter
+// replicas resident means a smaller attacked/paged enclave working set,
+// the TensorSCONE argument), and idle-replicas-after pins the idle
+// model's interpreter pool actually evicting to zero.
+func BenchmarkServingAutoscale(b *testing.B) {
+	model := securetf.BuildInferenceModel(securetf.PaperModels()[0]) // densenet, 42 MB
+	const clients = 32
+	requests := b.N
+	if requests < 4*clients {
+		requests = 4 * clients
+	}
+	input := securetf.RandomImageInput(securetf.PaperModels()[0], 1, 1)
+
+	run := func(auto bool) (reqPerVSec, replicaSec float64, idleReplicas int) {
+		platform, err := securetf.NewPlatform("autoscale-bench-node")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := securetf.Launch(securetf.ContainerConfig{
+			Kind:     securetf.SconeHW,
+			Platform: platform,
+			Image:    securetf.TFLiteImage(),
+			HostFS:   securetf.NewMemFS(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		cfg := securetf.ServingConfig{
+			Replicas:    2,
+			QueueCap:    256,
+			MaxBatch:    32,
+			BatchWindow: 2 * time.Millisecond,
+		}
+		if auto {
+			cfg.Replicas = 1
+			cfg.Autoscale = &securetf.ServingAutoscale{MaxReplicas: 8}
+		}
+		gw, err := securetf.ServeModels(c, "127.0.0.1:0", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer gw.Close()
+		if err := gw.Register("densenet", 1, model); err != nil {
+			b.Fatal(err)
+		}
+		if err := gw.Register("idle", 1, model); err != nil {
+			b.Fatal(err)
+		}
+
+		// Touch the idle model so its interpreter pool exists, then
+		// leave it alone: the static gateway keeps it resident for the
+		// whole run, the autoscaler notices the silence and evicts it.
+		warm, err := securetf.DialModelServer(c, gw.Addr(), "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := warm.Classify("idle", input); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warm.Close()
+
+		vBefore := c.Clock().Now()
+		errs := make(chan error, clients)
+		for i := 0; i < clients; i++ {
+			count := requests / clients
+			if i < requests%clients {
+				count++
+			}
+			go func(count int) {
+				if count == 0 {
+					errs <- nil
+					return
+				}
+				cl, err := securetf.DialModelServer(c, gw.Addr(), "")
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cl.Close()
+				for j := 0; j < count; j++ {
+					if _, err := cl.Classify("densenet", input); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(count)
+		}
+		for i := 0; i < clients; i++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+		if auto {
+			// Force the verdict on the drained gateway: the first tick
+			// absorbs the workload's residual arrival delta, the second
+			// sees true idleness and parks what has drained.
+			gw.TickAutoscale()
+			gw.TickAutoscale()
+			idleReplicas = gw.AutoscaleReplicas("idle")
+		}
+		reqPerVSec = float64(requests) / (c.Clock().Now() - vBefore).Seconds()
+		replicaSec = gw.ReplicaSeconds("densenet") + gw.ReplicaSeconds("idle")
+		return reqPerVSec, replicaSec, idleReplicas
+	}
+
+	var recovery, rsStatic, rsAuto float64
+	var idleAfter int
+	for i := 0; i < b.N; i++ {
+		staticRPS, staticRS, _ := run(false)
+		autoRPS, autoRS, idle := run(true)
+		recovery = autoRPS / staticRPS
+		rsStatic, rsAuto, idleAfter = staticRS, autoRS, idle
+	}
+	b.ReportMetric(recovery, "recovery-x")
+	b.ReportMetric(rsStatic, "replica-seconds-static")
+	b.ReportMetric(rsAuto, "replica-seconds-autoscale")
+	b.ReportMetric(float64(idleAfter), "idle-replicas-after")
+	if idleAfter != 0 {
+		b.Fatalf("idle model still has %d replicas after drain; scale-to-zero did not evict", idleAfter)
+	}
+	if rsAuto >= rsStatic {
+		b.Fatalf("autoscale used %.3f replica-seconds, static %.3f — no capacity saved", rsAuto, rsStatic)
+	}
+}
+
 // --- Ablations (DESIGN.md §8) ---
 
 // BenchmarkAblationPagingPattern isolates the paging cost model: the

@@ -25,9 +25,16 @@
 // ~4× fewer wire bytes) or "topk" (the top -train-topk fraction of
 // entries by magnitude, sent sparse); both lossy codecs keep a
 // worker-side error-feedback residual, so convergence is preserved.
+// Serve mode exposes the gateway's control plane: -autoscale lets the
+// gateway move replica counts with queue depth (up to -autoscale-max,
+// idle models scaling to zero), and -canary N stages version 2 of every
+// served model and routes N% of unpinned traffic to it, letting the
+// gateway's rejection-rate and p99 comparison promote or roll it back.
+//
 // Flag combinations that contradict each other — -train-staleness under
-// sync, -train-topk without the topk codec, a fraction outside (0, 1] —
-// are usage errors, not silently ignored:
+// sync, -train-topk without the topk codec, a fraction outside (0, 1],
+// serve-mode flags like -canary or -autoscale under -train — are usage
+// errors, not silently ignored:
 //
 //	securetf-worker -train -train-workers 3 -ps-shards 2 -train-rounds 4
 //	securetf-worker -train -train-workers 4 -train-consistency async -train-staleness 8
@@ -86,34 +93,41 @@ func run(args []string, w io.Writer) error {
 		trainComp    = fs.String("train-compress", "none", "gradient codec on the push path: none, int8 (per-tensor symmetric quantization) or topk (with -train-topk)")
 		trainTopK    = fs.Float64("train-topk", 0.05, "top-k fraction of gradient entries pushed, in (0, 1] (with -train-compress topk)")
 
-		casAddr  = fs.String("cas", "", "CAS address (required)")
-		casInfo  = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
-		trustdir = fs.String("trustdir", "", "directory where the CAS scans for platform keys (required)")
-		name     = fs.String("name", "worker-platform", "this worker's platform name (must be unique per CAS)")
-		session  = fs.String("session", "inference", "CAS session name to register and attest to")
-		token    = fs.String("token", "", "session owner token (defaults to a random one)")
-		spec     = fs.String("spec", "densenet", "synthetic model spec: densenet, inception_v3, inception_v4")
-		model    = fs.String("model", "", "path to a Lite model file (overrides -spec)")
-		modelSet = fs.String("models", "", "comma-separated specs to serve together (overrides -spec/-model)")
-		listen   = fs.String("listen", "127.0.0.1:0", "inference service address")
-		threads  = fs.Int("threads", 1, "interpreter threads per replica")
-		replicas = fs.Int("replicas", 1, "interpreter replicas per model version")
-		maxBatch = fs.Int("max-batch", 1, "max rows coalesced into one batched invocation (1 disables)")
-		window   = fs.Duration("batch-window", 0, "micro-batching window (defaults to 2ms when -max-batch > 1)")
-		selftest = fs.Bool("selftest", false, "run one attested classification against the service, then keep serving")
-		once     = fs.Bool("once", false, "exit after startup (and -selftest if set) instead of serving forever")
-		timeout  = fs.Duration("timeout", 15*time.Second, "how long to retry attestation while the CAS learns our key")
+		casAddr   = fs.String("cas", "", "CAS address (required)")
+		casInfo   = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
+		trustdir  = fs.String("trustdir", "", "directory where the CAS scans for platform keys (required)")
+		name      = fs.String("name", "worker-platform", "this worker's platform name (must be unique per CAS)")
+		session   = fs.String("session", "inference", "CAS session name to register and attest to")
+		token     = fs.String("token", "", "session owner token (defaults to a random one)")
+		spec      = fs.String("spec", "densenet", "synthetic model spec: densenet, inception_v3, inception_v4")
+		model     = fs.String("model", "", "path to a Lite model file (overrides -spec)")
+		modelSet  = fs.String("models", "", "comma-separated specs to serve together (overrides -spec/-model)")
+		listen    = fs.String("listen", "127.0.0.1:0", "inference service address")
+		threads   = fs.Int("threads", 1, "interpreter threads per replica")
+		replicas  = fs.Int("replicas", 1, "interpreter replicas per model version")
+		maxBatch  = fs.Int("max-batch", 1, "max rows coalesced into one batched invocation (1 disables)")
+		window    = fs.Duration("batch-window", 0, "micro-batching window (defaults to 2ms when -max-batch > 1)")
+		autoscale = fs.Bool("autoscale", false, "let the gateway autoscale replica counts from queue depth; idle models scale to zero")
+		autoMax   = fs.Int("autoscale-max", 8, "replica ceiling per model under -autoscale")
+		canaryPct = fs.Int("canary", 0, "register each model's version 2 and canary it on this percent of unpinned traffic (1-99)")
+		selftest  = fs.Bool("selftest", false, "run one attested classification against the service, then keep serving")
+		once      = fs.Bool("once", false, "exit after startup (and -selftest if set) instead of serving forever")
+		timeout   = fs.Duration("timeout", 15*time.Second, "how long to retry attestation while the CAS learns our key")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flags that only mean something under another flag's setting are
+	// rejected when that setting contradicts them — running with a
+	// config the user didn't ask for is worse than a usage error.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *train {
-		// Flags that only mean something under another flag's setting
-		// are rejected when that setting contradicts them — training
-		// with a config the user didn't ask for is worse than a usage
-		// error.
-		set := make(map[string]bool)
-		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, f := range []string{"autoscale", "autoscale-max", "canary", "models", "replicas", "max-batch", "batch-window"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies in serve mode, not with -train", f)
+			}
+		}
 		var policy securetf.ConsistencyPolicy
 		switch *trainCons {
 		case "sync":
@@ -147,6 +161,35 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("-train-compress must be none, int8 or topk, got %q", *trainComp)
 		}
 		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS, policy, comp)
+	}
+	// Serve-mode flag validation: contradictions are usage errors, not
+	// silently-corrected settings.
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
+	if *maxBatch < 1 {
+		return fmt.Errorf("-max-batch must be >= 1, got %d", *maxBatch)
+	}
+	if set["models"] {
+		blank := true
+		for _, name := range strings.Split(*modelSet, ",") {
+			if strings.TrimSpace(name) != "" {
+				blank = false
+				break
+			}
+		}
+		if blank {
+			return errors.New("-models lists no models")
+		}
+	}
+	if set["autoscale-max"] && !*autoscale {
+		return errors.New("-autoscale-max only applies with -autoscale")
+	}
+	if *autoscale && *autoMax < 1 {
+		return fmt.Errorf("-autoscale-max must be >= 1, got %d", *autoMax)
+	}
+	if set["canary"] && (*canaryPct < 1 || *canaryPct > 99) {
+		return fmt.Errorf("-canary must be a traffic percent in [1, 99], got %d", *canaryPct)
 	}
 	if *casAddr == "" || *casInfo == "" || *trustdir == "" {
 		return errors.New("-cas, -cas-info and -trustdir are required")
@@ -234,12 +277,16 @@ func run(args []string, w io.Writer) error {
 	// Store every model under the provisioned encrypted volume and load
 	// it back into the serving gateway through the shield, so the bytes
 	// the interpreters see went through the attested provisioning path.
-	gateway, err := securetf.ServeModels(container, *listen, securetf.ServingConfig{
+	servingCfg := securetf.ServingConfig{
 		Replicas:    *replicas,
 		Threads:     *threads,
 		MaxBatch:    *maxBatch,
 		BatchWindow: *window,
-	})
+	}
+	if *autoscale {
+		servingCfg.Autoscale = &securetf.ServingAutoscale{MaxReplicas: *autoMax}
+	}
+	gateway, err := securetf.ServeModels(container, *listen, servingCfg)
 	if err != nil {
 		return err
 	}
@@ -254,8 +301,31 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "serving TLS inference on %s\n", gateway.Addr())
+	if *autoscale {
+		fmt.Fprintf(w, "autoscale: up to %d replicas per model, idle models scale to zero\n", *autoMax)
+	}
 	for _, entry := range toServe {
 		fmt.Fprintf(w, "  model %s@1 (%d weight bytes)\n", entry.name, entry.model.WeightBytes())
+	}
+	if *canaryPct > 0 {
+		// Stage each model's next version through the same shielded
+		// volume and canary it on the requested share of unpinned
+		// traffic; the gateway promotes or rolls back on its own.
+		for _, entry := range toServe {
+			path := "volumes/models/" + entry.name + ".v2.stfl"
+			if err := securetf.WriteFile(container.FS(), path, entry.model.Marshal()); err != nil {
+				return err
+			}
+			if err := gateway.LoadModel(entry.name, 2, path); err != nil {
+				return err
+			}
+			if err := gateway.StartCanary(entry.name, 2, securetf.CanaryConfig{Percent: *canaryPct}); err != nil {
+				return err
+			}
+			st := gateway.Canary(entry.name)
+			fmt.Fprintf(w, "canary: model %s@%d at %d%% of unpinned traffic (window %d)\n",
+				entry.name, st.Candidate, st.Percent, st.Window)
+		}
 	}
 
 	if *selftest {

@@ -284,3 +284,114 @@ func TestLoadModelSpecs(t *testing.T) {
 		t.Fatal("unknown spec accepted")
 	}
 }
+
+// TestWorkerServeFlagValidation pins the same usage-error contract for
+// serve mode: out-of-range serving knobs and control-plane flags that
+// contradict the selected mode are rejected up front, before any
+// container or CAS work happens.
+func TestWorkerServeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"zero replicas",
+			[]string{"-replicas", "0"},
+			"-replicas must be >= 1",
+		},
+		{
+			"negative replicas",
+			[]string{"-replicas", "-2"},
+			"-replicas must be >= 1",
+		},
+		{
+			"zero max-batch",
+			[]string{"-max-batch", "0"},
+			"-max-batch must be >= 1",
+		},
+		{
+			"empty models list",
+			[]string{"-models", ""},
+			"-models lists no models",
+		},
+		{
+			"blank models list",
+			[]string{"-models", " , "},
+			"-models lists no models",
+		},
+		{
+			"autoscale ceiling without autoscale",
+			[]string{"-autoscale-max", "4"},
+			"-autoscale-max only applies",
+		},
+		{
+			"autoscale ceiling below one",
+			[]string{"-autoscale", "-autoscale-max", "0"},
+			"-autoscale-max must be >= 1",
+		},
+		{
+			"canary percent zero",
+			[]string{"-canary", "0"},
+			"-canary must be a traffic percent",
+		},
+		{
+			"canary percent above 99",
+			[]string{"-canary", "100"},
+			"-canary must be a traffic percent",
+		},
+		{
+			"canary under train mode",
+			[]string{"-train", "-canary", "10"},
+			"only applies in serve mode",
+		},
+		{
+			"autoscale under train mode",
+			[]string{"-train", "-autoscale"},
+			"only applies in serve mode",
+		},
+		{
+			"replicas under train mode",
+			[]string{"-train", "-replicas", "2"},
+			"only applies in serve mode",
+		},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWorkerCanaryAutoscale starts the worker with the control plane on:
+// autoscaling enabled and a staged version-2 canary per model. The
+// healthy identical candidate must be reported, and the selftest still
+// classifies over the shielded channel.
+func TestWorkerCanaryAutoscale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pushes two copies of a paper-size model through the encrypted volume")
+	}
+	out := runWorker(t, "canary-platform",
+		"-spec", "densenet",
+		"-autoscale",
+		"-autoscale-max", "4",
+		"-canary", "25",
+		"-selftest",
+		"-once",
+	)
+	for _, want := range []string{
+		"autoscale: up to 4 replicas per model",
+		"canary: model densenet@2 at 25% of unpinned traffic",
+		"selftest: classified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

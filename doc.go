@@ -69,7 +69,57 @@
 // endpoint multiplexes models and clients can distinguish overload from
 // hard failure. ServeInference/DialInference remain as
 // single-model wrappers over the same gateway, publishing their one
-// model as DefaultModelName@1.
+// model as DefaultModelName@1. A ModelClient can opt into overload
+// retries with SetRetry: capped exponential backoff whose jitter is a
+// hash of the request identity rather than a random draw, so the retry
+// schedule is deterministic and the backoff is charged to the virtual
+// clock.
+//
+// On top of that data plane the gateway runs a three-layer control
+// plane. Configuration resolves through a chain — gateway defaults from
+// ServingConfig, then per-model overrides, then per-version overrides,
+// installed live with ModelServer.UpdateConfig(model, version,
+// overrides) where version 0 targets the model layer — and zero fields
+// inherit from the layer above. Replicas and Threads resolve per
+// version; queue and batching knobs (QueueCap, MaxBatch, BatchWindow)
+// are per-model, because the admission queue and the micro-batch
+// collector sit in front of version resolution. ResolvedConfig reports
+// the effective values, and changes apply to the very next request — a
+// raised QueueCap admits more immediately, a lowered Replicas shrinks
+// the pool as replicas are returned.
+//
+// The autoscaler (ServingConfig.Autoscale) turns the per-version
+// replica count into a live quantity driven by the metrics the gateway
+// already keeps: on deterministic virtual-time ticks (AutoscaleConfig.
+// Tick, evaluated lazily from request and batch-completion events, with
+// TickAutoscale forcing a pass for harnesses), a model whose queue
+// depth crosses ScaleUpFrac of its QueueCap or which rejected arrivals
+// since the last tick is under pressure, and SustainTicks consecutive
+// pressured ticks double its replicas up to MaxReplicas; a drained
+// model steps back down toward MinReplicas; and a model with no
+// arrivals for IdleTicks ticks parks at zero replicas with its
+// interpreter pools evicted — the enclave's weight residency for that
+// model drops to nothing, the TensorSCONE-style win — to be recreated
+// lazily when the next request wakes it. Replica-seconds
+// (ModelServer.ReplicaSeconds) integrate the pool size over virtual
+// time, so the capacity saved is measurable.
+//
+// Rollouts are weighted canaries: StartCanary(model, candidate, cfg)
+// routes cfg.Percent of unpinned traffic to the candidate version
+// (pinned requests never participate), evenly spread rather than
+// front-loaded. After cfg.Window candidate responses the gateway
+// decides: rollback when the model's admission-rejection fraction
+// exceeds its pre-canary baseline by MaxRejectDelta, when the
+// candidate's error rate exceeds the incumbent's by the same delta, or
+// when the candidate's p99 virtual latency exceeds MaxP99Ratio times
+// the incumbent's — promotion (an atomic SetServing to the candidate)
+// otherwise. An operator SetServing away from the incumbent or removing
+// the candidate mid-flight aborts the canary instead, and
+// candidate-routed requests degrade to the serving version rather than
+// failing if the candidate vanishes. The state machine — active, then
+// exactly one of promoted / rolled-back / aborted — is reported by
+// ModelServer.Canary and in Metrics, whose snapshot is ordered
+// deterministically by model then version.
 //
 // Distributed training (§5.4) follows the classic TF1 between-graph
 // data-parallel architecture: StartParameterServer seeds a parameter

@@ -1,8 +1,12 @@
 // Model serving: the §4.2 classifier service grown into a secure,
-// batched, multi-model gateway. One shielded container hosts a versioned
-// model registry and serves concurrent TLS traffic with micro-batching;
-// a new model version is trained, loaded through the encrypted volume
-// and hot-swapped in under sustained load with zero failed requests.
+// batched, multi-model gateway with a control plane. One shielded
+// container hosts a versioned model registry and serves concurrent TLS
+// traffic with micro-batching; new model versions are trained, loaded
+// through the encrypted volume and rolled out as weighted canaries under
+// sustained load. A deliberately heavy candidate is automatically rolled
+// back by the gateway's p99/rejection comparison; a healthy candidate is
+// automatically promoted — with retrying clients, zero requests fail
+// either way.
 //
 // Run with:
 //
@@ -75,7 +79,10 @@ func run() error {
 	}
 	fmt.Println("service attested: volume key + TLS identity provisioned ✔")
 
-	// --- Train two model versions (v2 trains longer → better). ---
+	// --- Train three model versions into the encrypted volume. ---
+	// v1 is the incumbent MLP; v2 is a deliberately heavy CNN (far more
+	// virtual compute per invoke — the "bad" candidate the canary should
+	// catch); v3 is the same MLP trained longer (the healthy candidate).
 	if err := securetf.GenerateMNIST(service.FS(), "mnist", 512, 128, 1); err != nil {
 		return err
 	}
@@ -89,14 +96,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, vs := range []struct{ version, steps int }{{1, 5}, {2, 40}} {
-		version, steps := vs.version, vs.steps
+	for _, vs := range []struct {
+		version int
+		model   securetf.Model
+		steps   int
+		label   string
+	}{
+		{1, securetf.NewMNISTMLP(1), 5, "mlp"},
+		{2, securetf.NewMNISTCNN(1), 3, "heavy cnn"},
+		{3, securetf.NewMNISTMLP(1), 40, "mlp, trained longer"},
+	} {
 		trained, err := securetf.Train(securetf.TrainConfig{
 			Container: service,
-			Model:     securetf.NewMNISTMLP(1),
+			Model:     vs.model,
 			XS:        xs, YS: ys,
 			BatchSize: 100,
-			Steps:     steps,
+			Steps:     vs.steps,
 			Optimizer: securetf.Adam{LR: 0.003},
 		})
 		if err != nil {
@@ -117,11 +132,12 @@ func run() error {
 		}
 		// Models live in the CAS-keyed encrypted volume; the registry
 		// reads them back through the shield (decrypt + verify).
-		path := fmt.Sprintf("volumes/models/digits-v%d.stfl", version)
+		path := fmt.Sprintf("volumes/models/digits-v%d.stfl", vs.version)
 		if err := securetf.WriteFile(service.FS(), path, lite.Marshal()); err != nil {
 			return err
 		}
-		fmt.Printf("trained digits v%d: test accuracy %.1f%% → %s\n", version, 100*acc, path)
+		fmt.Printf("trained digits v%d (%s): test accuracy %.1f%% → %s\n",
+			vs.version, vs.label, 100*acc, path)
 	}
 
 	// --- Serve: registry + replica pool + micro-batching. ---
@@ -138,9 +154,16 @@ func run() error {
 	if err := gateway.LoadModel("digits", 1, "volumes/models/digits-v1.stfl"); err != nil {
 		return err
 	}
-	fmt.Printf("gateway on %s serving digits@%d\n", gateway.Addr(), gateway.ServingVersion("digits"))
+	// The config chain's model layer: tighten this model's admission
+	// queue below the client count, so a candidate that can't keep up
+	// shows up as rejection pressure the canary verdict reads directly.
+	if err := gateway.UpdateConfig("digits", 0, securetf.ServingOverrides{QueueCap: 4}); err != nil {
+		return err
+	}
+	fmt.Printf("gateway on %s serving digits@%d (queue cap %d via model override)\n",
+		gateway.Addr(), gateway.ServingVersion("digits"), gateway.ResolvedConfig("digits", 0).QueueCap)
 
-	// --- A customer: attest, then hammer the gateway concurrently. ---
+	// --- A customer: attest, then keep up sustained traffic. ---
 	customerPlatform, err := securetf.NewPlatform("customer-node")
 	if err != nil {
 		return err
@@ -164,82 +187,174 @@ func run() error {
 		return err
 	}
 
-	// Sustained load: 4 clients × 32 requests over mutual TLS, and a
-	// hot-swap to digits@2 right in the middle. Atomicity contract: no
-	// request fails, in-flight work finishes on the version it resolved.
-	const clients, perClient = 4, 32
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		failures int
-		byVer    = map[int]int{}
-	)
-	swap := make(chan struct{})
-	swapped := make(chan struct{}) // closed once the swap has completed (or failed)
-	var swapOnce sync.Once
-	triggerSwap := func() { swapOnce.Do(func() { close(swap) }) }
+	// Eight mutually-TLS clients with overload retries enabled — more
+	// clients than the queue admits at once, so the gateway's admission
+	// control genuinely pushes back under a bad canary; backoff + retry
+	// means no request is ever lost to the rollout.
+	const nClients = 8
 	probe, err := securetf.SliceRows(tx, 0, 1)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if i == 0 {
-				// Even if this client dies early, the swap still fires
-				// so the example cannot hang waiting for it.
-				defer triggerSwap()
-			}
-			cl, err := securetf.DialModelServer(customer, gateway.Addr(), "classifier")
-			if err != nil {
-				mu.Lock()
-				failures++
-				mu.Unlock()
-				return
-			}
-			defer cl.Close()
-			for j := 0; j < perClient; j++ {
-				if i == 0 && j == perClient/2 {
-					triggerSwap() // signal the main goroutine to swap now
-					// Wait for the swap to land so this client's
-					// remaining requests provably resolve to digits@2 —
-					// the byVer[2] check below is deterministic, not a
-					// race against the swap goroutine.
-					<-swapped
-				}
-				_, ver, err := cl.Infer("digits", 0, probe)
-				mu.Lock()
-				if err != nil {
-					failures++
-				} else {
-					byVer[ver]++
-				}
-				mu.Unlock()
-			}
-		}(i)
-	}
-	swapErr := make(chan error, 1)
-	go func() {
-		defer close(swapped)
-		<-swap
-		if err := gateway.LoadModel("digits", 2, "volumes/models/digits-v2.stfl"); err != nil {
-			swapErr <- err
-			return
+	clients := make([]*securetf.ModelClient, nClients)
+	for i := range clients {
+		cl, err := securetf.DialModelServer(customer, gateway.Addr(), "classifier")
+		if err != nil {
+			return err
 		}
-		swapErr <- gateway.SetServing("digits", 2)
-	}()
-	wg.Wait()
-	if err := <-swapErr; err != nil {
-		return fmt.Errorf("hot-swap failed: %w", err)
+		defer cl.Close()
+		cl.SetRetry(securetf.RetryPolicy{})
+		clients[i] = cl
 	}
-	fmt.Printf("hot-swap under load: %d requests, %d failed, served by version: v1=%d v2=%d\n",
-		clients*perClient, failures, byVer[1], byVer[2])
+
+	var (
+		mu       sync.Mutex
+		failures int
+		requests int
+		byVer    = map[int]int{}
+	)
+	record := func(ver int, err error) {
+		mu.Lock()
+		requests++
+		if err != nil {
+			failures++
+		} else {
+			byVer[ver]++
+		}
+		mu.Unlock()
+	}
+	// driveSerial sends n unpinned requests (version 0 — the gateway
+	// routes them, which is exactly the traffic a canary samples from)
+	// one at a time, so each request's virtual latency is its own model
+	// version's compute cost: the signal the canary p99 comparison reads.
+	driveSerial := func(n int) {
+		for j := 0; j < n; j++ {
+			_, ver, err := clients[j%nClients].Infer("digits", 0, probe)
+			record(ver, err)
+		}
+	}
+	// runCanary starts a weighted rollout and keeps traffic flowing until
+	// the gateway reaches a verdict on its own.
+	runCanary := func(candidate int, cfg securetf.CanaryConfig) (securetf.CanaryState, error) {
+		if err := gateway.StartCanary("digits", candidate, cfg); err != nil {
+			return securetf.CanaryState{}, err
+		}
+		for round := 0; round < 400; round++ {
+			if state := gateway.Canary("digits"); state.Phase != securetf.CanaryActive {
+				return state, nil
+			}
+			driveSerial(16)
+		}
+		return securetf.CanaryState{}, fmt.Errorf("canary of digits@%d never reached a verdict", candidate)
+	}
+
+	// Warm-up traffic gives the incumbent a latency baseline the canary
+	// comparison can diff against.
+	driveSerial(32)
+
+	// --- Rollout 1: the heavy CNN. The gateway routes 25% of unpinned
+	// traffic to digits@2, watches a 30-response window, sees the
+	// candidate's p99 virtual latency blow past the incumbent's and
+	// rolls back automatically. ---
+	if err := gateway.LoadModel("digits", 2, "volumes/models/digits-v2.stfl"); err != nil {
+		return err
+	}
+	verdict, err := runCanary(2, securetf.CanaryConfig{Percent: 25, Window: 30})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("canary digits@2 at 25%%: %s after %d candidate responses (%s)\n",
+		verdict.Phase, verdict.Observed, verdict.Reason)
+	if verdict.Phase != securetf.CanaryRolledBack {
+		return fmt.Errorf("heavy candidate was not rolled back: %+v", verdict)
+	}
+	if v := gateway.ServingVersion("digits"); v != 1 {
+		return fmt.Errorf("serving version moved to %d after a rollback", v)
+	}
+
+	// --- Rollout 2: the better-trained MLP. Same policy, healthy
+	// candidate — the gateway promotes it and digits@3 takes over
+	// atomically (in-flight work finishes on the version it resolved). ---
+	if err := gateway.LoadModel("digits", 3, "volumes/models/digits-v3.stfl"); err != nil {
+		return err
+	}
+	verdict, err = runCanary(3, securetf.CanaryConfig{Percent: 25, Window: 30})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("canary digits@3 at 25%%: %s after %d candidate responses\n",
+		verdict.Phase, verdict.Observed)
+	if verdict.Phase != securetf.CanaryPromoted {
+		return fmt.Errorf("healthy candidate was not promoted: %+v", verdict)
+	}
+	if v := gateway.ServingVersion("digits"); v != 3 {
+		return fmt.Errorf("serving version is %d after promotion, want 3", v)
+	}
+	driveSerial(16) // post-promotion traffic lands on digits@3
+
+	// --- Overload burst: the operator tightens the queue to a single
+	// slot live (the config chain again — no restart, no redeploy), then
+	// 32 clients hammer it at once — half of them pinned tenants still
+	// sending big batches to the withdrawn heavy version, whose slow
+	// invokes hold the replica slots and back the queue up. Admission
+	// control rejects what it can't hold, the clients' backoff+retry
+	// loops absorb every rejection, and not one request is lost. ---
+	if err := gateway.UpdateConfig("digits", 0, securetf.ServingOverrides{QueueCap: 1}); err != nil {
+		return err
+	}
+	heavyProbe, err := securetf.SliceRows(tx, 0, 16)
+	if err != nil {
+		return err
+	}
+	burst := make([]*securetf.ModelClient, 32)
+	for i := range burst {
+		cl, err := securetf.DialModelServer(customer, gateway.Addr(), "classifier")
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		cl.SetRetry(securetf.RetryPolicy{MaxAttempts: 50})
+		burst[i] = cl
+	}
+	var wg sync.WaitGroup
+	for i, cl := range burst {
+		wg.Add(1)
+		go func(i int, cl *securetf.ModelClient) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				var ver int
+				var err error
+				if i%2 == 0 {
+					_, ver, err = cl.Infer("digits", 2, heavyProbe) // pinned to the heavy CNN
+				} else {
+					_, ver, err = cl.Infer("digits", 0, probe) // routed to the serving version
+				}
+				record(ver, err)
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+
+	var retries, rejected int64
+	for _, cl := range clients {
+		retries += cl.Retries()
+	}
+	for _, cl := range burst {
+		retries += cl.Retries()
+	}
+	for _, m := range gateway.Metrics() {
+		rejected += m.Rejected
+	}
+	fmt.Printf("rollouts under load: %d requests, %d failed, %d rejections absorbed by %d retries, served by version: v1=%d v2=%d v3=%d\n",
+		requests, failures, rejected, retries, byVer[1], byVer[2], byVer[3])
 	if failures > 0 {
-		return fmt.Errorf("hot-swap dropped %d requests", failures)
+		return fmt.Errorf("rollouts dropped %d requests", failures)
 	}
 	if byVer[2] == 0 {
-		return fmt.Errorf("no requests reached digits@2 after the swap")
+		return fmt.Errorf("no canary traffic reached digits@2")
+	}
+	if rejected == 0 || retries == 0 {
+		return fmt.Errorf("overload burst produced no admission pushback (rejected=%d retries=%d)", rejected, retries)
 	}
 
 	// --- What the operator sees. ---
@@ -248,8 +363,12 @@ func run() error {
 		if m.Serving {
 			marker = "*"
 		}
-		fmt.Printf("%s digits@%d: served %d in %d batches, rejected %d, queue %d, p50 %v p99 %v (virtual)\n",
-			marker, m.Version, m.Served, m.Batches, m.Rejected, m.QueueDepth, m.P50, m.P99)
+		phase := ""
+		if m.CanaryPhase != "" {
+			phase = " canary:" + m.CanaryPhase
+		}
+		fmt.Printf("%s digits@%d: served %d in %d batches, rejected %d, %d replicas, p50 %v p99 %v (virtual)%s\n",
+			marker, m.Version, m.Served, m.Batches, m.Rejected, m.Replicas, m.P50, m.P99, phase)
 	}
 	stats := service.EnclaveStats()
 	fmt.Printf("enclave counters: %d transitions, %d page faults, %.1f GFLOPs\n",

@@ -9,12 +9,13 @@ import (
 
 // request is one admitted inference request waiting for dispatch.
 type request struct {
-	version int // 0 = serving version
-	argmax  bool
-	input   *tf.Tensor
-	rows    int
-	start   time.Duration // virtual enqueue time
-	resp    chan wireResponse
+	version  int  // 0 = serving version
+	fallback bool // canary-routed: degrade to serving if version vanishes
+	argmax   bool
+	input    *tf.Tensor
+	rows     int
+	start    time.Duration // virtual enqueue time
+	resp     chan wireResponse
 }
 
 // dispatch is the per-model dispatcher loop: it pulls admitted requests
@@ -36,7 +37,7 @@ func (g *Gateway) dispatch(m *servedModel) {
 			}
 		}
 		select {
-		case m.slots <- struct{}{}:
+		case <-m.tokens:
 		case <-g.drain:
 			g.refuse(m, carry)
 			return
@@ -46,8 +47,9 @@ func (g *Gateway) dispatch(m *servedModel) {
 		if first == nil {
 			select {
 			case first = <-m.queue:
+				m.pending.Add(-1)
 			case <-g.drain:
-				<-m.slots
+				m.releaseSlot()
 				g.refuse(m, nil)
 				return
 			}
@@ -57,8 +59,9 @@ func (g *Gateway) dispatch(m *servedModel) {
 		g.inflight.Add(1)
 		go func() {
 			defer g.inflight.Done()
-			defer func() { <-m.slots }()
 			g.runBatch(m, batch)
+			m.releaseSlot()
+			g.maybeTick()
 		}()
 	}
 }
@@ -73,6 +76,7 @@ func (g *Gateway) refuse(m *servedModel, carry *request) {
 	for {
 		select {
 		case req := <-m.queue:
+			m.pending.Add(-1)
 			req.resp <- wireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
 		default:
 			return
@@ -85,20 +89,24 @@ func (g *Gateway) refuse(m *servedModel, carry *request) {
 // rows or the batching window elapses. A request that would push the
 // batch past MaxBatch is carried into the next batch, so the configured
 // bound on per-invoke rows holds (a single oversized request still runs
-// alone — it cannot be split). With MaxBatch <= 1 or a zero window the
-// gateway degenerates to the unbatched per-request path.
+// alone — it cannot be split). Batching knobs come from the live
+// resolved config (model layer), so an UpdateConfig applies to the very
+// next batch. With MaxBatch <= 1 or a zero window the gateway
+// degenerates to the unbatched per-request path.
 func (g *Gateway) collect(m *servedModel, first *request) (batch []*request, carry *request) {
 	batch = []*request{first}
 	rows := first.rows
-	if g.cfg.MaxBatch <= 1 || g.cfg.BatchWindow <= 0 {
+	res := g.cfgs.resolve(m.name, 0)
+	if res.MaxBatch <= 1 || res.BatchWindow <= 0 {
 		return batch, nil
 	}
-	timer := time.NewTimer(g.cfg.BatchWindow)
+	timer := time.NewTimer(res.BatchWindow)
 	defer timer.Stop()
-	for rows < g.cfg.MaxBatch {
+	for rows < res.MaxBatch {
 		select {
 		case req := <-m.queue:
-			if rows+req.rows > g.cfg.MaxBatch {
+			m.pending.Add(-1)
+			if rows+req.rows > res.MaxBatch {
 				return batch, req
 			}
 			batch = append(batch, req)
@@ -142,17 +150,40 @@ func (g *Gateway) runBatch(m *servedModel, batch []*request) {
 }
 
 // runGroup stacks a group's inputs into one tensor, invokes a pooled
-// replica once and splits the output rows back per caller.
+// replica once and splits the output rows back per caller. Canary-routed
+// requests whose candidate version vanished mid-flight fall back to the
+// serving version; pinned requests to a missing version get NOT_FOUND.
 func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 	v, resolved := m.acquire(version)
 	if v == nil {
-		fail(reqs, wireResponse{
-			Status:  StatusNotFound,
-			Message: fmt.Sprintf("model %s has no version %d", m.name, resolved),
-		})
-		return
+		var fallback []*request
+		for _, req := range reqs {
+			if req.fallback {
+				fallback = append(fallback, req)
+			} else {
+				req.resp <- wireResponse{
+					Status:  StatusNotFound,
+					Message: fmt.Sprintf("model %s has no version %d", m.name, resolved),
+				}
+			}
+		}
+		if len(fallback) == 0 {
+			return
+		}
+		reqs = fallback
+		if v, resolved = m.acquire(0); v == nil {
+			fail(reqs, wireResponse{
+				Status:  StatusNotFound,
+				Message: fmt.Sprintf("model %s has no serving version", m.name),
+			})
+			return
+		}
 	}
 	defer v.inflight.Done()
+	// Score this group toward an active canary window once it resolves:
+	// the verdict fires on the batch path, deterministically in virtual
+	// time.
+	defer g.canaryObserve(m, resolved, len(reqs))
 
 	input, err := stackInputs(reqs)
 	if err != nil {
@@ -160,7 +191,12 @@ func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 		fail(reqs, wireResponse{Status: StatusBadRequest, Message: err.Error()})
 		return
 	}
-	ip := v.pool.acquire()
+	ip, err := v.pool.acquire()
+	if err != nil {
+		v.errors.Add(int64(len(reqs)))
+		fail(reqs, wireResponse{Status: StatusInternal, Message: err.Error()})
+		return
+	}
 	var out *tf.Tensor
 	if err = ip.SetInput(0, input); err == nil {
 		if err = ip.Invoke(); err == nil {

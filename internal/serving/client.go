@@ -3,11 +3,15 @@ package serving
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/securetf/securetf/internal/core"
 	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/vtime"
 )
 
 // Sentinel errors mapped from wire statuses, so callers can react by
@@ -44,12 +48,44 @@ func statusErr(status Status, msg string) error {
 	return fmt.Errorf("%w: %s", base, msg)
 }
 
+// RetryPolicy makes a Client retry requests the gateway rejected with
+// StatusOverloaded, with capped exponential backoff and deterministic
+// jitter. Backoff durations are charged to the container's virtual
+// clock, so retry behaviour is reproducible for a given workload.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseBackoff is the backoff before the first retry (default 1ms);
+	// it doubles per retry up to MaxBackoff (default 16ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry backoff.
+	MaxBackoff time.Duration
+}
+
+// withDefaults fills unset retry knobs.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 16 * time.Millisecond
+	}
+	return p
+}
+
 // Client talks to a Gateway over one connection. It is safe for
 // concurrent use: the request/response exchange is serialized with a
 // mutex so goroutines cannot interleave frames on the shared stream.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	clock   *vtime.Clock
+	retry   *RetryPolicy
+	retries atomic.Int64
 }
 
 // Dial connects a container to a gateway, through the container's
@@ -60,8 +96,21 @@ func Dial(c *core.Container, addr, serverName string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, clock: c.Clock()}, nil
 }
+
+// SetRetry enables overload retries with p (zero fields take defaults).
+// Only StatusOverloaded responses are retried — other errors, including
+// ErrShuttingDown, surface immediately.
+func (cl *Client) SetRetry(p RetryPolicy) {
+	d := p.withDefaults()
+	cl.mu.Lock()
+	cl.retry = &d
+	cl.mu.Unlock()
+}
+
+// Retries reports how many overload retries this client has performed.
+func (cl *Client) Retries() int64 { return cl.retries.Load() }
 
 // Infer sends input to model (version 0 = the gateway's serving version)
 // and returns the raw output tensor plus the version that served it.
@@ -80,8 +129,35 @@ func (cl *Client) Classify(model string, input *tf.Tensor) ([]int, error) {
 	return ArgmaxRows(out)
 }
 
-// do runs one serialized request/response exchange.
+// do runs one request/response exchange, retrying overload rejections
+// per the retry policy. Each wire round is serialized under the mutex;
+// backoffs happen outside it so other goroutines can interleave their
+// rounds while this one waits.
 func (cl *Client) do(req wireRequest) (*tf.Tensor, int, error) {
+	cl.mu.Lock()
+	policy := cl.retry
+	cl.mu.Unlock()
+	attempts := 1
+	if policy != nil {
+		attempts = policy.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			cl.backoff(*policy, req.Model, attempt)
+			cl.retries.Add(1)
+		}
+		out, ver, err := cl.once(req)
+		if err == nil || !errors.Is(err, ErrOverloaded) {
+			return out, ver, err
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("%w (after %d attempts)", lastErr, attempts)
+}
+
+// once runs one serialized wire round.
+func (cl *Client) once(req wireRequest) (*tf.Tensor, int, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if err := writeRequest(cl.conn, req); err != nil {
@@ -95,6 +171,27 @@ func (cl *Client) do(req wireRequest) (*tf.Tensor, int, error) {
 		return nil, 0, statusErr(resp.Status, resp.Message)
 	}
 	return resp.Output, resp.Version, nil
+}
+
+// backoff waits out one capped exponential backoff step before retry
+// number attempt. The duration is charged to the virtual clock (so it
+// is visible in latency metrics and deterministic per workload) and
+// slept in real time so the gateway's dispatcher actually drains. The
+// jitter spreading concurrent clients apart is a hash of the request's
+// identity, not a global RNG, keeping replays bit-identical.
+func (cl *Client) backoff(p RetryPolicy, model string, attempt int) {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", model, attempt, cl.retries.Load())
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	d += jitter
+	if cl.clock != nil {
+		cl.clock.Advance(d)
+	}
+	time.Sleep(d)
 }
 
 // Close closes the client connection.

@@ -15,6 +15,20 @@
 // clients can back off. Hot-swapping the serving version is atomic:
 // in-flight work finishes on the version it resolved, new work resolves
 // to the new one, and nothing is dropped.
+//
+// On top of that data plane sits a control plane in three layers:
+//
+//   - Config (config.go): a resolved-config chain — gateway defaults →
+//     per-model overrides → per-version overrides — consumed live by
+//     admission, batching and the pools, mutated with UpdateConfig.
+//   - Autoscaler (autoscale.go): replica counts become live quantities
+//     driven by queue depth and rejections on deterministic virtual-time
+//     ticks; idle models scale to zero and their interpreter pools are
+//     evicted, repopulating lazily on the next request.
+//   - Rollout (canary.go): StartCanary routes a weighted share of
+//     unpinned traffic to a candidate version and automatically promotes
+//     or rolls back off a rejection-rate and p99 comparison against the
+//     incumbent over a fixed request window.
 package serving
 
 import (
@@ -27,12 +41,16 @@ import (
 	"github.com/securetf/securetf/internal/vtime"
 )
 
-// Config tunes a gateway.
+// Config tunes a gateway. Its knob fields are the gateway-default layer
+// of the config chain: UpdateConfig installs per-model and per-version
+// overrides on top of them.
 type Config struct {
 	// Replicas is the interpreter-pool size per model version (default
 	// 1). It also bounds a model's in-flight batches: when every replica
 	// is busy, dispatch stalls, the admission queue fills and overflow
-	// is rejected — backpressure instead of goroutine pileup.
+	// is rejected — backpressure instead of goroutine pileup. With
+	// Autoscale set, Replicas is only the starting point; the autoscaler
+	// owns the live count from then on.
 	Replicas int
 	// Threads is the device thread count per replica (0 = container
 	// default).
@@ -48,6 +66,9 @@ type Config struct {
 	// QueueCap bounds each model's admission queue (default 64). A full
 	// queue rejects with StatusOverloaded.
 	QueueCap int
+	// Autoscale, when non-nil, enables the metric-driven replica
+	// autoscaler for every model on the gateway.
+	Autoscale *AutoscaleConfig
 
 	// gate, when set, makes dispatchers wait on it before every pull —
 	// a test hook for deterministic queue-pressure scenarios.
@@ -76,6 +97,8 @@ func (cfg Config) withDefaults() Config {
 type Gateway struct {
 	container *core.Container
 	cfg       Config
+	cfgs      *configStore
+	scaler    *autoscaler // nil when autoscaling is off
 	clock     *vtime.Clock
 	ln        net.Listener
 	reg       registry
@@ -97,18 +120,34 @@ func NewGateway(c *core.Container, addr string, cfg Config) (*Gateway, error) {
 	if c == nil {
 		return nil, fmt.Errorf("serving: nil container")
 	}
+	cfg = cfg.withDefaults()
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Replicas > maxReplicas {
+		return nil, fmt.Errorf("serving: Replicas %d exceeds the %d ceiling", cfg.Replicas, maxReplicas)
+	}
+	if cfg.QueueCap > maxQueueCap {
+		return nil, fmt.Errorf("serving: QueueCap %d exceeds the %d ceiling", cfg.QueueCap, maxQueueCap)
+	}
 	ln, err := c.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	g := &Gateway{
 		container: c,
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
+		cfgs:      newConfigStore(cfg),
 		clock:     c.Clock(),
 		ln:        ln,
 		reg:       registry{models: make(map[string]*servedModel)},
 		closed:    make(chan struct{}),
 		drain:     make(chan struct{}),
+	}
+	if cfg.Autoscale != nil {
+		g.scaler = newAutoscaler(*cfg.Autoscale, g.clock.Now())
 	}
 	g.connWG.Add(1)
 	go g.accept()
@@ -163,7 +202,9 @@ func (g *Gateway) handle(conn net.Conn) {
 
 // submit runs admission control for one request and waits for its
 // response. Every admitted request is answered: dispatchers outlive the
-// connection handlers that feed them.
+// connection handlers that feed them. Unpinned requests may be routed to
+// an active canary candidate; the admission bound is the live resolved
+// QueueCap.
 func (g *Gateway) submit(wr wireRequest) wireResponse {
 	m := g.lookup(wr.Model)
 	if m == nil {
@@ -177,20 +218,27 @@ func (g *Gateway) submit(wr wireRequest) wireResponse {
 		return wireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
 	default:
 	}
+	version, canaryRouted := wr.Version, false
+	if version == 0 {
+		version, canaryRouted = m.routeCanary()
+	}
 	req := &request{
-		version: wr.Version,
-		argmax:  wr.Argmax,
-		input:   wr.Input,
-		rows:    wr.Input.Shape()[0],
-		start:   g.clock.Now(),
-		resp:    make(chan wireResponse, 1),
+		version:  version,
+		fallback: canaryRouted,
+		argmax:   wr.Argmax,
+		input:    wr.Input,
+		rows:     wr.Input.Shape()[0],
+		start:    g.clock.Now(),
+		resp:     make(chan wireResponse, 1),
 	}
-	select {
-	case m.queue <- req:
-	default:
+	m.arrivals.Add(1)
+	if !m.admit(req, g.cfgs.resolve(m.name, 0).QueueCap) {
 		m.rejected.Add(1)
-		return wireResponse{Status: StatusOverloaded, Message: fmt.Sprintf("model %q queue full (%d)", m.name, cap(m.queue))}
+		g.maybeTick()
+		return wireResponse{Status: StatusOverloaded, Message: fmt.Sprintf("model %q queue full (%d)", m.name, g.cfgs.resolve(m.name, 0).QueueCap)}
 	}
+	g.wake(m)
+	g.maybeTick()
 	return <-req.resp
 }
 

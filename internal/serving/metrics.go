@@ -32,6 +32,15 @@ type ModelMetrics struct {
 	// P50 and P99 are virtual request latencies (enqueue → response
 	// ready) over a sliding window of recent requests.
 	P50, P99 time.Duration
+	// Replicas is the version's live interpreter-replica count (0 when
+	// the autoscaler has the pool scaled to zero).
+	Replicas int
+	// Canary marks the active canary candidate's row; CanaryPhase, on
+	// the serving row, is the model's canary phase — "active" while one
+	// runs, otherwise the latest verdict ("promoted", "rolled-back",
+	// "aborted"; empty when the model has never run one).
+	Canary      bool
+	CanaryPhase string
 }
 
 // latencyWindow is how many recent samples the percentile window keeps.
@@ -69,6 +78,12 @@ func (s *latencySampler) percentiles() (time.Duration, time.Duration) {
 	return window[pctIndex(n, 50)], window[pctIndex(n, 99)]
 }
 
+// p99 reports the 99th-percentile latency over the current window.
+func (s *latencySampler) p99() time.Duration {
+	_, p99 := s.percentiles()
+	return p99
+}
+
 // pctIndex maps a percentile to a window index (nearest-rank).
 func pctIndex(n, pct int) int {
 	i := (n*pct + 99) / 100
@@ -88,25 +103,36 @@ func (g *Gateway) Metrics() []ModelMetrics {
 	defer g.reg.mu.Unlock()
 	var out []ModelMetrics
 	for name, m := range g.reg.models {
+		c := m.canary.Load()
+		if c != nil && c.decided.Load() {
+			c = nil
+		}
 		m.mu.Lock()
 		for ver, v := range m.versions {
 			p50, p99 := v.lat.percentiles()
 			entry := ModelMetrics{
-				Model:   name,
-				Version: ver,
-				Serving: ver == m.serving,
-				Served:  v.served.Load(),
-				Batches: v.batches.Load(),
-				Errors:  v.errors.Load(),
-				P50:     p50,
-				P99:     p99,
+				Model:    name,
+				Version:  ver,
+				Serving:  ver == m.serving,
+				Served:   v.served.Load(),
+				Batches:  v.batches.Load(),
+				Errors:   v.errors.Load(),
+				P50:      p50,
+				P99:      p99,
+				Replicas: v.pool.size(),
+				Canary:   c != nil && ver == c.candidate,
 			}
-			// Admission control is per model, not per version: report it
-			// once, on the serving row, so summing a snapshot counts
-			// each rejection exactly once.
+			// Admission control and canary phase are per model, not per
+			// version: report them once, on the serving row, so summing
+			// a snapshot counts each rejection exactly once.
 			if entry.Serving {
 				entry.Rejected = m.rejected.Load()
-				entry.QueueDepth = len(m.queue)
+				entry.QueueDepth = int(m.pending.Load())
+				if c != nil {
+					entry.CanaryPhase = CanaryActive
+				} else {
+					entry.CanaryPhase = m.lastRun.Phase
+				}
 			}
 			out = append(out, entry)
 		}

@@ -286,13 +286,15 @@ func gatedGateway(t *testing.T, c *core.Container, cfg Config) (*Gateway, chan s
 	return g, gate
 }
 
-// queueDepth reads a model's current admission-queue occupancy.
+// queueDepth reads a model's current admission-queue occupancy — the
+// pending counter admission enforces the live QueueCap against, not the
+// raw channel length.
 func queueDepth(g *Gateway, name string) int {
 	m := g.lookup(name)
 	if m == nil {
 		return -1
 	}
-	return len(m.queue)
+	return int(m.pending.Load())
 }
 
 func TestBatchingCorrectness(t *testing.T) {
@@ -770,14 +772,66 @@ func TestCloseWithIdleConnectionsDoesNotHang(t *testing.T) {
 // OVERLOADED under queue pressure), never left hanging on a version
 // whose pool was released.
 func TestGatewayChurnUnderLoad(t *testing.T) {
-	c := launchContainer(t)
-	g, err := NewGateway(c, "127.0.0.1:0", Config{
+	runGatewayChurn(t, Config{
 		Replicas: 2, MaxBatch: 4, BatchWindow: time.Millisecond, QueueCap: 64,
 	})
+}
+
+// TestGatewayChurnUnderLoadAutoscaled runs the same churn scenario with
+// the autoscaler live — replica targets moving under the registry
+// mutations must not change the zero-drop contract — and then checks the
+// scale-to-zero/lazy-repopulation cycle on the surviving version.
+func TestGatewayChurnUnderLoadAutoscaled(t *testing.T) {
+	g := runGatewayChurn(t, Config{
+		Replicas: 1, MaxBatch: 4, BatchWindow: time.Millisecond, QueueCap: 64,
+		Autoscale: &AutoscaleConfig{
+			Tick: 5 * time.Millisecond, MaxReplicas: 4, SustainTicks: 1, IdleTicks: 1,
+		},
+	})
+	// Load is gone: the first tick absorbs the churn's residual arrival
+	// delta, the next one sees a full idle tick and parks the model,
+	// evicting its interpreter pools (their enclave weight residency
+	// with them).
+	if !g.TickAutoscale() {
+		t.Fatal("autoscaler not enabled")
+	}
+	g.TickAutoscale()
+	if got := g.AutoscaleReplicas("m"); got != 0 {
+		t.Fatalf("idle model at %d replicas, want scaled to zero", got)
+	}
+	m := g.lookup("m")
+	m.mu.Lock()
+	for ver, v := range m.versions {
+		if n := v.pool.size(); n != 0 {
+			m.mu.Unlock()
+			t.Fatalf("parked model still holds %d replicas for version %d", n, ver)
+		}
+	}
+	m.mu.Unlock()
+	// The next request repopulates lazily and must still be answered.
+	c := g.container
+	cl, err := Dial(c, g.Addr(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer g.Close()
+	defer cl.Close()
+	if _, err := cl.Classify("m", input(1, 99)); err != nil {
+		t.Fatalf("request to a scaled-to-zero model failed: %v", err)
+	}
+	if got := g.AutoscaleReplicas("m"); got < 1 {
+		t.Fatalf("model still parked after traffic (replicas %d)", got)
+	}
+}
+
+// runGatewayChurn drives the churn scenario against cfg and returns the
+// (still open, cleanup-closed) gateway for extra assertions.
+func runGatewayChurn(t *testing.T, cfg Config) *Gateway {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
 	model := buildModel(t, 7)
 	if err := g.Register("m", 1, model); err != nil {
 		t.Fatal(err)
@@ -891,6 +945,531 @@ func TestGatewayChurnUnderLoad(t *testing.T) {
 	for v := 1; v < versions; v++ {
 		if err := g.SetServing("m", v); err == nil {
 			t.Fatalf("drained version %d still registered after churn", v)
+		}
+	}
+	return g
+}
+
+// buildCNN builds a deliberately heavier MNIST model (same input/output
+// shapes as buildModel's MLP, much larger per-invoke virtual cost) —
+// the "bad candidate" for canary tests.
+func buildCNN(t testing.TB, seed int64) *tflite.Model {
+	t.Helper()
+	h := models.MNISTCNN(seed)
+	sess := tf.NewSession(h.Graph)
+	defer sess.Close()
+	frozen, fx, fl, err := models.FreezeForInference(h, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := tflite.Convert(frozen, []*tf.Node{fx}, []*tf.Node{fl}, tflite.ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestConfigChainResolution(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{Replicas: 2, MaxBatch: 8, QueueCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Base layer: gateway defaults, withDefaults applied.
+	base := g.ResolvedConfig("x", 0)
+	want := Resolved{Replicas: 2, MaxBatch: 8, BatchWindow: DefaultBatchWindow, QueueCap: 16}
+	if base != want {
+		t.Fatalf("base resolve = %+v, want %+v", base, want)
+	}
+
+	// Model layer overrides; other models stay on the defaults.
+	if err := g.UpdateConfig("m", 0, Overrides{Replicas: 3, MaxBatch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := g.ResolvedConfig("m", 0)
+	if r.Replicas != 3 || r.MaxBatch != 1 {
+		t.Fatalf("model-layer resolve = %+v", r)
+	}
+	if g.ResolvedConfig("x", 0) != want {
+		t.Fatal("override for m leaked into another model")
+	}
+
+	// Version layer wins over the model layer, for its version only.
+	if err := g.UpdateConfig("m", 2, Overrides{Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ResolvedConfig("m", 2).Replicas; got != 1 {
+		t.Fatalf("version-layer Replicas = %d, want 1", got)
+	}
+	if got := g.ResolvedConfig("m", 1).Replicas; got != 3 {
+		t.Fatalf("sibling version Replicas = %d, want the model layer's 3", got)
+	}
+
+	// A zero Overrides clears its layer.
+	if err := g.UpdateConfig("m", 2, Overrides{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ResolvedConfig("m", 2).Replicas; got != 3 {
+		t.Fatalf("cleared version layer still resolves Replicas %d", got)
+	}
+
+	// Validation: per-model knobs are rejected at the version layer, and
+	// out-of-range values everywhere.
+	if err := g.UpdateConfig("m", 2, Overrides{MaxBatch: 4}); err == nil {
+		t.Fatal("version-layer MaxBatch accepted")
+	}
+	if err := g.UpdateConfig("m", 0, Overrides{Replicas: -1}); err == nil {
+		t.Fatal("negative Replicas accepted")
+	}
+	if err := g.UpdateConfig("m", 0, Overrides{Replicas: maxReplicas + 1}); err == nil {
+		t.Fatal("over-ceiling Replicas accepted")
+	}
+	if err := g.UpdateConfig("m", 0, Overrides{QueueCap: maxQueueCap + 1}); err == nil {
+		t.Fatal("over-ceiling QueueCap accepted")
+	}
+	if err := g.UpdateConfig("", 0, Overrides{Replicas: 1}); err == nil {
+		t.Fatal("empty model name accepted")
+	}
+
+	// Replicas apply live: registration uses the resolved count, and a
+	// later override shrinks the pool in place.
+	if err := g.Register("m", 1, buildModel(t, 21)); err != nil {
+		t.Fatal(err)
+	}
+	m := g.lookup("m")
+	if got := m.versions[1].pool.size(); got != 3 {
+		t.Fatalf("registered pool size %d, want the resolved 3", got)
+	}
+	if err := g.UpdateConfig("m", 0, Overrides{Replicas: 1, MaxBatch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.versions[1].pool.size(); got != 1 {
+		t.Fatalf("pool size %d after live shrink, want 1", got)
+	}
+}
+
+func TestUpdateConfigLiveQueueCap(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{QueueCap: 4})
+	if err := g.Register("m", 1, buildModel(t, 22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.UpdateConfig("m", 0, Overrides{QueueCap: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 3)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			_, err = cl.Classify("m", input(1, int64(i)))
+			errs <- err
+		}(i)
+	}
+	waitFor(t, "full overridden queue", func() bool { return queueDepth(g, "m") == 2 })
+
+	// The overridden cap (2, not the gateway's 4) rejects the third...
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Classify("m", input(1, 9)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded at the overridden cap", err)
+	}
+	// ...and raising it live admits the same request.
+	if err := g.UpdateConfig("m", 0, Overrides{QueueCap: 3}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, err := cl.Classify("m", input(1, 9))
+		errs <- err
+	}()
+	waitFor(t, "third request admitted", func() bool { return queueDepth(g, "m") == 3 })
+	close(gate)
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAutoscalePressureParkWake(t *testing.T) {
+	c := launchContainer(t)
+	if _, err := NewGateway(c, "127.0.0.1:0", Config{
+		Autoscale: &AutoscaleConfig{MinReplicas: 9, MaxReplicas: 4},
+	}); err == nil {
+		t.Fatal("contradictory autoscale config accepted")
+	}
+
+	g, gate := gatedGateway(t, c, Config{
+		QueueCap:  8,
+		Autoscale: &AutoscaleConfig{SustainTicks: 1, MaxReplicas: 4, IdleTicks: 1},
+	})
+	if err := g.Register("m", 1, buildModel(t, 23)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue pressure: 4 pending = ScaleUpFrac (0.5) of the cap.
+	const n = 4
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			_, err = cl.Classify("m", input(1, int64(i)))
+			errs <- err
+		}(i)
+	}
+	waitFor(t, "queue pressure", func() bool { return queueDepth(g, "m") == n })
+
+	// Sustained pressure doubles the replica target toward the max.
+	g.TickAutoscale()
+	if got := g.AutoscaleReplicas("m"); got != 2 {
+		t.Fatalf("replicas after pressure tick = %d, want 2", got)
+	}
+	g.TickAutoscale()
+	if got := g.AutoscaleReplicas("m"); got != 4 {
+		t.Fatalf("replicas after second pressure tick = %d, want 4 (max)", got)
+	}
+
+	close(gate)
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Traffic with a drained queue steps the target down by one...
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Classify("m", input(1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	g.TickAutoscale()
+	if got := g.AutoscaleReplicas("m"); got != 3 {
+		t.Fatalf("replicas after drained tick = %d, want 3", got)
+	}
+
+	// ...and sustained idleness parks the model at zero, evicting pools.
+	g.TickAutoscale()
+	if got := g.AutoscaleReplicas("m"); got != 0 {
+		t.Fatalf("replicas after idle tick = %d, want 0", got)
+	}
+	m := g.lookup("m")
+	if got := m.versions[1].pool.size(); got != 0 {
+		t.Fatalf("parked pool still holds %d replicas", got)
+	}
+
+	// The next request wakes the model and repopulates lazily.
+	if _, err := cl.Classify("m", input(1, 51)); err != nil {
+		t.Fatalf("request to parked model failed: %v", err)
+	}
+	if got := g.AutoscaleReplicas("m"); got < 1 {
+		t.Fatalf("model still parked after traffic (replicas %d)", got)
+	}
+}
+
+func TestCanaryPromoteHealthyCandidate(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register("m", 1, buildModel(t, 31)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 2, buildModel(t, 32)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := g.StartCanary("m", 2, CanaryConfig{Percent: 200}); err == nil {
+		t.Fatal("Percent 200 accepted")
+	}
+	if err := g.StartCanary("m", 9, CanaryConfig{Percent: 10}); err == nil {
+		t.Fatal("unknown candidate accepted")
+	}
+	if err := g.StartCanary("m", 1, CanaryConfig{Percent: 10}); err == nil {
+		t.Fatal("serving version accepted as its own candidate")
+	}
+	if err := g.StartCanary("m", 2, CanaryConfig{Percent: 50, Window: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StartCanary("m", 2, CanaryConfig{Percent: 50}); err == nil {
+		t.Fatal("second concurrent canary accepted")
+	}
+	if st := g.Canary("m"); st.Phase != CanaryActive || st.Candidate != 2 || st.Incumbent != 1 {
+		t.Fatalf("active canary state = %+v", st)
+	}
+	if err := g.RemoveVersion("m", 2); err == nil {
+		t.Fatal("removed the active canary candidate")
+	}
+
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Sequential unpinned traffic: 50% routes to the candidate, so the
+	// 10-response window fills within ~20 requests and the healthy
+	// candidate is promoted.
+	sawCandidate := 0
+	for i := 0; i < 30; i++ {
+		_, ver, err := cl.Infer("m", 0, input(1, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver == 2 {
+			sawCandidate++
+		}
+		// Pinned requests never participate in canary routing.
+		if _, pv, err := cl.Infer("m", 1, input(1, int64(i))); err != nil || pv != 1 {
+			t.Fatalf("pinned request: version %d err %v", pv, err)
+		}
+	}
+	if sawCandidate == 0 {
+		t.Fatal("no unpinned request was canary-routed")
+	}
+	st := g.Canary("m")
+	if st.Phase != CanaryPromoted {
+		t.Fatalf("canary phase = %q (%s), want promoted", st.Phase, st.Reason)
+	}
+	if st.Observed < int64(st.Window) || st.DecidedAt == 0 {
+		t.Fatalf("verdict bookkeeping: %+v", st)
+	}
+	if got := g.ServingVersion("m"); got != 2 {
+		t.Fatalf("serving version %d after promotion, want 2", got)
+	}
+}
+
+func TestCanaryRollbackSlowCandidate(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register("m", 1, buildModel(t, 33)); err != nil {
+		t.Fatal(err)
+	}
+	// The candidate is a much heavier model: same interface, far larger
+	// per-invoke virtual cost, so its p99 blows the rollback threshold.
+	if err := g.Register("m", 2, buildCNN(t, 34)); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Pre-canary baseline latency for the incumbent.
+	for i := 0; i < 10; i++ {
+		if _, _, err := cl.Infer("m", 0, input(1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.StartCanary("m", 2, CanaryConfig{Percent: 50, Window: 6, MaxP99Ratio: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40 && g.Canary("m").Phase == CanaryActive; i++ {
+		if _, _, err := cl.Infer("m", 0, input(1, int64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Canary("m")
+	if st.Phase != CanaryRolledBack {
+		t.Fatalf("canary phase = %q (%s), want rolled-back", st.Phase, st.Reason)
+	}
+	if st.Reason == "" {
+		t.Fatal("rollback carries no reason")
+	}
+	if got := g.ServingVersion("m"); got != 1 {
+		t.Fatalf("serving version %d after rollback, want the incumbent 1", got)
+	}
+	// After the verdict, unpinned traffic goes only to the incumbent.
+	for i := 0; i < 6; i++ {
+		if _, ver, err := cl.Infer("m", 0, input(1, int64(200+i))); err != nil || ver != 1 {
+			t.Fatalf("post-rollback request: version %d err %v", ver, err)
+		}
+	}
+}
+
+func TestCanaryAbortAndFallback(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{})
+	if err := g.Register("m", 1, buildModel(t, 35)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 2, buildModel(t, 36)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 3, buildModel(t, 37)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StartCanary("m", 2, CanaryConfig{Percent: 99, Window: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue unpinned requests while the dispatcher is gated: nearly all
+	// are canary-routed to version 2.
+	const n = 4
+	errs := make(chan error, n)
+	versions := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl, err := Dial(c, g.Addr(), "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			_, versions[i], err = cl.Infer("m", 0, input(1, int64(i)))
+			errs <- err
+		}(i)
+	}
+	waitFor(t, "queued canary traffic", func() bool { return queueDepth(g, "m") == n })
+
+	// An operator override preempts the canary, and the candidate is
+	// withdrawn while its traffic is still queued.
+	if err := g.SetServing("m", 3); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Canary("m"); st.Phase != CanaryAborted {
+		t.Fatalf("canary phase = %q after SetServing away, want aborted", st.Phase)
+	}
+	if err := g.RemoveVersion("m", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The queued canary-routed requests must fall back to the serving
+	// version — answered, not NOT_FOUND.
+	close(gate)
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("canary-routed request dropped after candidate withdrawal: %v", err)
+		}
+	}
+	for i, ver := range versions {
+		if ver != 3 && ver != 1 {
+			t.Fatalf("request %d served by version %d, want a live version", i, ver)
+		}
+	}
+}
+
+func TestClientRetryOnOverload(t *testing.T) {
+	c := launchContainer(t)
+	g, gate := gatedGateway(t, c, Config{QueueCap: 1})
+	if err := g.Register("m", 1, buildModel(t, 41)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the one-slot queue while the dispatcher is gated.
+	fillErr := make(chan error, 1)
+	go func() {
+		cl, err := Dial(c, g.Addr(), "")
+		if err != nil {
+			fillErr <- err
+			return
+		}
+		defer cl.Close()
+		_, err = cl.Classify("m", input(1, 1))
+		fillErr <- err
+	}()
+	waitFor(t, "full queue", func() bool { return queueDepth(g, "m") == 1 })
+
+	// Capped attempts: the retries are counted and the overload still
+	// surfaces as ErrOverloaded once they are exhausted.
+	capped, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capped.Close()
+	capped.SetRetry(RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond})
+	before := c.Clock().Now()
+	if _, err := capped.Classify("m", input(1, 2)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded after exhausted retries", err)
+	}
+	if got := capped.Retries(); got != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", got)
+	}
+	// Backoff is charged to the virtual clock.
+	if c.Clock().Now() == before {
+		t.Fatal("retry backoff charged no virtual time")
+	}
+
+	// A patient client rides out the overload: it retries while the
+	// queue is full and succeeds once the dispatcher drains it.
+	patient, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer patient.Close()
+	patient.SetRetry(RetryPolicy{MaxAttempts: 200, BaseBackoff: time.Millisecond})
+	patientErr := make(chan error, 1)
+	go func() {
+		_, err := patient.Classify("m", input(1, 3))
+		patientErr <- err
+	}()
+	waitFor(t, "at least one retry", func() bool { return patient.Retries() >= 1 })
+	close(gate)
+	if err := <-patientErr; err != nil {
+		t.Fatalf("patient client failed despite retries: %v", err)
+	}
+	if err := <-fillErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsDeterministicOrder(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	model := buildModel(t, 51)
+	// Register out of order: snapshots must still sort by model, then
+	// version.
+	for _, reg := range []struct {
+		name    string
+		version int
+	}{{"b", 1}, {"a", 2}, {"c", 1}, {"a", 1}} {
+		if err := g.Register(reg.name, reg.version, model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a@1", "a@2", "b@1", "c@1"}
+	for i := 0; i < 5; i++ {
+		got := make([]string, 0, len(want))
+		for _, m := range g.Metrics() {
+			got = append(got, fmt.Sprintf("%s@%d", m.Model, m.Version))
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("metrics order %v, want %v", got, want)
+		}
+	}
+	for _, m := range g.Metrics() {
+		if m.Replicas != 1 {
+			t.Fatalf("%s@%d reports %d replicas, want 1", m.Model, m.Version, m.Replicas)
+		}
+		if m.Canary || m.CanaryPhase != "" {
+			t.Fatalf("%s@%d reports canary state with no canary", m.Model, m.Version)
 		}
 	}
 }

@@ -13,9 +13,48 @@ import (
 type ModelServer = serving.Gateway
 
 // ServingConfig tunes a ModelServer: replicas per version, device
-// threads per replica, micro-batching window and size, and the admission
-// queue bound.
+// threads per replica, micro-batching window and size, the admission
+// queue bound, and optionally the replica autoscaler. These are the
+// gateway-default layer of the config chain; install per-model and
+// per-version overrides live with ModelServer.UpdateConfig.
 type ServingConfig = serving.Config
+
+// ServingOverrides is one override layer of the serving config chain
+// (zero fields inherit). Install with ModelServer.UpdateConfig: version
+// 0 targets the model layer, version > 0 the version layer.
+type ServingOverrides = serving.Overrides
+
+// ServingResolved is a fully resolved serving config for one model or
+// model version, as reported by ModelServer.ResolvedConfig.
+type ServingResolved = serving.Resolved
+
+// ServingAutoscale enables the metric-driven replica autoscaler when set
+// on ServingConfig.Autoscale: replica counts follow queue depth and
+// rejections on deterministic virtual-time ticks, and idle models scale
+// to zero with their interpreter pools evicted.
+type ServingAutoscale = serving.AutoscaleConfig
+
+// CanaryConfig tunes a weighted canary rollout started with
+// ModelServer.StartCanary: the unpinned-traffic share routed to the
+// candidate, the response window, and the rollback thresholds.
+type CanaryConfig = serving.CanaryConfig
+
+// CanaryState is a snapshot of a model's canary rollout — the active one,
+// or the latest verdict — as reported by ModelServer.Canary.
+type CanaryState = serving.CanaryState
+
+// Canary phases reported by CanaryState.Phase.
+const (
+	CanaryActive     = serving.CanaryActive
+	CanaryPromoted   = serving.CanaryPromoted
+	CanaryRolledBack = serving.CanaryRolledBack
+	CanaryAborted    = serving.CanaryAborted
+)
+
+// RetryPolicy makes a ModelClient retry overload rejections with capped
+// exponential backoff and deterministic jitter; enable it with
+// ModelClient.SetRetry.
+type RetryPolicy = serving.RetryPolicy
 
 // ServingMetrics is one model version's serving counters: requests
 // served, batches invoked, overload rejections, queue depth and p50/p99
