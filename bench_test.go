@@ -273,6 +273,70 @@ func BenchmarkDistCompress(b *testing.B) {
 	b.ReportMetric(float64(none.PushWirePerShard)/float64(topk.PushWirePerShard), "wire-vtime-reduction-topk-x")
 }
 
+// BenchmarkFederated measures the federated subsystem at population
+// scale: 256 clients, a quarter sampled per round, quorum at 80% of the
+// cohort (so every round completes without its 13 slowest members and
+// the dropout seed-reveal path runs at scale), pairwise-masked secure
+// aggregation throughout. The same job runs under each uplink codec.
+// Metric fed-rounds-per-vs is the virtual-time round throughput;
+// fed-uplink-kb-{none,int8,topk} count the accepted masked payload
+// bytes (deterministic — they count bytes, not time), and
+// fed-topk-uplink-reduction-x is the top-k win over the dense upload
+// (~10× at f=0.1) — the CI bench gate's regression subjects.
+func BenchmarkFederated(b *testing.B) {
+	const (
+		clients = 256
+		frac    = 0.25 // 64 sampled per round
+		quorum  = 51   // 80% of the cohort
+		rounds  = 2
+		steps   = 2
+		batch   = 20
+	)
+	run := func(comp securetf.FedCompression) *securetf.FederatedResult {
+		res, err := securetf.TrainFederated(securetf.FederatedConfig{
+			Clients:        clients,
+			SampleFraction: frac,
+			Quorum:         quorum,
+			Rounds:         rounds,
+			LocalSteps:     steps,
+			BatchSize:      batch,
+			LocalLR:        0.05,
+			Compression:    comp,
+			Seed:           42,
+			NewModel:       func() securetf.Model { return securetf.NewMNISTMLP(1) },
+			ShardData: func(client int) (*securetf.Tensor, *securetf.Tensor, error) {
+				fs := securetf.NewMemFS()
+				if err := securetf.GenerateMNIST(fs, "shard", steps*batch, 0, int64(1000+client)); err != nil {
+					return nil, nil, err
+				}
+				return securetf.LoadMNIST(fs, "shard/train-images-idx3-ubyte", "shard/train-labels-idx1-ubyte")
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds != rounds {
+			b.Fatalf("job committed %d rounds, want %d", res.Rounds, rounds)
+		}
+		if res.Refusals == 0 || res.Reveals == 0 {
+			b.Fatalf("quorum never cut a round short (refusals %d, reveals %d) — the dropout path went unexercised",
+				res.Refusals, res.Reveals)
+		}
+		return res
+	}
+	var none, int8r, topk *securetf.FederatedResult
+	for i := 0; i < b.N; i++ {
+		none = run(securetf.NoFedCompression())
+		int8r = run(securetf.Int8FedCompression())
+		topk = run(securetf.TopKFedCompression(0.1))
+	}
+	b.ReportMetric(float64(none.Rounds)/none.Latency.Seconds(), "fed-rounds-per-vs")
+	b.ReportMetric(float64(none.UplinkBytes)/1024, "fed-uplink-kb-none")
+	b.ReportMetric(float64(int8r.UplinkBytes)/1024, "fed-uplink-kb-int8")
+	b.ReportMetric(float64(topk.UplinkBytes)/1024, "fed-uplink-kb-topk")
+	b.ReportMetric(float64(none.UplinkBytes)/float64(topk.UplinkBytes), "fed-topk-uplink-reduction-x")
+}
+
 // BenchmarkTFvsTFLite regenerates the §5.3 #4 comparison: full
 // TensorFlow versus TensorFlow Lite inference in HW mode. Metric
 // tflite-speedup-x is the paper's ~71×.

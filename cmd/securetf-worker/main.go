@@ -31,14 +31,27 @@
 // served model and routes N% of unpinned traffic to it, letting the
 // gateway's rejection-rate and p99 comparison promote or roll it back.
 //
+// With -federated the worker instead runs the paper's §6.2
+// federated-learning deployment in-process: an aggregator enclave
+// running FedAvg quorum rounds over -clients simulated participants
+// with pairwise-masked secure aggregation (the aggregator only ever
+// sees blinded updates whose masks cancel in the sum). -sample-frac
+// picks the per-round cohort, -quorum is the number of accepted
+// uploads that closes a round (stragglers past it are refused and
+// retry), and -fed-compress selects the masked uplink codec: "none",
+// "int8" (16-bit ring) or "topk" (the shared pseudo-random -fed-topk
+// fraction of coordinates, no index bytes on the wire).
+//
 // Flag combinations that contradict each other — -train-staleness under
 // sync, -train-topk without the topk codec, a fraction outside (0, 1],
-// serve-mode flags like -canary or -autoscale under -train — are usage
-// errors, not silently ignored:
+// a -quorum larger than the sampled cohort, serve-mode flags like
+// -canary or -autoscale under -train, federated flags without
+// -federated — are usage errors, not silently ignored:
 //
 //	securetf-worker -train -train-workers 3 -ps-shards 2 -train-rounds 4
 //	securetf-worker -train -train-workers 4 -train-consistency async -train-staleness 8
 //	securetf-worker -train -train-workers 4 -train-compress topk -train-topk 0.05
+//	securetf-worker -federated -clients 16 -sample-frac 0.5 -quorum 6 -fed-compress topk
 package main
 
 import (
@@ -49,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -93,6 +107,14 @@ func run(args []string, w io.Writer) error {
 		trainComp    = fs.String("train-compress", "none", "gradient codec on the push path: none, int8 (per-tensor symmetric quantization) or topk (with -train-topk)")
 		trainTopK    = fs.Float64("train-topk", 0.05, "top-k fraction of gradient entries pushed, in (0, 1] (with -train-compress topk)")
 
+		federated  = fs.Bool("federated", false, "run a federated-learning job with pairwise-masked secure aggregation instead of serving inference")
+		fedClients = fs.Int("clients", 8, "client population size (with -federated)")
+		fedQuorum  = fs.Int("quorum", 0, "accepted uploads that close a round; 0 means every sampled client (with -federated)")
+		fedFrac    = fs.Float64("sample-frac", 1, "fraction of the population sampled into each round's cohort, in (0, 1] (with -federated)")
+		fedRounds  = fs.Int("fed-rounds", 3, "FedAvg rounds (with -federated)")
+		fedComp    = fs.String("fed-compress", "none", "masked uplink codec: none, int8 (16-bit ring) or topk (with -fed-topk)")
+		fedTopK    = fs.Float64("fed-topk", 0.1, "shared pseudo-random coordinate fraction uploaded per variable, in (0, 1] (with -fed-compress topk)")
+
 		casAddr   = fs.String("cas", "", "CAS address (required)")
 		casInfo   = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
 		trustdir  = fs.String("trustdir", "", "directory where the CAS scans for platform keys (required)")
@@ -122,6 +144,66 @@ func run(args []string, w io.Writer) error {
 	// config the user didn't ask for is worse than a usage error.
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *train && *federated {
+		return errors.New("-train and -federated are mutually exclusive; run one job per invocation")
+	}
+	if !*federated {
+		for _, f := range []string{"clients", "quorum", "sample-frac", "fed-rounds", "fed-compress", "fed-topk"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies with -federated", f)
+			}
+		}
+	}
+	if *federated {
+		for _, f := range []string{"autoscale", "autoscale-max", "canary", "models", "replicas", "max-batch", "batch-window"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies in serve mode, not with -federated", f)
+			}
+		}
+		for _, f := range []string{"train-workers", "ps-shards", "train-rounds", "train-batch", "train-lr", "train-tls", "train-consistency", "train-staleness", "train-compress", "train-topk"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies with -train", f)
+			}
+		}
+		if *fedClients < 1 {
+			return fmt.Errorf("-clients must be >= 1, got %d", *fedClients)
+		}
+		if !(*fedFrac > 0 && *fedFrac <= 1) {
+			return fmt.Errorf("-sample-frac must be in (0, 1], got %g", *fedFrac)
+		}
+		if *fedRounds < 1 {
+			return fmt.Errorf("-fed-rounds must be >= 1, got %d", *fedRounds)
+		}
+		sampled := int(math.Ceil(*fedFrac * float64(*fedClients)))
+		if *fedQuorum == 0 {
+			*fedQuorum = sampled
+		}
+		if *fedQuorum < 1 || *fedQuorum > sampled {
+			return fmt.Errorf("-quorum %d exceeds the %d clients sampled per round (-clients %d at -sample-frac %g)",
+				*fedQuorum, sampled, *fedClients, *fedFrac)
+		}
+		var comp securetf.FedCompression
+		switch *fedComp {
+		case "none":
+			if set["fed-topk"] {
+				return errors.New("-fed-topk only applies with -fed-compress topk")
+			}
+			comp = securetf.NoFedCompression()
+		case "int8":
+			if set["fed-topk"] {
+				return errors.New("-fed-topk only applies with -fed-compress topk")
+			}
+			comp = securetf.Int8FedCompression()
+		case "topk":
+			if !(*fedTopK > 0 && *fedTopK <= 1) {
+				return fmt.Errorf("-fed-topk must be in (0, 1], got %g", *fedTopK)
+			}
+			comp = securetf.TopKFedCompression(*fedTopK)
+		default:
+			return fmt.Errorf("-fed-compress must be none, int8 or topk, got %q", *fedComp)
+		}
+		return runFederated(w, *fedClients, *fedQuorum, *fedRounds, *fedFrac, comp)
+	}
 	if *train {
 		for _, f := range []string{"autoscale", "autoscale-max", "canary", "models", "replicas", "max-batch", "batch-window"} {
 			if set[f] {
@@ -386,6 +468,44 @@ func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, wi
 		fmt.Fprintf(w, "staleness-bound retries: %d\n", res.StalenessRetries)
 	}
 	fmt.Fprintf(w, "end-to-end training latency (virtual): %v\n", res.Latency)
+	return nil
+}
+
+// runFederated stands up an in-process federated job — an aggregator
+// enclave plus the simulated client population on virtual clocks — and
+// reports the round accounting and the masked uplink volume the codec
+// exists to shrink. The aggregator never sees an unmasked update; it
+// only learns the quorum sum.
+func runFederated(w io.Writer, clients, quorum, rounds int, frac float64, comp securetf.FedCompression) error {
+	const localSteps, batch = 2, 20
+	fmt.Fprintf(w, "federated job: %d clients, sample fraction %g, quorum %d, %d rounds (compress %v)\n",
+		clients, frac, quorum, rounds, comp)
+	res, err := securetf.TrainFederated(securetf.FederatedConfig{
+		Clients:        clients,
+		SampleFraction: frac,
+		Quorum:         quorum,
+		Rounds:         rounds,
+		LocalSteps:     localSteps,
+		BatchSize:      batch,
+		LocalLR:        0.05,
+		Compression:    comp,
+		Seed:           42,
+		NewModel:       func() securetf.Model { return securetf.NewMNISTMLP(3) },
+		ShardData: func(client int) (*securetf.Tensor, *securetf.Tensor, error) {
+			fs := securetf.NewMemFS()
+			if err := securetf.GenerateMNIST(fs, "shard", localSteps*batch, 0, int64(131+client)); err != nil {
+				return nil, nil, err
+			}
+			return securetf.LoadMNIST(fs, "shard/train-images-idx3-ubyte", "shard/train-labels-idx1-ubyte")
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rounds committed: %d (accepted %d masked uploads, refused %d late, %d dropout seed reveals)\n",
+		res.Rounds, res.Accepted, res.Refusals, res.Reveals)
+	fmt.Fprintf(w, "masked uplink bytes (total): %d\n", res.UplinkBytes)
+	fmt.Fprintf(w, "end-to-end federated latency (virtual): %v\n", res.Latency)
 	return nil
 }
 

@@ -270,6 +270,139 @@ func TestWorkerTrainFlagValidation(t *testing.T) {
 	}
 }
 
+// TestWorkerFederated runs the worker's federated mode: an aggregator
+// enclave plus a small sampled population under the masked topk uplink
+// codec, with a quorum below the cohort size.
+func TestWorkerFederated(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-federated",
+		"-clients", "4",
+		"-quorum", "3",
+		"-fed-rounds", "2",
+		"-fed-compress", "topk",
+		"-fed-topk", "0.25",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("federated mode: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"federated job: 4 clients",
+		"quorum 3, 2 rounds",
+		"rounds committed: 2",
+		"masked uplink bytes (total):",
+		"end-to-end federated latency",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestWorkerFederatedFlagValidation pins the usage-error contract for
+// federated mode: a quorum the sampled cohort can never reach, fractions
+// outside (0, 1], federated knobs without -federated, and flags from the
+// other modes are all rejected up front.
+func TestWorkerFederatedFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"quorum above the population",
+			[]string{"-federated", "-clients", "4", "-quorum", "5"},
+			"-quorum 5 exceeds the 4 clients sampled",
+		},
+		{
+			"quorum above the sampled cohort",
+			[]string{"-federated", "-clients", "10", "-sample-frac", "0.4", "-quorum", "5"},
+			"-quorum 5 exceeds the 4 clients sampled",
+		},
+		{
+			"negative quorum",
+			[]string{"-federated", "-clients", "4", "-quorum", "-1"},
+			"exceeds",
+		},
+		{
+			"sample fraction zero",
+			[]string{"-federated", "-sample-frac", "0"},
+			"-sample-frac must be in (0, 1]",
+		},
+		{
+			"sample fraction above one",
+			[]string{"-federated", "-sample-frac", "1.5"},
+			"-sample-frac must be in (0, 1]",
+		},
+		{
+			"no clients",
+			[]string{"-federated", "-clients", "0"},
+			"-clients must be >= 1",
+		},
+		{
+			"zero rounds",
+			[]string{"-federated", "-fed-rounds", "0"},
+			"-fed-rounds must be >= 1",
+		},
+		{
+			"unknown codec",
+			[]string{"-federated", "-fed-compress", "zstd"},
+			"-fed-compress must be",
+		},
+		{
+			"topk fraction without the topk codec",
+			[]string{"-federated", "-fed-topk", "0.1"},
+			"-fed-topk only applies",
+		},
+		{
+			"topk fraction under int8",
+			[]string{"-federated", "-fed-compress", "int8", "-fed-topk", "0.1"},
+			"-fed-topk only applies",
+		},
+		{
+			"topk fraction above one",
+			[]string{"-federated", "-fed-compress", "topk", "-fed-topk", "1.5"},
+			"-fed-topk must be in (0, 1]",
+		},
+		{
+			"federated flags without federated mode",
+			[]string{"-clients", "4"},
+			"-clients only applies with -federated",
+		},
+		{
+			"federated flags under train mode",
+			[]string{"-train", "-quorum", "3"},
+			"-quorum only applies with -federated",
+		},
+		{
+			"train and federated together",
+			[]string{"-train", "-federated"},
+			"mutually exclusive",
+		},
+		{
+			"train flags under federated mode",
+			[]string{"-federated", "-train-rounds", "2"},
+			"-train-rounds only applies with -train",
+		},
+		{
+			"serve flags under federated mode",
+			[]string{"-federated", "-canary", "10"},
+			"only applies in serve mode",
+		},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil {
+			t.Errorf("%s: accepted (a federated job ran with a config the user didn't ask for)", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 func TestLoadModelSpecs(t *testing.T) {
 	for _, spec := range []string{"densenet", "inception_v3"} {
 		m, err := loadModel(spec, "")

@@ -208,6 +208,49 @@
 // codec × {TLS, plain} at 4 workers / 2 shards, and the TLS-vs-plain
 // latency gap — a wire-bytes story in §5.4 — shrinks with the codec.
 //
+// Federated learning (§6.2) promotes the paper's second production use
+// case — hospitals jointly training a diagnostic model without sharing
+// patient data — to a first-class subsystem. TrainFederated runs the
+// whole deployment behind one call: an aggregator enclave executing
+// FedAvg rounds over a client population simulated on virtual clocks,
+// deterministic per-round cohort sampling (SampleFraction of Clients,
+// drawn from a seeded PRG so every party derives the same cohort), and
+// quorum rounds — a round commits as soon as Quorum uploads are
+// accepted, so the slowest cohort members never gate progress; their
+// late uploads are refused with a retryable wire flag and they rejoin
+// the next round they are sampled into via the same manifest handshake
+// that admitted them initially. StartFederatedAggregator and
+// StartFederatedClient are the manual forms for deployments that stand
+// up their own CAS topology (the federated_learning example attests
+// the aggregator and provisions the masking secret through CAS session
+// secrets).
+//
+// Uploads are protected by pairwise-masked secure aggregation
+// (Bonawitz-style): every client blinds its update with one mask per
+// cohort peer, derived deterministically from a shared consortium
+// secret the aggregator never holds, with pair-symmetric seeds and
+// round-bound PRG expansion — client a adds what client b subtracts,
+// so the masks cancel exactly in the aggregate and the coordinator
+// learns only the quorum sum. Cancellation is exact because updates
+// are carried in integer rings, not floats: 64-bit fixed point for the
+// dense and top-k codecs, a 16-bit ring for int8 — so masked
+// aggregation composes with uplink compression (FedCompression;
+// Int8FedCompression quantizes to public-clip int8 steps at ~4× fewer
+// uplink bytes, TopKFedCompression(f) uploads only a shared
+// pseudo-random fraction f of coordinates per variable, pattern
+// derived from the round seed on both sides so no index bytes travel,
+// ~1/f reduction; both keep client-side error-feedback residuals
+// committed only on an accepted upload). When a cohort member drops
+// after masks were applied — exactly the refused stragglers above —
+// the surviving quorum reveals its pairwise seeds to the coordinator,
+// which subtracts the dead client's mask contributions and recovers
+// the survivors' sum; accepting the straggler's own late masked upload
+// instead is what the refusal exists to prevent, since after the
+// reveal the coordinator could unmask it. Ring sums are
+// order-independent, so a whole federated job — sampling, quorum
+// membership, refusals, the final global model — is bit-reproducible
+// at a fixed seed.
+//
 // All enclave costs (EPC paging, transitions, crypto, WAN round trips)
 // are charged to a per-platform virtual clock, so programs built on this
 // package are deterministic and fast while preserving the performance

@@ -3,14 +3,22 @@
 //
 // Several hospitals jointly train a diagnostic model without sharing
 // patient data. Each hospital trains locally on its own (non-IID)
-// records and shares only model parameters. Because local models leak
-// information about training data (§6.2 cites model-inversion and GAN
-// attacks), the global aggregation runs inside an SGX enclave: hospitals
-// attest the aggregator through the CAS before uploading anything, and
-// all parameter exchanges travel over the network shield's TLS.
+// records and shares only model updates. Because even individual
+// updates leak information about training data (§6.2 cites
+// model-inversion and GAN attacks), the defense is layered:
 //
-// The example runs FedAvg for several rounds and shows that the global
-// model covers every class while each hospital alone cannot.
+//   - The aggregation runs inside an SGX enclave: hospitals attest the
+//     aggregator through the CAS before uploading anything, and all
+//     exchanges travel over the network shield's TLS.
+//   - Uploads are pairwise-masked (secure aggregation): every hospital
+//     blinds its update with masks derived from a consortium secret the
+//     CAS releases only to attested hospital enclaves — never to the
+//     aggregator. The masks cancel in the sum, so the aggregator learns
+//     the FedAvg aggregate and nothing about any individual hospital.
+//
+// The run demonstrates the coverage property that motivates federation:
+// each hospital alone only ever sees half the classes, so its local
+// model cannot cover the full range — the federated global model can.
 //
 // Run with:
 //
@@ -18,20 +26,17 @@
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
 	"log"
-	"net"
-	"sort"
+	"sync"
 
 	securetf "github.com/securetf/securetf"
 )
 
 const (
 	hospitals  = 3
-	rounds     = 3
-	localSteps = 6
+	rounds     = 8
+	localSteps = 10
 	batchSize  = 50
 )
 
@@ -72,32 +77,43 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	session := &securetf.Session{
+	if err := aggCAS.Register(&securetf.Session{
 		Name:         "federated-tumor-model",
 		OwnerToken:   "consortium-token",
 		Measurements: []string{aggregator.Enclave().Measurement().Hex()},
 		Services:     []string{"aggregator", "localhost", "127.0.0.1"},
-	}
-	if err := aggCAS.Register(session); err != nil {
+	}); err != nil {
 		return err
 	}
+	// The aggregator attests and receives its TLS identity — but NOT the
+	// consortium masking secret; that session is registered by the
+	// hospitals below and the aggregator never provisions it.
 	if _, _, err := aggregator.Provision(aggCAS, "federated-tumor-model", ""); err != nil {
 		return err
 	}
-	ln, err := aggregator.Listen("tcp", "127.0.0.1:0")
+
+	coordinator, aggAddr, err := securetf.StartFederatedAggregator(aggregator, "127.0.0.1:0", securetf.FederatedConfig{
+		Clients:  hospitals,
+		Quorum:   hospitals,
+		Rounds:   rounds,
+		Seed:     7,
+		NewModel: func() securetf.Model { return securetf.NewMNISTMLP(1) },
+	})
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	fmt.Printf("aggregation enclave attested, serving TLS on %s\n", ln.Addr())
+	defer coordinator.Close()
+	fmt.Printf("aggregation enclave attested, serving TLS on %s\n", aggAddr)
 
 	// --- Hospitals: non-IID shards (each sees ~half the classes). ---
 	type hospital struct {
 		name    string
 		c       *securetf.Container
-		trained *securetf.TrainedModel
+		client  *securetf.FederatedClient
+		classes []int
 		xs, ys  *securetf.Tensor
 	}
+	maskingSecret := []byte("consortium masking secret: rotated per training job")
 	hs := make([]*hospital, hospitals)
 	for i := range hs {
 		platform, err := securetf.NewPlatform(fmt.Sprintf("hospital-%d", i))
@@ -116,14 +132,33 @@ func run() error {
 		}
 		defer c.Close()
 
-		// Hospitals attest the aggregator before sharing anything.
 		hospCAS, err := securetf.NewCASClient(c, cas, casPlatform, platform)
 		if err != nil {
 			return err
 		}
+		if i == 0 {
+			// The consortium (not the aggregator) owns the masking
+			// secret: a dedicated session releases it to attested
+			// hospital enclaves only.
+			if err := hospCAS.Register(&securetf.Session{
+				Name:         "hospital-consortium",
+				OwnerToken:   "consortium-masking-token",
+				Measurements: []string{c.Enclave().Measurement().Hex()},
+				Secrets:      map[string][]byte{"masking-seed": maskingSecret},
+			}); err != nil {
+				return err
+			}
+		}
+		// Hospitals attest the aggregator before sharing anything, then
+		// draw the masking secret from the consortium session.
 		if _, _, err := c.Provision(hospCAS, "federated-tumor-model", ""); err != nil {
 			return err
 		}
+		prov, _, err := c.Provision(hospCAS, "hospital-consortium", "")
+		if err != nil {
+			return err
+		}
+		secret := prov.Secrets["masking-seed"]
 
 		fs := securetf.NewMemFS()
 		if err := securetf.GenerateMNIST(fs, "records", 600, 0, int64(11+i)); err != nil {
@@ -134,91 +169,57 @@ func run() error {
 			return err
 		}
 		// Non-IID: hospital i keeps classes [4i, 4i+5) mod 10 only.
-		keep := map[int]bool{}
-		for d := 0; d < 5; d++ {
-			keep[(4*i+d)%10] = true
+		classes := make([]int, 5)
+		for d := range classes {
+			classes[d] = (4*i + d) % 10
 		}
-		xs, ys, err = filterClasses(xs, ys, keep)
+		xs, ys, err = securetf.FilterClasses(xs, ys, classes...)
 		if err != nil {
 			return err
 		}
-		hs[i] = &hospital{name: fmt.Sprintf("hospital-%d", i), c: c, xs: xs, ys: ys}
+		h := &hospital{name: fmt.Sprintf("hospital-%d", i), c: c, classes: classes, xs: xs, ys: ys}
+		h.client, err = securetf.StartFederatedClient(c, securetf.FederatedPeerSpec{
+			ID:         i,
+			Addr:       aggAddr,
+			Model:      securetf.NewMNISTMLP(1),
+			XS:         xs,
+			YS:         ys,
+			BatchSize:  batchSize,
+			LocalSteps: localSteps,
+			LocalLR:    0.05,
+			Population: hospitals,
+			Secret:     secret,
+		})
+		if err != nil {
+			return err
+		}
+		defer h.client.Close()
+		hs[i] = h
 		fmt.Printf("%s attested the aggregator; local records: %d (classes %v)\n",
-			hs[i].name, xs.Shape()[0], keys(keep))
+			h.name, xs.Shape()[0], classes)
 	}
 
-	// --- FedAvg rounds. ---
-	// All replicas share the initial weights (seed 1), the FedAvg
-	// requirement.
-	global := securetf.InitialVariables(securetf.NewMNISTCNN(1))
-	for round := 0; round < rounds; round++ {
-		// Aggregator side: collect one update per hospital, average.
-		type update struct {
-			vars map[string]*securetf.Tensor
-			err  error
-		}
-		updates := make(chan update, hospitals)
-		go func() {
-			for i := 0; i < hospitals; i++ {
-				conn, err := ln.Accept()
-				if err != nil {
-					updates <- update{err: err}
-					return
-				}
-				vars, err := readVars(conn)
-				conn.Close()
-				updates <- update{vars: vars, err: err}
-			}
-		}()
-
-		// Hospital side: install global weights, train locally, upload
-		// parameters (never data) over the shielded TLS channel.
-		for _, h := range hs {
-			if h.trained == nil {
-				h.trained, err = securetf.OpenModel(h.c, securetf.NewMNISTCNN(1), securetf.Adam{LR: 0.003}, 0, 1)
-				if err != nil {
-					return err
-				}
-				defer h.trained.Close()
-			}
-			if err := h.trained.SetVariables(global); err != nil {
-				return err
-			}
-			if err := h.trained.TrainMore(h.xs, h.ys, batchSize, localSteps); err != nil {
-				return err
-			}
-			vars, err := h.trained.Variables()
-			if err != nil {
-				return err
-			}
-			conn, err := h.c.Dial("tcp", ln.Addr().String(), "aggregator")
-			if err != nil {
-				return err
-			}
-			if err := writeVars(conn, vars); err != nil {
-				conn.Close()
-				return err
-			}
-			conn.Close()
-		}
-
-		// Average inside the enclave.
-		var collected []map[string]*securetf.Tensor
-		for i := 0; i < hospitals; i++ {
-			u := <-updates
-			if u.err != nil {
-				return u.err
-			}
-			collected = append(collected, u.vars)
-		}
-		global, err = averageVars(collected)
+	// --- FedAvg rounds with pairwise-masked uploads. ---
+	var wg sync.WaitGroup
+	errs := make([]error, hospitals)
+	for i, h := range hs {
+		wg.Add(1)
+		go func(i int, h *hospital) {
+			defer wg.Done()
+			errs[i] = h.client.Run()
+		}(i, h)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", hs[i].name, err)
 		}
-		fmt.Printf("round %d: aggregated %d hospital updates inside the enclave\n", round+1, hospitals)
 	}
+	stats := coordinator.Stats()
+	fmt.Printf("aggregated %d rounds inside the enclave: %d masked uploads, %d uplink bytes — no hospital's raw update ever left its enclave\n",
+		stats.Rounds, stats.Accepted, stats.UplinkBytes)
 
-	// --- Evaluation: the global model versus each local one. ---
+	// --- Evaluation: the global model versus local-only training. ---
 	evalFS := securetf.NewMemFS()
 	if err := securetf.GenerateMNIST(evalFS, "eval", 0, 400, 77); err != nil {
 		return err
@@ -227,166 +228,72 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// covered counts the classes a model actually recognizes: per-class
+	// accuracy at least 0.5 on the held-out set.
+	covered := func(m *securetf.TrainedModel) (int, error) {
+		n := 0
+		for class := 0; class < 10; class++ {
+			cx, cy, err := securetf.FilterClasses(ex, ey, class)
+			if err != nil {
+				return 0, err
+			}
+			acc, err := m.Accuracy(cx, cy)
+			if err != nil {
+				return 0, err
+			}
+			if acc >= 0.5 {
+				n++
+			}
+		}
+		return n, nil
+	}
+
+	maxLocal := 0
 	for _, h := range hs {
-		acc, err := h.trained.Accuracy(ex, ey)
+		// A local-only baseline: the same budget of steps, but trained
+		// purely on this hospital's shard with no federation.
+		local, err := securetf.OpenModel(h.c, securetf.NewMNISTMLP(1), securetf.Adam{LR: 0.003}, 0, 1)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s local model: %.1f%% on the full class range\n", h.name, 100*acc)
+		defer local.Close()
+		if err := local.TrainMore(h.xs, h.ys, batchSize, rounds*localSteps); err != nil {
+			return err
+		}
+		acc, err := local.Accuracy(ex, ey)
+		if err != nil {
+			return err
+		}
+		cov, err := covered(local)
+		if err != nil {
+			return err
+		}
+		if cov > maxLocal {
+			maxLocal = cov
+		}
+		fmt.Printf("%s local-only model: %.1f%% on the full class range, covers %d/10 classes\n",
+			h.name, 100*acc, cov)
 	}
-	globalModel, err := securetf.OpenModel(aggregator, securetf.NewMNISTCNN(1), nil, 0, 1)
+
+	globalModel, err := securetf.OpenModel(aggregator, securetf.NewMNISTMLP(1), nil, 0, 1)
 	if err != nil {
 		return err
 	}
 	defer globalModel.Close()
-	if err := globalModel.SetVariables(global); err != nil {
+	if err := globalModel.SetVariables(coordinator.Vars()); err != nil {
 		return err
 	}
 	acc, err := globalModel.Accuracy(ex, ey)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("global federated model: %.1f%% on the full class range\n", 100*acc)
-	return nil
-}
-
-// filterClasses keeps only the rows whose one-hot label class is in keep.
-func filterClasses(xs, ys *securetf.Tensor, keep map[int]bool) (*securetf.Tensor, *securetf.Tensor, error) {
-	n := xs.Shape()[0]
-	rowX := xs.NumElements() / n
-	rowY := ys.NumElements() / n
-	var fx []float32
-	var fy []float32
-	for i := 0; i < n; i++ {
-		cls := -1
-		for d := 0; d < rowY; d++ {
-			if ys.Floats()[i*rowY+d] == 1 {
-				cls = d
-			}
-		}
-		if !keep[cls] {
-			continue
-		}
-		fx = append(fx, xs.Floats()[i*rowX:(i+1)*rowX]...)
-		fy = append(fy, ys.Floats()[i*rowY:(i+1)*rowY]...)
-	}
-	kept := len(fx) / rowX
-	shape := append(securetf.Shape{kept}, xs.Shape()[1:]...)
-	nx, err := securetf.TensorFromFloats(shape, fx)
+	cov, err := covered(globalModel)
 	if err != nil {
-		return nil, nil, err
-	}
-	ny, err := securetf.TensorFromFloats(securetf.Shape{kept, rowY}, fy)
-	if err != nil {
-		return nil, nil, err
-	}
-	return nx, ny, nil
-}
-
-// averageVars computes the element-wise mean of variable maps (FedAvg).
-func averageVars(all []map[string]*securetf.Tensor) (map[string]*securetf.Tensor, error) {
-	out := make(map[string]*securetf.Tensor, len(all[0]))
-	for name, first := range all[0] {
-		sum := make([]float32, first.NumElements())
-		copy(sum, first.Floats())
-		for _, m := range all[1:] {
-			v, ok := m[name]
-			if !ok {
-				return nil, fmt.Errorf("update missing variable %q", name)
-			}
-			for i, f := range v.Floats() {
-				sum[i] += f
-			}
-		}
-		inv := 1 / float32(len(all))
-		for i := range sum {
-			sum[i] *= inv
-		}
-		t, err := securetf.TensorFromFloats(first.Shape(), sum)
-		if err != nil {
-			return nil, err
-		}
-		out[name] = t
-	}
-	return out, nil
-}
-
-// writeVars / readVars move a variable map over a connection:
-// count, then per variable name-length, name, blob-length, blob.
-func writeVars(w io.Writer, vars map[string]*securetf.Tensor) error {
-	names := make([]string, 0, len(vars))
-	for name := range vars {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if err := binary.Write(w, binary.BigEndian, uint32(len(names))); err != nil {
 		return err
 	}
-	for _, name := range names {
-		blob := securetf.EncodeTensor(vars[name])
-		if err := binary.Write(w, binary.BigEndian, uint32(len(name))); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, name); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.BigEndian, uint32(len(blob))); err != nil {
-			return err
-		}
-		if _, err := w.Write(blob); err != nil {
-			return err
-		}
+	fmt.Printf("global federated model: %.1f%% on the full class range, covers %d/10 classes\n", 100*acc, cov)
+	if cov <= maxLocal {
+		return fmt.Errorf("federated model covers %d/10 classes, no better than the best local-only model (%d/10)", cov, maxLocal)
 	}
 	return nil
-}
-
-func readVars(r net.Conn) (map[string]*securetf.Tensor, error) {
-	var count uint32
-	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
-		return nil, err
-	}
-	if count > 1<<16 {
-		return nil, fmt.Errorf("implausible variable count %d", count)
-	}
-	vars := make(map[string]*securetf.Tensor, count)
-	for i := uint32(0); i < count; i++ {
-		var nameLen uint32
-		if err := binary.Read(r, binary.BigEndian, &nameLen); err != nil {
-			return nil, err
-		}
-		if nameLen > 4096 {
-			return nil, fmt.Errorf("implausible name length %d", nameLen)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(r, name); err != nil {
-			return nil, err
-		}
-		var blobLen uint32
-		if err := binary.Read(r, binary.BigEndian, &blobLen); err != nil {
-			return nil, err
-		}
-		if blobLen > 1<<30 {
-			return nil, fmt.Errorf("implausible blob length %d", blobLen)
-		}
-		blob := make([]byte, blobLen)
-		if _, err := io.ReadFull(r, blob); err != nil {
-			return nil, err
-		}
-		t, err := securetf.DecodeTensor(blob)
-		if err != nil {
-			return nil, err
-		}
-		vars[string(name)] = t
-	}
-	return vars, nil
-}
-
-// keys returns the sorted keys of a class set, for logging.
-func keys(m map[int]bool) []int {
-	var out []int
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }

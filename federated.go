@@ -1,0 +1,401 @@
+package securetf
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/securetf/securetf/internal/federated"
+	"github.com/securetf/securetf/internal/seccrypto"
+	"github.com/securetf/securetf/internal/tf/dist"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// FederatedCoordinator runs FedAvg quorum rounds with pairwise-masked
+// secure aggregation (the paper's §6.2 use case promoted to a
+// first-class subsystem).
+type FederatedCoordinator = federated.Coordinator
+
+// FederatedClient is one simulated federated participant.
+type FederatedClient = federated.Client
+
+// FedCompression selects the federated uplink quantizer. Unlike the
+// parameter-server gradient codecs it operates over integer rings, so
+// the pairwise masks of secure aggregation cancel bit-exactly in the
+// coordinator's sum.
+type FedCompression = federated.Codec
+
+// NoFedCompression uploads exact 64-bit fixed-point words (the
+// default).
+func NoFedCompression() FedCompression { return federated.NoCompression() }
+
+// Int8FedCompression quantizes updates to signed 8-bit steps of a
+// public clip bound, carried in a 16-bit ring (~4× fewer uplink
+// bytes).
+func Int8FedCompression() FedCompression { return federated.Int8Compression() }
+
+// TopKFedCompression uploads only the round's shared pseudo-random
+// fraction f ∈ (0, 1] of coordinates per variable; the pattern is
+// derived from the round seed on both sides, so no index bytes travel
+// (~1/f fewer uplink bytes). Unsent mass carries over in client-side
+// error-feedback residuals.
+func TopKFedCompression(f float64) FedCompression { return federated.TopKCompression(f) }
+
+// FederatedTurnstile serializes simulated federated clients into
+// deterministic virtual-time order, making a whole job bit-reproducible
+// at a fixed seed. Join every client (with its container's clock)
+// before any of them runs; a nil turnstile leaves clients free-threaded.
+type FederatedTurnstile = federated.Turnstile
+
+// NewFederatedTurnstile returns an empty scheduler.
+func NewFederatedTurnstile() *FederatedTurnstile { return federated.NewTurnstile() }
+
+// FederatedConfig configures TrainFederated, the one-call form of the
+// paper's §6.2 federated-learning deployment: an aggregator node
+// running FedAvg quorum rounds over a population of simulated clients
+// with pairwise-masked secure aggregation.
+type FederatedConfig struct {
+	// Kind selects the aggregator's runtime. Defaults to SconeHW.
+	Kind RuntimeKind
+	// Clients is the client population size N. Required, ≥ 1.
+	Clients int
+	// SampleFraction is the fraction of the population sampled into
+	// each round's cohort, in (0, 1]. Zero samples everyone.
+	SampleFraction float64
+	// Quorum is the number of accepted uploads that completes a round;
+	// stragglers past it are refused and retry next round. Required.
+	Quorum int
+	// Rounds is the number of FedAvg rounds. Required, ≥ 1.
+	Rounds int
+	// LocalSteps is each sampled client's local SGD step count per
+	// round. Required, ≥ 1.
+	LocalSteps int
+	// BatchSize is the local minibatch size. Required, ≥ 1.
+	BatchSize int
+	// LocalLR is the client-side SGD learning rate. Required, > 0.
+	LocalLR float64
+	// ServerLR scales the averaged update applied per round. Zero means
+	// 1 (plain FedAvg).
+	ServerLR float64
+	// Compression is the uplink codec (default NoFedCompression).
+	Compression FedCompression
+	// Seed drives client sampling and the top-k coordinate patterns.
+	Seed int64
+	// Secret is the cohort masking secret shared by the clients and
+	// withheld from the aggregator. Empty derives one from Seed — fine
+	// for simulation; real deployments provision it out of band (the
+	// federated_learning example uses CAS session secrets).
+	Secret []byte
+	// Unmasked disables secure aggregation (ablation only).
+	Unmasked bool
+	// NewModel builds one model replica; called once for the
+	// aggregator's seed variables and once per client. Must be
+	// deterministic so all replicas start identical.
+	NewModel func() Model
+	// ShardData returns client id's private training shard.
+	ShardData func(client int) (xs, ys *Tensor, err error)
+	// StepCost is the virtual compute time charged per local step
+	// (default 2ms).
+	StepCost time.Duration
+	// StragglerFraction marks the trailing fraction of client ids as
+	// stragglers: each round they finish StragglerDelay late, miss the
+	// quorum and are refused. Zero disables straggling.
+	StragglerFraction float64
+	// StragglerDelay is the stragglers' extra virtual latency per round
+	// (default 1s when StragglerFraction > 0).
+	StragglerDelay time.Duration
+	// PayloadTap observes every accepted upload payload (round, client,
+	// variable, raw bytes) — the hook the sum-only property tests use.
+	PayloadTap func(round uint64, client uint32, name string, payload []byte)
+}
+
+// FederatedResult reports a federated training job's outcome.
+type FederatedResult struct {
+	// Vars is the final global model.
+	Vars map[string]*Tensor
+	// Rounds is the number of committed rounds.
+	Rounds int
+	// Accepted counts accepted client uploads across all rounds.
+	Accepted int
+	// Refusals counts uploads refused at closed rounds (stragglers).
+	Refusals int
+	// Reveals counts the pair-seed reveals that resolved dropouts.
+	Reveals int
+	// UplinkBytes totals the accepted upload payload bytes — the
+	// quantity the uplink codec shrinks.
+	UplinkBytes int64
+	// Latency is the end-to-end virtual time: the maximum over the
+	// aggregator and every client clock.
+	Latency time.Duration
+}
+
+// StartFederatedAggregator starts a FedAvg coordinator inside an
+// already-attested container, listening on addr (the manual form of
+// TrainFederated's aggregator, for deployments that stand up their own
+// CAS topology). Only the aggregator-side fields of cfg apply —
+// Clients, SampleFraction, Quorum, Rounds, ServerLR, Compression,
+// Unmasked, Seed, PayloadTap, and NewModel for the initial variables.
+// It returns the coordinator and the bound address clients dial.
+func StartFederatedAggregator(c *Container, addr string, cfg FederatedConfig) (*FederatedCoordinator, string, error) {
+	if c == nil {
+		return nil, "", errors.New("securetf: StartFederatedAggregator requires a container")
+	}
+	if cfg.NewModel == nil {
+		return nil, "", errors.New("securetf: FederatedConfig.NewModel is required")
+	}
+	ln, err := c.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("securetf: aggregator listen: %w", err)
+	}
+	coord, err := federated.NewCoordinator(federated.CoordinatorConfig{
+		Listener:       ln,
+		Vars:           InitialVariables(cfg.NewModel()),
+		Clients:        cfg.Clients,
+		SampleFraction: cfg.SampleFraction,
+		Quorum:         cfg.Quorum,
+		Rounds:         cfg.Rounds,
+		ServerLR:       cfg.ServerLR,
+		Codec:          cfg.Compression,
+		Unmasked:       cfg.Unmasked,
+		Seed:           cfg.Seed,
+		Clock:          c.Clock(),
+		Params:         c.Params(),
+		Tap:            cfg.PayloadTap,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, "", err
+	}
+	return coord, ln.Addr().String(), nil
+}
+
+// FederatedPeerSpec configures one manually-started federated client.
+type FederatedPeerSpec struct {
+	// ID is this client's index in the population, in [0, Population).
+	ID int
+	// Addr is the aggregator address. Required.
+	Addr string
+	// ServerName is the aggregator's TLS identity, used when the
+	// container's network shield is provisioned (default "aggregator").
+	ServerName string
+	// Model is this client's local replica (build from the same seed as
+	// the aggregator's initial variables). Required.
+	Model Model
+	// XS and YS are the client's private data shard. Required.
+	XS, YS *Tensor
+	// BatchSize and LocalSteps shape each round's local training.
+	BatchSize  int
+	LocalSteps int
+	// LocalLR is the local SGD learning rate.
+	LocalLR float64
+	// Compression must match the aggregator's codec (the handshake
+	// rejects mismatches).
+	Compression FedCompression
+	// Population is the total client count N.
+	Population int
+	// Secret is the cohort masking secret every client shares and the
+	// aggregator never sees. Required unless Unmasked.
+	Secret []byte
+	// Unmasked must match the aggregator's setting.
+	Unmasked bool
+	// StepCost is the virtual compute time per local step (default 2ms).
+	StepCost time.Duration
+	// Turnstile optionally serializes this client with its peers for
+	// bit-reproducible runs.
+	Turnstile *FederatedTurnstile
+}
+
+// StartFederatedClient connects a federated participant inside a
+// container to an aggregator. Dial goes through the container, so the
+// network shield's TLS applies and the client talks only to the
+// attested aggregator identity. Call Run on the returned client; it
+// participates in rounds until the aggregator reports training
+// complete.
+func StartFederatedClient(c *Container, spec FederatedPeerSpec) (*FederatedClient, error) {
+	if c == nil {
+		return nil, errors.New("securetf: StartFederatedClient requires a container")
+	}
+	if spec.Model.Graph == nil || spec.XS == nil || spec.YS == nil {
+		return nil, errors.New("securetf: FederatedPeerSpec.Model, XS and YS are required")
+	}
+	serverName := spec.ServerName
+	if serverName == "" {
+		serverName = "aggregator"
+	}
+	cl, err := federated.NewClient(federated.ClientConfig{
+		ID:   spec.ID,
+		Addr: spec.Addr,
+		Dial: func(network, addr string) (net.Conn, error) {
+			return c.Dial(network, addr, serverName)
+		},
+		Model: dist.Model{
+			Graph:  spec.Model.Graph,
+			X:      spec.Model.X,
+			Y:      spec.Model.Y,
+			Loss:   spec.Model.Loss,
+			Logits: spec.Model.Logits,
+		},
+		XS:         spec.XS,
+		YS:         spec.YS,
+		BatchSize:  spec.BatchSize,
+		LocalSteps: spec.LocalSteps,
+		LocalLR:    spec.LocalLR,
+		Codec:      spec.Compression,
+		Population: spec.Population,
+		Secret:     spec.Secret,
+		Unmasked:   spec.Unmasked,
+		Clock:      c.Clock(),
+		Params:     c.Params(),
+		StepCost:   spec.StepCost,
+		Turnstile:  spec.Turnstile,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("securetf: start federated client %d: %w", spec.ID, err)
+	}
+	return cl, nil
+}
+
+// TrainFederated runs a complete federated job: it launches the
+// aggregator in an enclave container, simulates the client population
+// on virtual clocks under a discrete-event scheduler (so runs are
+// bit-reproducible at a fixed seed), and trains for the configured
+// rounds. Clients are plain processes — in this architecture the
+// enclave protects the aggregator, while clients protect themselves by
+// never uploading an unmasked update.
+func TrainFederated(cfg FederatedConfig) (*FederatedResult, error) {
+	if cfg.NewModel == nil || cfg.ShardData == nil {
+		return nil, errors.New("securetf: FederatedConfig.NewModel and ShardData are required")
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = SconeHW
+	}
+	if cfg.StragglerFraction < 0 || cfg.StragglerFraction > 1 {
+		return nil, fmt.Errorf("securetf: straggler fraction %v outside [0, 1]", cfg.StragglerFraction)
+	}
+	if cfg.StragglerDelay == 0 {
+		cfg.StragglerDelay = time.Second
+	}
+	secret := cfg.Secret
+	if len(secret) == 0 && !cfg.Unmasked {
+		key := seccrypto.HKDF([]byte(fmt.Sprintf("seed %d", cfg.Seed)), "securetf-fed-secret", "cohort")
+		secret = key[:]
+	}
+
+	platform, err := NewPlatform("fed-aggregator")
+	if err != nil {
+		return nil, err
+	}
+	agg, err := Launch(ContainerConfig{
+		Kind:     cfg.Kind,
+		Platform: platform,
+		Image:    TensorFlowImage(),
+		HostFS:   NewMemFS(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer agg.Close()
+	ln, err := agg.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("securetf: aggregator listen: %w", err)
+	}
+	coord, err := federated.NewCoordinator(federated.CoordinatorConfig{
+		Listener:       ln,
+		Vars:           InitialVariables(cfg.NewModel()),
+		Clients:        cfg.Clients,
+		SampleFraction: cfg.SampleFraction,
+		Quorum:         cfg.Quorum,
+		Rounds:         cfg.Rounds,
+		ServerLR:       cfg.ServerLR,
+		Codec:          cfg.Compression,
+		Unmasked:       cfg.Unmasked,
+		Seed:           cfg.Seed,
+		Clock:          agg.Clock(),
+		Params:         agg.Params(),
+		Tap:            cfg.PayloadTap,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	defer coord.Close()
+
+	stragglers := int(float64(cfg.Clients) * cfg.StragglerFraction)
+	isStraggler := func(id int) bool { return id >= cfg.Clients-stragglers }
+	ts := federated.NewTurnstile()
+	clients := make([]*federated.Client, cfg.Clients)
+	clocks := make([]*vtime.Clock, cfg.Clients)
+	for id := 0; id < cfg.Clients; id++ {
+		xs, ys, err := cfg.ShardData(id)
+		if err != nil {
+			return nil, fmt.Errorf("securetf: client %d shard: %w", id, err)
+		}
+		m := cfg.NewModel()
+		clocks[id] = &vtime.Clock{}
+		ccfg := federated.ClientConfig{
+			ID:         id,
+			Addr:       ln.Addr().String(),
+			Dial:       net.Dial,
+			Model:      dist.Model{Graph: m.Graph, X: m.X, Y: m.Y, Loss: m.Loss, Logits: m.Logits},
+			XS:         xs,
+			YS:         ys,
+			BatchSize:  cfg.BatchSize,
+			LocalSteps: cfg.LocalSteps,
+			LocalLR:    cfg.LocalLR,
+			Codec:      cfg.Compression,
+			Population: cfg.Clients,
+			Secret:     secret,
+			Unmasked:   cfg.Unmasked,
+			Clock:      clocks[id],
+			Params:     agg.Params(),
+			StepCost:   cfg.StepCost,
+			Turnstile:  ts,
+		}
+		if isStraggler(id) {
+			ccfg.Delay = func(round uint64) time.Duration { return cfg.StragglerDelay }
+		}
+		c, err := federated.NewClient(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("securetf: federated client %d: %w", id, err)
+		}
+		defer c.Close()
+		clients[id] = c
+		// The full roster joins before any client runs, so the
+		// discrete-event schedule starts against the complete
+		// participant set.
+		ts.Join(id, clocks[id])
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Clients)
+	for id, c := range clients {
+		wg.Add(1)
+		go func(id int, c *federated.Client) {
+			defer wg.Done()
+			errs[id] = c.Run()
+		}(id, c)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	stats := coord.Stats()
+	res := &FederatedResult{
+		Vars:        coord.Vars(),
+		Rounds:      stats.Rounds,
+		Accepted:    stats.Accepted,
+		Refusals:    stats.Refusals,
+		Reveals:     stats.Reveals,
+		UplinkBytes: stats.UplinkBytes,
+		Latency:     agg.Clock().Now(),
+	}
+	for _, clock := range clocks {
+		if t := clock.Now(); t > res.Latency {
+			res.Latency = t
+		}
+	}
+	return res, nil
+}

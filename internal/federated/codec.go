@@ -1,0 +1,306 @@
+package federated
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/securetf/securetf/internal/seccrypto"
+)
+
+// CodecKind selects the uplink quantizer a federated job runs with. The
+// kinds mirror the dist gradient codecs (PR 5) but operate over integer
+// rings so pairwise masks cancel bit-exactly in the coordinator's sum.
+type CodecKind uint8
+
+const (
+	// CodecNone uploads every coordinate as a 64-bit fixed-point word.
+	CodecNone CodecKind = iota
+	// CodecInt8 quantizes coordinates to signed 8-bit steps of a public
+	// clip bound, uploaded as 16-bit ring words so a quorum of sums
+	// cannot overflow.
+	CodecInt8
+	// CodecTopK uploads fixed-point words for only the round's shared
+	// pseudo-random coordinate pattern (rand-k); the rest of the delta
+	// accumulates in the client's error-feedback residual.
+	CodecTopK
+)
+
+// Fixed-point scale for CodecNone and CodecTopK words: values are
+// encoded as round(x * 2^fpShift) in two's complement. 32 fractional
+// bits leave 31 integer bits — far beyond any model-delta magnitude —
+// while keeping quantization error below 2^-32 per coordinate.
+const fpShift = 32
+
+const fpScale = float64(uint64(1) << fpShift)
+
+// DefaultClip is the public int8 clip bound. It must be identical on
+// every client and the coordinator (the quantization grid is part of
+// the protocol), so it lives in configuration, not in data-dependent
+// per-round statistics.
+const DefaultClip = 0.25
+
+// maxInt8Quorum bounds the accepted uploads per round under CodecInt8:
+// each word is a signed 8-bit step in [-127, 127] carried in a 16-bit
+// ring, and 258*127 = 32766 still fits int16, so a sum of up to 258
+// updates cannot wrap.
+const maxInt8Quorum = 258
+
+// Codec is a fully-specified uplink quantizer. The zero value is
+// CodecNone.
+type Codec struct {
+	Kind CodecKind
+	// Fraction is the CodecTopK coordinate fraction in (0, 1].
+	Fraction float64
+	// Clip is the CodecInt8 clip bound; 0 means DefaultClip.
+	Clip float64
+}
+
+// NoCompression returns the exact fixed-point codec.
+func NoCompression() Codec { return Codec{Kind: CodecNone} }
+
+// Int8Compression returns the int8 codec with the default clip.
+func Int8Compression() Codec { return Codec{Kind: CodecInt8, Clip: DefaultClip} }
+
+// TopKCompression returns the rand-k codec keeping the given fraction
+// of coordinates per variable.
+func TopKCompression(fraction float64) Codec {
+	return Codec{Kind: CodecTopK, Fraction: fraction}
+}
+
+// validate normalizes defaults and rejects inconsistent parameters.
+func (c *Codec) validate() error {
+	switch c.Kind {
+	case CodecNone:
+		c.Fraction, c.Clip = 0, 0
+	case CodecInt8:
+		if c.Clip == 0 {
+			c.Clip = DefaultClip
+		}
+		if c.Clip < 0 || math.IsNaN(c.Clip) || math.IsInf(c.Clip, 0) {
+			return fmt.Errorf("federated: int8 clip %v is not a positive bound", c.Clip)
+		}
+		c.Fraction = 0
+	case CodecTopK:
+		if c.Fraction <= 0 || c.Fraction > 1 || math.IsNaN(c.Fraction) {
+			return fmt.Errorf("federated: top-k fraction %v outside (0, 1]", c.Fraction)
+		}
+		c.Clip = 0
+	default:
+		return fmt.Errorf("federated: unknown codec kind %d", c.Kind)
+	}
+	return nil
+}
+
+// String names the codec for logs and error messages.
+func (c Codec) String() string {
+	switch c.Kind {
+	case CodecInt8:
+		return fmt.Sprintf("int8(clip=%g)", c.Clip)
+	case CodecTopK:
+		return fmt.Sprintf("topk(f=%g)", c.Fraction)
+	default:
+		return "none"
+	}
+}
+
+// width is the ring word size in bytes: the int8 codec sums in a
+// 16-bit ring, everything else in the full 64-bit ring.
+func (c Codec) width() int {
+	if c.Kind == CodecInt8 {
+		return 2
+	}
+	return 8
+}
+
+// param carries the codec's scalar parameter across the handshake in
+// the TopK wire field: the fraction bits for top-k, the clip bits for
+// int8, zero otherwise.
+func (c Codec) param() uint64 {
+	switch c.Kind {
+	case CodecInt8:
+		return math.Float64bits(c.Clip)
+	case CodecTopK:
+		return math.Float64bits(c.Fraction)
+	}
+	return 0
+}
+
+// codecFromWire reverses (Kind, param) from the handshake.
+func codecFromWire(kind uint8, param uint64) (Codec, error) {
+	c := Codec{Kind: CodecKind(kind)}
+	switch c.Kind {
+	case CodecInt8:
+		c.Clip = math.Float64frombits(param)
+	case CodecTopK:
+		c.Fraction = math.Float64frombits(param)
+	}
+	if err := c.validate(); err != nil {
+		return Codec{}, err
+	}
+	return c, nil
+}
+
+// coords returns the round's coordinate pattern for an n-element
+// variable: nil for dense codecs (all coordinates), or the sorted
+// rand-k subset derived from the round's pattern seed and the variable
+// name. Every cohort member and the coordinator derive the identical
+// pattern, which is what lets pairwise masks cancel per coordinate and
+// keeps index bytes off the wire.
+func (c Codec) coords(patternSeed uint64, name string, n int) []int {
+	if c.Kind != CodecTopK {
+		return nil
+	}
+	k := int(math.Ceil(c.Fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], patternSeed)
+	g := seccrypto.NewPRG(seccrypto.HKDF(seed[:], saltPattern, name))
+	perm := g.Perm(n)
+	coords := perm[:k]
+	sort.Ints(coords)
+	return coords
+}
+
+// wordCount is the number of ring words a variable of n elements
+// occupies under the pattern (nil = dense).
+func wordCount(coords []int, n int) int {
+	if coords == nil {
+		return n
+	}
+	return len(coords)
+}
+
+// encodeVar quantizes one variable's delta (plus carried residual) into
+// ring words at the given coordinates (nil = all), and returns the new
+// residual. Unsent coordinates carry their whole effective value into
+// the residual; sent coordinates carry only the quantization error.
+func (c Codec) encodeVar(delta, residual []float32, coords []int) ([]uint64, []float32) {
+	n := len(delta)
+	eff := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eff[i] = float64(delta[i])
+		if residual != nil {
+			eff[i] += float64(residual[i])
+		}
+	}
+	newRes := make([]float32, n)
+	words := make([]uint64, wordCount(coords, n))
+	quantize := func(w, i int) {
+		v := eff[i]
+		var delivered float64
+		if c.Kind == CodecInt8 {
+			scale := c.Clip / 127
+			q := math.Round(v / scale)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			words[w] = uint64(int64(q))
+			delivered = q * scale
+		} else {
+			q := math.Round(v * fpScale)
+			words[w] = uint64(int64(q))
+			delivered = q / fpScale
+		}
+		newRes[i] = float32(v - delivered)
+	}
+	if coords == nil {
+		for i := 0; i < n; i++ {
+			quantize(i, i)
+		}
+	} else {
+		sent := make(map[int]bool, len(coords))
+		for w, i := range coords {
+			quantize(w, i)
+			sent[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if !sent[i] {
+				newRes[i] = float32(eff[i])
+			}
+		}
+	}
+	return words, newRes
+}
+
+// decodeSum converts one summed ring word back to a float contribution.
+// The word is the ring sum of up to quorum individual words; for the
+// fixed-point codecs sign extension of the 64-bit ring is exact, and
+// for int8 the quorum bound guarantees the int16 never wrapped.
+func (c Codec) decodeSum(word uint64) float64 {
+	if c.Kind == CodecInt8 {
+		return float64(int16(word)) * c.Clip / 127
+	}
+	return float64(int64(word)) / fpScale
+}
+
+// marshalUpdate serializes ring words as a self-describing blob:
+// [kind u8][width u8][count u32][count x width bytes LE]. Words are
+// truncated to the ring width, which is exactly the ring arithmetic.
+func (c Codec) marshalUpdate(words []uint64) []byte {
+	width := c.width()
+	out := make([]byte, 6+len(words)*width)
+	out[0] = byte(c.Kind)
+	out[1] = byte(width)
+	binary.LittleEndian.PutUint32(out[2:], uint32(len(words)))
+	for i, w := range words {
+		if width == 2 {
+			binary.LittleEndian.PutUint16(out[6+2*i:], uint16(w))
+		} else {
+			binary.LittleEndian.PutUint64(out[6+8*i:], w)
+		}
+	}
+	return out
+}
+
+// parseUpdate validates and decodes a masked-update blob for one
+// variable. Every structural field is checked against what the
+// coordinator already knows (codec, expected word count), so a
+// malformed or adversarial blob produces an error — never a panic or
+// an attacker-sized allocation.
+func (c Codec) parseUpdate(blob []byte, wantWords int) ([]uint64, error) {
+	if len(blob) < 6 {
+		return nil, fmt.Errorf("federated: update blob of %d bytes is shorter than its header", len(blob))
+	}
+	if CodecKind(blob[0]) != c.Kind {
+		return nil, fmt.Errorf("federated: update codec kind %d, round runs %s", blob[0], c)
+	}
+	width := int(blob[1])
+	if width != c.width() {
+		return nil, fmt.Errorf("federated: update word width %d, codec %s uses %d", width, c, c.width())
+	}
+	count := int(binary.LittleEndian.Uint32(blob[2:]))
+	if count != wantWords {
+		return nil, fmt.Errorf("federated: update carries %d words, variable needs %d", count, wantWords)
+	}
+	if len(blob) != 6+count*width {
+		return nil, fmt.Errorf("federated: update blob is %d bytes, %d words of %d need %d",
+			len(blob), count, width, 6+count*width)
+	}
+	words := make([]uint64, count)
+	for i := range words {
+		if width == 2 {
+			words[i] = uint64(binary.LittleEndian.Uint16(blob[6+2*i:]))
+		} else {
+			words[i] = binary.LittleEndian.Uint64(blob[6+8*i:])
+		}
+	}
+	return words, nil
+}
+
+// ringMask reduces a word to the codec's ring so accumulated sums stay
+// canonical regardless of uint64 carries above the ring width.
+func (c Codec) ringMask(word uint64) uint64 {
+	if c.width() == 2 {
+		return word & 0xffff
+	}
+	return word
+}

@@ -1,0 +1,194 @@
+package federated
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCodecValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		codec Codec
+		ok    bool
+	}{
+		{"none", NoCompression(), true},
+		{"int8 default clip", Codec{Kind: CodecInt8}, true},
+		{"int8 explicit clip", Int8Compression(), true},
+		{"int8 negative clip", Codec{Kind: CodecInt8, Clip: -1}, false},
+		{"topk", TopKCompression(0.1), true},
+		{"topk full", TopKCompression(1), true},
+		{"topk zero", TopKCompression(0), false},
+		{"topk above one", TopKCompression(1.5), false},
+		{"unknown kind", Codec{Kind: 9}, false},
+	}
+	for _, tc := range cases {
+		err := tc.codec.validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+	c := Codec{Kind: CodecInt8}
+	if err := c.validate(); err != nil || c.Clip != DefaultClip {
+		t.Fatalf("int8 zero clip normalized to %v (err %v), want %v", c.Clip, err, DefaultClip)
+	}
+}
+
+func TestCodecWireRoundTrip(t *testing.T) {
+	for _, c := range []Codec{NoCompression(), Int8Compression(), TopKCompression(0.05)} {
+		if err := c.validate(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := codecFromWire(uint8(c.Kind), c.param())
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if back != c {
+			t.Fatalf("wire round trip changed the codec: %v vs %v", back, c)
+		}
+	}
+	if _, err := codecFromWire(7, 0); err == nil {
+		t.Fatal("unknown wire codec kind accepted")
+	}
+}
+
+func TestCoordsPattern(t *testing.T) {
+	c := TopKCompression(0.25)
+	coords := c.coords(42, "w", 100)
+	if len(coords) != 25 {
+		t.Fatalf("fraction 0.25 of 100 coordinates kept %d, want 25", len(coords))
+	}
+	seen := make(map[int]bool)
+	last := -1
+	for _, i := range coords {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("pattern produced invalid or duplicate coordinate %d", i)
+		}
+		if i <= last {
+			t.Fatalf("pattern is not sorted: %d after %d", i, last)
+		}
+		seen[i] = true
+		last = i
+	}
+	again := c.coords(42, "w", 100)
+	for i := range coords {
+		if coords[i] != again[i] {
+			t.Fatal("pattern is not deterministic for a fixed seed")
+		}
+	}
+	other := c.coords(42, "b", 100)
+	same := true
+	for i := range coords {
+		if coords[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct variables produced identical patterns")
+	}
+	if n := len(c.coords(42, "w", 3)); n != 1 {
+		t.Fatalf("fraction 0.25 of 3 coordinates kept %d, want at least 1", n)
+	}
+	if NoCompression().coords(42, "w", 100) != nil {
+		t.Fatal("dense codec produced a sparse pattern")
+	}
+}
+
+// TestEncodeConservation pins the error-feedback invariant at the codec
+// level: over any number of rounds, the mass delivered on the wire plus
+// the residual still held equals the total raw delta mass — nothing is
+// silently lost to quantization or sparsification.
+func TestEncodeConservation(t *testing.T) {
+	for _, c := range []Codec{NoCompression(), Int8Compression(), TopKCompression(0.3)} {
+		if err := c.validate(); err != nil {
+			t.Fatal(err)
+		}
+		const n = 40
+		var total, delivered [n]float64
+		var residual []float32
+		for round := 0; round < 5; round++ {
+			delta := make([]float32, n)
+			for i := range delta {
+				delta[i] = float32(math.Sin(float64(round*n+i))) * 0.01
+				total[i] += float64(delta[i])
+			}
+			coords := c.coords(uint64(round+1), "w", n)
+			words, newRes := c.encodeVar(delta, residual, coords)
+			residual = newRes
+			for w, word := range words {
+				i := w
+				if coords != nil {
+					i = coords[w]
+				}
+				delivered[i] += c.decodeSum(word)
+			}
+		}
+		for i := 0; i < n; i++ {
+			got := delivered[i] + float64(residual[i])
+			if math.Abs(got-total[i]) > 1e-6 {
+				t.Fatalf("%v: coordinate %d delivered+residual %v, raw total %v", c, i, got, total[i])
+			}
+		}
+	}
+}
+
+func TestInt8Clipping(t *testing.T) {
+	c := Int8Compression()
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	delta := []float32{10, -10, 0}
+	words, res := c.encodeVar(delta, nil, nil)
+	if int16(words[0]) != 127 || int16(words[1]) != -127 {
+		t.Fatalf("out-of-clip values quantized to %d and %d, want ±127", int16(words[0]), int16(words[1]))
+	}
+	// The clipped-away mass must land in the residual.
+	if math.Abs(float64(res[0])-(10-c.Clip)) > 1e-6 {
+		t.Fatalf("clipped residual %v, want %v", res[0], 10-c.Clip)
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	for _, c := range []Codec{NoCompression(), Int8Compression(), TopKCompression(0.5)} {
+		if err := c.validate(); err != nil {
+			t.Fatal(err)
+		}
+		neg := int64(-42)
+		words := []uint64{0, 1, ^uint64(0), uint64(neg), 0x1234}
+		blob := c.marshalUpdate(words)
+		back, err := c.parseUpdate(blob, len(words))
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		for i := range words {
+			if c.ringMask(back[i]) != c.ringMask(words[i]) {
+				t.Fatalf("%v: word %d round-tripped to %#x from %#x", c, i, back[i], words[i])
+			}
+		}
+	}
+}
+
+func TestParseUpdateRejectsMalformed(t *testing.T) {
+	c := NoCompression()
+	good := c.marshalUpdate([]uint64{1, 2, 3})
+	cases := []struct {
+		name string
+		blob []byte
+		want int
+	}{
+		{"empty", nil, 3},
+		{"short header", good[:4], 3},
+		{"wrong kind", append([]byte{byte(CodecInt8)}, good[1:]...), 3},
+		{"wrong width", append([]byte{good[0], 2}, good[2:]...), 3},
+		{"wrong count", good, 4},
+		{"truncated body", good[:len(good)-3], 3},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xff), 3},
+	}
+	for _, tc := range cases {
+		if _, err := c.parseUpdate(tc.blob, tc.want); err == nil {
+			t.Errorf("%s: malformed blob accepted", tc.name)
+		}
+	}
+}

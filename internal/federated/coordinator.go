@@ -1,0 +1,565 @@
+package federated
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/securetf/securetf/internal/seccrypto"
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tf/dist"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// CoordinatorConfig configures a federated Coordinator.
+type CoordinatorConfig struct {
+	// Listener accepts client connections. Required; route it through
+	// the aggregator container so the network shield's TLS applies.
+	Listener net.Listener
+	// Vars seeds the global model. Required, Float32 tensors; deep
+	// copied at construction.
+	Vars map[string]*tf.Tensor
+	// Clients is the client population size N. Client ids are
+	// [0, N). Required, ≥ 1.
+	Clients int
+	// SampleFraction is the fraction of the population sampled into
+	// each round's cohort, in (0, 1]. Zero means 1 (sample everyone).
+	SampleFraction float64
+	// Quorum is the number of accepted uploads that completes a round,
+	// in [1, cohort size]. Required. Under CodecInt8 it is additionally
+	// bounded so the 16-bit ring sum cannot overflow.
+	Quorum int
+	// Rounds is the number of FedAvg rounds to run. Required, ≥ 1.
+	Rounds int
+	// ServerLR scales the averaged update applied to the globals per
+	// round. Zero means 1 (plain FedAvg).
+	ServerLR float64
+	// Codec is the uplink quantizer every client must run.
+	Codec Codec
+	// Unmasked disables secure aggregation: clients upload bare
+	// quantized updates and dropout needs no seed reveals. The ablation
+	// arm of the sum-only property test, not a deployment mode.
+	Unmasked bool
+	// Seed drives the per-round client sampling and top-k patterns.
+	Seed int64
+	// Clock is the coordinator's virtual clock. Defaults to a fresh
+	// clock.
+	Clock *vtime.Clock
+	// Params supplies cost-model constants. The zero value falls back
+	// to sgx.DefaultParams.
+	Params sgx.Params
+	// Tap, when set, observes every accepted upload payload before it
+	// is accumulated: one call per (client, variable) with the raw wire
+	// blob. The sum-only property test uses it to pin that individual
+	// payloads are mask-blinded; the coordinator itself never inspects
+	// payloads beyond accumulation either way.
+	Tap func(round uint64, client uint32, name string, payload []byte)
+}
+
+// Stats is a snapshot of coordinator counters.
+type Stats struct {
+	// Rounds is the number of committed rounds so far.
+	Rounds int
+	// Accepted counts accepted uploads across all rounds.
+	Accepted int
+	// Refusals counts uploads refused with the retryable Closed flag —
+	// stragglers that missed their round's quorum.
+	Refusals int
+	// Reveals counts accepted seed-reveal messages.
+	Reveals int
+	// Handshakes counts completed client handshakes (rejoins included).
+	Handshakes int
+	// UplinkBytes totals the payload bytes of accepted uploads — the
+	// quantity the uplink codec exists to shrink.
+	UplinkBytes int64
+}
+
+// Coordinator runs FedAvg rounds with quorum-based straggler dropout
+// and pairwise-masked secure aggregation over a population of simulated
+// clients. Clients drive every exchange; the coordinator only ever
+// answers, so its serve loop never blocks on a peer.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	names   []string
+	shapes  map[string]tf.Shape
+	sampled int
+
+	mu    sync.Mutex
+	vars  map[string][]float32 // working globals, mutated only in finalize
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	// Per-round state, rebuilt by openRound. snapshot, cohort and dead
+	// are immutable once published (replies reference them outside mu).
+	round       uint64
+	patternSeed uint64
+	cohort      []uint32
+	cohortSet   map[uint32]bool
+	snapshot    map[string]*tf.Tensor
+	coords      map[string][]int
+	acc         map[string][]uint64
+	received    map[uint32]bool
+	closing     bool
+	dead        []uint32
+	revealed    map[uint32]bool
+
+	stats  Stats
+	closed bool
+	done   bool
+	doneCh chan struct{}
+}
+
+// NewCoordinator validates cfg, deep-copies the seed variables and
+// starts accepting client connections. Training ends — Done() closes —
+// after cfg.Rounds committed rounds.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Listener == nil {
+		return nil, errors.New("federated: CoordinatorConfig.Listener is required")
+	}
+	if len(cfg.Vars) == 0 {
+		return nil, errors.New("federated: CoordinatorConfig.Vars must be non-empty")
+	}
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("federated: CoordinatorConfig.Clients must be ≥ 1, got %d", cfg.Clients)
+	}
+	if cfg.SampleFraction == 0 {
+		cfg.SampleFraction = 1
+	}
+	if cfg.SampleFraction <= 0 || cfg.SampleFraction > 1 {
+		return nil, fmt.Errorf("federated: sample fraction %v outside (0, 1]", cfg.SampleFraction)
+	}
+	sampled := sampleSize(cfg.Clients, cfg.SampleFraction)
+	if cfg.Quorum < 1 || cfg.Quorum > sampled {
+		return nil, fmt.Errorf("federated: quorum %d outside [1, %d] (cohort of %d sampled from %d clients)",
+			cfg.Quorum, sampled, sampled, cfg.Clients)
+	}
+	if err := cfg.Codec.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Codec.Kind == CodecInt8 && cfg.Quorum > maxInt8Quorum {
+		return nil, fmt.Errorf("federated: quorum %d overflows the int8 ring sum (max %d)", cfg.Quorum, maxInt8Quorum)
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("federated: CoordinatorConfig.Rounds must be ≥ 1, got %d", cfg.Rounds)
+	}
+	if cfg.ServerLR == 0 {
+		cfg.ServerLR = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &vtime.Clock{}
+	}
+	if cfg.Params.WireBandwidth == 0 {
+		cfg.Params = sgx.DefaultParams()
+	}
+
+	c := &Coordinator{
+		cfg:     cfg,
+		shapes:  make(map[string]tf.Shape, len(cfg.Vars)),
+		sampled: sampled,
+		vars:    make(map[string][]float32, len(cfg.Vars)),
+		conns:   make(map[net.Conn]struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	for name, t := range cfg.Vars {
+		if t == nil || t.DType() != tf.Float32 {
+			return nil, fmt.Errorf("federated: variable %q must be a Float32 tensor", name)
+		}
+		c.names = append(c.names, name)
+		c.shapes[name] = t.Shape()
+		c.vars[name] = append([]float32(nil), t.Floats()...)
+	}
+	sort.Strings(c.names)
+	c.openRoundLocked()
+	c.wg.Add(1)
+	go c.accept()
+	return c, nil
+}
+
+// sampleSize is the cohort size for a population under a sample
+// fraction: ⌈fraction·population⌉, clamped to the population.
+func sampleSize(population int, fraction float64) int {
+	k := int(float64(population) * fraction)
+	if float64(k) < float64(population)*fraction {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > population {
+		k = population
+	}
+	return k
+}
+
+// openRoundLocked samples the next round's cohort and resets the
+// accumulator. The published snapshot, cohort and pattern are immutable
+// for the round's lifetime, so assignment replies can reference them
+// after mu is released.
+func (c *Coordinator) openRoundLocked() {
+	c.cohort = roundCohort(c.cfg.Seed, c.round, c.cfg.Clients, c.sampled)
+	c.cohortSet = make(map[uint32]bool, len(c.cohort))
+	for _, id := range c.cohort {
+		c.cohortSet[id] = true
+	}
+	c.patternSeed = roundPatternSeed(c.cfg.Seed, c.round)
+	c.snapshot = make(map[string]*tf.Tensor, len(c.names))
+	c.coords = make(map[string][]int, len(c.names))
+	c.acc = make(map[string][]uint64, len(c.names))
+	for _, name := range c.names {
+		t, err := tf.FromFloats(c.shapes[name], c.vars[name])
+		if err != nil {
+			panic(fmt.Sprintf("federated: snapshot %q: %v", name, err))
+		}
+		c.snapshot[name] = t
+		coords := c.cfg.Codec.coords(c.patternSeed, name, len(c.vars[name]))
+		c.coords[name] = coords
+		c.acc[name] = make([]uint64, wordCount(coords, len(c.vars[name])))
+	}
+	c.received = make(map[uint32]bool, c.cfg.Quorum)
+	c.closing = false
+	c.dead = nil
+	c.revealed = nil
+}
+
+// Vars returns a snapshot of the current global variables.
+func (c *Coordinator) Vars() map[string]*tf.Tensor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*tf.Tensor, len(c.names))
+	for _, name := range c.names {
+		t, err := tf.FromFloats(c.shapes[name], c.vars[name])
+		if err != nil {
+			panic(fmt.Sprintf("federated: snapshot %q: %v", name, err))
+		}
+		out[name] = t
+	}
+	return out
+}
+
+// Stats returns a snapshot of the coordinator counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Done is closed once cfg.Rounds rounds have been committed.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Close stops the coordinator: the listener and all client connections
+// are closed.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	err := c.cfg.Listener.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) accept() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.cfg.Listener.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Coordinator) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+	for {
+		msg, err := dist.Receive(conn, c.cfg.Clock, c.cfg.Params)
+		if err != nil {
+			return
+		}
+		var resp *dist.Message
+		switch msg.Kind {
+		case dist.MsgHello:
+			resp = c.handshake(msg)
+		case dist.MsgFedPoll:
+			resp = c.poll(msg)
+		case dist.MsgFedPush:
+			resp = c.push(msg)
+		case dist.MsgFedSeeds:
+			resp = c.seeds(msg)
+		default:
+			resp = &dist.Message{Kind: dist.MsgAck, Err: fmt.Sprintf("federated: unknown message kind %d", msg.Kind)}
+		}
+		if _, err := dist.Send(conn, c.cfg.Clock, c.cfg.Params, resp); err != nil {
+			return
+		}
+	}
+}
+
+// maskedPolicy is the Policy wire byte of the federated handshake: 1
+// when pairwise masking is on, 0 for the unmasked ablation. A client
+// and coordinator disagreeing on it must fail fast — an unmasked
+// client in a masked cohort would upload its bare update.
+func maskedPolicy(unmasked bool) uint8 {
+	if unmasked {
+		return 0
+	}
+	return 1
+}
+
+// handshake answers a client's hello with the coordinator's manifest.
+// The client states the population size, codec and masking mode it was
+// configured with; any mismatch is reported explicitly so a
+// misconfigured client fails at construction instead of poisoning a
+// round (or uploading unmasked).
+func (c *Coordinator) handshake(msg *dist.Message) *dist.Message {
+	resp := &dist.Message{
+		Kind:   dist.MsgManifest,
+		Shards: uint32(c.cfg.Clients),
+		Policy: maskedPolicy(c.cfg.Unmasked),
+		Codec:  uint8(c.cfg.Codec.Kind),
+		TopK:   c.cfg.Codec.param(),
+		Names:  c.names,
+		OK:     true,
+	}
+	clientCodec, codecErr := codecFromWire(msg.Codec, msg.TopK)
+	switch {
+	case int(msg.Worker) >= c.cfg.Clients:
+		resp.OK = false
+		resp.Err = fmt.Sprintf("federated: client id %d outside the population of %d", msg.Worker, c.cfg.Clients)
+	case int(msg.Shards) != c.cfg.Clients:
+		resp.OK = false
+		resp.Err = fmt.Sprintf("federated: client %d expects a population of %d, this job has %d",
+			msg.Worker, msg.Shards, c.cfg.Clients)
+	case codecErr != nil:
+		resp.OK = false
+		resp.Err = fmt.Sprintf("federated: client %d: %v", msg.Worker, codecErr)
+	case clientCodec != c.cfg.Codec:
+		resp.OK = false
+		resp.Err = fmt.Sprintf("federated: client %d uploads with codec %v, this job runs %v",
+			msg.Worker, clientCodec, c.cfg.Codec)
+	case msg.Policy != maskedPolicy(c.cfg.Unmasked):
+		resp.OK = false
+		resp.Err = fmt.Sprintf("federated: client %d masking mode %d, this job runs %d",
+			msg.Worker, msg.Policy, maskedPolicy(c.cfg.Unmasked))
+	}
+	if resp.OK {
+		c.mu.Lock()
+		c.stats.Handshakes++
+		c.mu.Unlock()
+	}
+	return resp
+}
+
+// poll answers a client's work request: a round assignment if the
+// client is sampled and has not uploaded yet, an unmask request if the
+// round is closing and the client owes seed reveals, a wait otherwise,
+// and a terminal refusal once training is complete.
+func (c *Coordinator) poll(msg *dist.Message) *dist.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := msg.Worker
+	switch {
+	case c.done:
+		return &dist.Message{Kind: dist.MsgAck, Err: trainingCompleteErr}
+	case c.closing:
+		if c.received[id] && !c.revealed[id] {
+			return &dist.Message{Kind: dist.MsgFedUnmask, OK: true, Round: c.round, Clients: c.dead}
+		}
+		return &dist.Message{Kind: dist.MsgFedRound, OK: true, Closed: true}
+	case c.cohortSet[id] && !c.received[id]:
+		return &dist.Message{
+			Kind:    dist.MsgFedRound,
+			OK:      true,
+			Round:   c.round,
+			Seed:    c.patternSeed,
+			Clients: c.cohort,
+			Vars:    c.snapshot,
+		}
+	default:
+		return &dist.Message{Kind: dist.MsgFedRound, OK: true, Closed: true}
+	}
+}
+
+// push validates and accumulates one masked upload, closing the round
+// when the quorum fills. A push for a closed (or closing) round is
+// refused with the retryable Closed flag — and must be: after the seed
+// reveals, accepting it would let the coordinator strip its masks.
+// Structural violations — a non-cohort sender, a duplicate, a
+// malformed payload — are hard errors.
+func (c *Coordinator) push(msg *dist.Message) *dist.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := msg.Worker
+	if c.done || c.closing || msg.Round != c.round {
+		c.stats.Refusals++
+		return &dist.Message{
+			Kind: dist.MsgAck, Closed: true,
+			Err: fmt.Sprintf("federated: round %d closed at quorum", msg.Round),
+		}
+	}
+	if !c.cohortSet[id] {
+		return &dist.Message{Kind: dist.MsgAck,
+			Err: fmt.Sprintf("federated: client %d is not in round %d's cohort", id, c.round)}
+	}
+	if c.received[id] {
+		return &dist.Message{Kind: dist.MsgAck,
+			Err: fmt.Sprintf("federated: client %d already uploaded in round %d", id, c.round)}
+	}
+	// Validate every variable before touching the accumulator, so a
+	// malformed upload is rejected atomically.
+	parsed := make(map[string][]uint64, len(c.names))
+	var bytes int64
+	for _, name := range c.names {
+		blob, ok := msg.Grads[name]
+		if !ok {
+			return &dist.Message{Kind: dist.MsgAck,
+				Err: fmt.Sprintf("federated: client %d upload is missing variable %q", id, name)}
+		}
+		words, err := c.cfg.Codec.parseUpdate(blob, len(c.acc[name]))
+		if err != nil {
+			return &dist.Message{Kind: dist.MsgAck, Err: fmt.Sprintf("client %d %q: %v", id, name, err)}
+		}
+		parsed[name] = words
+		bytes += int64(len(blob))
+	}
+	if len(msg.Grads) != len(c.names) {
+		return &dist.Message{Kind: dist.MsgAck,
+			Err: fmt.Sprintf("federated: client %d uploaded %d variables, the model has %d",
+				id, len(msg.Grads), len(c.names))}
+	}
+	if c.cfg.Tap != nil {
+		for _, name := range c.names {
+			c.cfg.Tap(c.round, id, name, msg.Grads[name])
+		}
+	}
+	for name, words := range parsed {
+		acc := c.acc[name]
+		for i, w := range words {
+			acc[i] += w
+		}
+	}
+	c.received[id] = true
+	c.stats.Accepted++
+	c.stats.UplinkBytes += bytes
+	if len(c.received) >= c.cfg.Quorum {
+		c.closeRoundLocked()
+	}
+	return &dist.Message{Kind: dist.MsgAck, OK: true, Round: msg.Round}
+}
+
+// closeRoundLocked transitions a quorum-filled round towards commit:
+// directly if every sampled client made it (or masking is off), via the
+// seed-reveal phase otherwise.
+func (c *Coordinator) closeRoundLocked() {
+	var dead []uint32
+	for _, id := range c.cohort {
+		if !c.received[id] {
+			dead = append(dead, id)
+		}
+	}
+	if len(dead) == 0 || c.cfg.Unmasked {
+		c.finalizeLocked()
+		return
+	}
+	c.closing = true
+	c.dead = dead
+	c.revealed = make(map[uint32]bool, len(c.received))
+}
+
+// seeds processes one survivor's seed reveal for the round's dead
+// clients, subtracting the masks the dead left uncancelled. The round
+// commits once every accepted uploader has revealed.
+func (c *Coordinator) seeds(msg *dist.Message) *dist.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := msg.Worker
+	fail := func(format string, args ...any) *dist.Message {
+		return &dist.Message{Kind: dist.MsgAck, Err: fmt.Sprintf(format, args...)}
+	}
+	switch {
+	case !c.closing || msg.Round != c.round:
+		return fail("federated: round %d is not collecting seed reveals", msg.Round)
+	case !c.received[id]:
+		return fail("federated: client %d did not upload in round %d, nothing to reveal", id, c.round)
+	case c.revealed[id]:
+		return fail("federated: client %d already revealed for round %d", id, c.round)
+	case len(msg.Grads) != len(c.dead):
+		return fail("federated: client %d revealed %d seeds, round %d has %d dead clients",
+			id, len(msg.Grads), c.round, len(c.dead))
+	}
+	seedOf := make(map[uint32]seccrypto.Key, len(c.dead))
+	for _, deadID := range c.dead {
+		blob, ok := msg.Grads[strconv.FormatUint(uint64(deadID), 10)]
+		if !ok {
+			return fail("federated: client %d's reveal is missing dead client %d", id, deadID)
+		}
+		if len(blob) != seccrypto.KeySize {
+			return fail("federated: client %d revealed a %d-byte seed for client %d, want %d",
+				id, len(blob), deadID, seccrypto.KeySize)
+		}
+		var key seccrypto.Key
+		copy(key[:], blob)
+		seedOf[deadID] = key
+	}
+	for _, deadID := range c.dead {
+		subtractDeadMasks(c.acc, c.names, c.cfg.Codec.width(), seedOf[deadID], id, deadID, c.round)
+	}
+	c.revealed[id] = true
+	c.stats.Reveals++
+	if len(c.revealed) == len(c.received) {
+		c.finalizeLocked()
+	}
+	return &dist.Message{Kind: dist.MsgAck, OK: true, Round: msg.Round}
+}
+
+// finalizeLocked commits the round: the accumulated ring sum — masks
+// cancelled — is decoded, averaged over the accepted uploads and
+// applied to the globals, and the next round opens (or training
+// completes).
+func (c *Coordinator) finalizeLocked() {
+	q := float64(len(c.received))
+	for _, name := range c.names {
+		v := c.vars[name]
+		coords := c.coords[name]
+		for w, word := range c.acc[name] {
+			i := w
+			if coords != nil {
+				i = coords[w]
+			}
+			v[i] += float32(c.cfg.ServerLR * c.cfg.Codec.decodeSum(word) / q)
+		}
+	}
+	c.stats.Rounds++
+	c.round++
+	if c.stats.Rounds >= c.cfg.Rounds {
+		c.done = true
+		close(c.doneCh)
+		return
+	}
+	c.openRoundLocked()
+}

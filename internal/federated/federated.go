@@ -1,0 +1,117 @@
+// Package federated implements the paper's §6.2 federated-learning use
+// case as a first-class subsystem on top of the dist stack: a
+// Coordinator that runs FedAvg round logic over hundreds to thousands
+// of simulated clients on virtual clocks, with per-round deterministic
+// client sampling, quorum rounds with straggler dropout, and
+// pairwise-masked secure aggregation so the coordinator only ever
+// observes the *sum* of client updates, never an individual one.
+//
+// # Round lifecycle
+//
+// Every exchange is client-initiated (poll → train → push → reveal), so
+// the coordinator's serve loop never blocks on a peer. A round opens by
+// sampling a cohort of ⌈SampleFraction·N⌉ clients with a deterministic
+// PRG keyed from the job seed and round number. Sampled clients receive
+// the current global variables, run LocalSteps of local SGD on their
+// private shard, and upload the masked, codec-encoded delta. The round
+// closes the moment Quorum uploads have been accepted — stragglers are
+// not waited for; their late uploads are refused with the retryable
+// Closed wire flag (mirroring the async Stale idiom), and they rejoin
+// at the next round's poll. The refusal is load-bearing for privacy,
+// not just latency: once the dead clients' pair seeds have been
+// revealed, accepting a straggler's masked payload would let the
+// coordinator unmask it.
+//
+// # Secure aggregation
+//
+// Cohort members i and j share a pair seed derived (HKDF) from a cohort
+// secret the coordinator never holds. Each pair expands the seed
+// through the deterministic AES-CTR PRG into per-round mask words over
+// the codec's integer ring; the lower-id client adds the mask to its
+// encoded update, the higher-id one subtracts it, so the masks cancel
+// exactly in the coordinator's ring sum. Clients that were sampled but
+// missed the quorum leave their pairwise masks uncancelled; each
+// surviving uploader reveals its pair seeds for exactly the dead
+// clients, the coordinator re-expands those masks and subtracts them,
+// and the quorum sum is well-defined again. The coordinator learns only
+// masks of updates it never received. All mask arithmetic happens
+// post-quantization in the integer domain (uint64 wraparound, truncated
+// to the codec's ring width on the wire), so cancellation is bit-exact
+// — the masked aggregate is identical to the unmasked one, which the
+// sum-only property test pins.
+//
+// # Codec interaction
+//
+// The uplink codec quantizes each client's model delta into ring words:
+// fixed-point int64 words (CodecNone), int8 steps of a public clip
+// bound shared by configuration (CodecInt8, 2-byte ring — the quorum
+// is bounded so the int16 sum cannot overflow), or fixed-point words at
+// a per-round pseudo-random coordinate pattern (CodecTopK). The top-k
+// pattern is derived from the round's pattern seed by every cohort
+// member and the coordinator alike, because pairwise masks only cancel
+// if every pair masks the same coordinates — and it costs no index
+// bytes on the wire. Quantization and sparsification mass is carried in
+// per-client error-feedback residuals, committed only when an upload is
+// acked as accepted; a refused round leaves them untouched.
+package federated
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/securetf/securetf/internal/seccrypto"
+)
+
+// Domain-separation salts of every PRG/HKDF derivation in the
+// subsystem. Sampling and patterns derive from the coordinator's job
+// seed; pair seeds and masks derive from the cohort secret.
+const (
+	saltSample  = "securetf-fed-sample"
+	saltPattern = "securetf-fed-pattern"
+	saltPair    = "securetf-fed-pair"
+	saltMask    = "securetf-fed-mask"
+)
+
+// trainingCompleteErr is the poll refusal that ends a client's run
+// cleanly: the configured number of rounds has been committed.
+const trainingCompleteErr = "federated: training complete"
+
+// defaultPollInterval is the virtual time a client waits between polls
+// when it has no work (not sampled, or the round is closing).
+const defaultPollInterval = 10 * time.Millisecond
+
+// defaultStepCost is the virtual compute time charged per local SGD
+// step when the client config does not override it.
+const defaultStepCost = 2 * time.Millisecond
+
+// jobKey derives a PRG key from the job seed for one purpose (salt) and
+// round, so sampling and pattern streams are domain-separated and
+// deterministic given (seed, round).
+func jobKey(seed int64, salt string, round uint64) seccrypto.Key {
+	var ikm [8]byte
+	binary.LittleEndian.PutUint64(ikm[:], uint64(seed))
+	return seccrypto.HKDF(ikm[:], salt, fmt.Sprintf("round %d", round))
+}
+
+// roundCohort samples the round's client cohort: a uniform `sampled`
+// -subset of [0, population), sorted ascending. Deterministic given
+// (seed, round) — the coordinator and any test harness agree without
+// communication.
+func roundCohort(seed int64, round uint64, population, sampled int) []uint32 {
+	g := seccrypto.NewPRG(jobKey(seed, saltSample, round))
+	perm := g.Perm(population)
+	ids := make([]uint32, sampled)
+	for i := 0; i < sampled; i++ {
+		ids[i] = uint32(perm[i])
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// roundPatternSeed derives the round's top-k pattern seed, handed to
+// the cohort in the round assignment frame.
+func roundPatternSeed(seed int64, round uint64) uint64 {
+	return seccrypto.NewPRG(jobKey(seed, saltPattern, round)).Uint64()
+}

@@ -1,0 +1,561 @@
+package federated
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/securetf/securetf/internal/sgx"
+	"github.com/securetf/securetf/internal/tf"
+	"github.com/securetf/securetf/internal/tf/dist"
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// tinyModel builds a deterministic linear softmax classifier
+// ([n,4] → [n,3]) small enough for fast round tests.
+func tinyModel(seed int64) dist.Model {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float32, tf.Shape{-1, 4})
+	y := g.Placeholder("y", tf.Float32, tf.Shape{-1, 3})
+	w := g.Variable("w", tf.GlorotUniform(tf.Shape{4, 3}, 4, 3, seed))
+	b := g.Variable("b", tf.NewTensor(tf.Float32, tf.Shape{3}))
+	logits := g.BiasAdd(g.MatMul(x, w), b)
+	loss := g.ReduceMean(g.SoftmaxCrossEntropy(logits, y))
+	return dist.Model{Graph: g, X: x, Y: y, Loss: loss, Logits: logits}
+}
+
+// tinyShard builds a learnable client shard: class = argmax of the
+// first three input features.
+func tinyShard(n int, seed int64) (*tf.Tensor, *tf.Tensor) {
+	xs := tf.RandNormal(tf.Shape{n, 4}, 0.5, seed)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		labels[i] = cls
+		xs.Floats()[i*4+cls] += 2
+	}
+	return xs, tf.OneHot(labels, 3)
+}
+
+type jobSpec struct {
+	population int
+	sampleFrac float64
+	quorum     int
+	rounds     int
+	codec      Codec
+	unmasked   bool
+	seed       int64
+	turnstile  bool
+	maxIdle    int
+	delay      func(id int, round uint64) time.Duration
+	drop       func(id int, round uint64) bool
+	tap        func(round uint64, client uint32, name string, payload []byte)
+}
+
+var testSecret = []byte("consortium masking secret")
+
+// runJob runs one complete federated job in-process and returns the
+// final globals, the coordinator stats and the per-client stats.
+func runJob(t *testing.T, spec jobSpec) (map[string]*tf.Tensor, Stats, []ClientStats) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listener:       ln,
+		Vars:           dist.InitialVars(tinyModel(7).Graph),
+		Clients:        spec.population,
+		SampleFraction: spec.sampleFrac,
+		Quorum:         spec.quorum,
+		Rounds:         spec.rounds,
+		Codec:          spec.codec,
+		Unmasked:       spec.unmasked,
+		Seed:           spec.seed,
+		Params:         sgx.DefaultParams(),
+		Tap:            spec.tap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var ts *Turnstile
+	if spec.turnstile {
+		ts = NewTurnstile()
+	}
+	clients := make([]*Client, spec.population)
+	clocks := make([]*vtime.Clock, spec.population)
+	for id := 0; id < spec.population; id++ {
+		xs, ys := tinyShard(30, int64(100+id))
+		clocks[id] = &vtime.Clock{}
+		cfg := ClientConfig{
+			ID:           id,
+			Addr:         ln.Addr().String(),
+			Model:        tinyModel(7),
+			XS:           xs,
+			YS:           ys,
+			BatchSize:    10,
+			LocalSteps:   3,
+			LocalLR:      0.1,
+			Codec:        spec.codec,
+			Population:   spec.population,
+			Secret:       testSecret,
+			Unmasked:     spec.unmasked,
+			Clock:        clocks[id],
+			Params:       sgx.DefaultParams(),
+			Turnstile:    ts,
+			MaxIdlePolls: spec.maxIdle,
+		}
+		if spec.delay != nil {
+			cid := id
+			cfg.Delay = func(round uint64) time.Duration { return spec.delay(cid, round) }
+		}
+		if spec.drop != nil {
+			cid := id
+			cfg.DropBeforePush = func(round uint64) bool { return spec.drop(cid, round) }
+		}
+		c, err := NewClient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+		// Register the full roster before anyone runs, so the first
+		// turns are granted against the complete participant set.
+		if ts != nil {
+			ts.Join(id, clocks[id])
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, spec.population)
+	for id, c := range clients {
+		wg.Add(1)
+		go func(id int, c *Client) {
+			defer wg.Done()
+			errs[id] = c.Run()
+		}(id, c)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", id, err)
+		}
+	}
+	stats := make([]ClientStats, spec.population)
+	for id, c := range clients {
+		stats[id] = c.Stats()
+	}
+	return coord.Vars(), coord.Stats(), stats
+}
+
+func varBits(t *testing.T, vars map[string]*tf.Tensor) map[string][]uint32 {
+	t.Helper()
+	out := make(map[string][]uint32, len(vars))
+	for name, v := range vars {
+		bits := make([]uint32, len(v.Floats()))
+		for i, f := range v.Floats() {
+			bits[i] = math.Float32bits(f)
+		}
+		out[name] = bits
+	}
+	return out
+}
+
+func assertSameVars(t *testing.T, label string, a, b map[string]*tf.Tensor) {
+	t.Helper()
+	ab, bb := varBits(t, a), varBits(t, b)
+	if len(ab) != len(bb) {
+		t.Fatalf("%s: %d vs %d variables", label, len(ab), len(bb))
+	}
+	for name, av := range ab {
+		bv, ok := bb[name]
+		if !ok || len(av) != len(bv) {
+			t.Fatalf("%s: variable %q missing or resized", label, name)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("%s: %s[%d] differs: %#x vs %#x", label, name, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// payloadKey identifies one accepted upload payload across runs.
+func payloadKey(round uint64, client uint32, name string) string {
+	return fmt.Sprintf("r%d/c%d/%s", round, client, name)
+}
+
+// TestFederatedSumOnlyProperty pins the secure-aggregation contract
+// under every codec: each individual uploaded payload is mask-blinded
+// (different from the bare quantized update the unmasked ablation
+// uploads), yet the committed aggregate is bit-identical — the
+// coordinator learns the sum and nothing else, at zero accuracy cost.
+func TestFederatedSumOnlyProperty(t *testing.T) {
+	for _, codec := range []Codec{NoCompression(), Int8Compression(), TopKCompression(0.5)} {
+		t.Run(codec.String(), func(t *testing.T) {
+			spec := jobSpec{
+				population: 5, sampleFrac: 1, quorum: 5, rounds: 2,
+				codec: codec, seed: 21, turnstile: true,
+			}
+			maskedPayloads := make(map[string][]byte)
+			spec.tap = func(round uint64, client uint32, name string, payload []byte) {
+				maskedPayloads[payloadKey(round, client, name)] = append([]byte(nil), payload...)
+			}
+			maskedVars, maskedStats, _ := runJob(t, spec)
+
+			unmaskedPayloads := make(map[string][]byte)
+			spec.unmasked = true
+			spec.tap = func(round uint64, client uint32, name string, payload []byte) {
+				unmaskedPayloads[payloadKey(round, client, name)] = append([]byte(nil), payload...)
+			}
+			unmaskedVars, unmaskedStats, _ := runJob(t, spec)
+
+			if maskedStats.Rounds != spec.rounds || unmaskedStats.Rounds != spec.rounds {
+				t.Fatalf("committed %d masked and %d unmasked rounds, want %d",
+					maskedStats.Rounds, unmaskedStats.Rounds, spec.rounds)
+			}
+			// Every client's every payload must be blinded: with a full
+			// quorum both runs train identically, so the unmasked payload
+			// IS the raw quantized update of the masked run.
+			if len(maskedPayloads) != spec.rounds*spec.population*2 ||
+				len(maskedPayloads) != len(unmaskedPayloads) {
+				t.Fatalf("tapped %d masked and %d unmasked payloads", len(maskedPayloads), len(unmaskedPayloads))
+			}
+			for key, raw := range unmaskedPayloads {
+				masked, ok := maskedPayloads[key]
+				if !ok {
+					t.Fatalf("no masked payload for %s", key)
+				}
+				if string(masked) == string(raw) {
+					t.Errorf("%s: masked payload equals the raw quantized update", key)
+				}
+			}
+			// ... and the aggregate the coordinator commits is bit-identical.
+			assertSameVars(t, "masked vs unmasked finals", maskedVars, unmaskedVars)
+		})
+	}
+}
+
+// TestFederatedNoneMatchesLocalTraining checks the FedAvg arithmetic
+// end to end with a single client: under the exact fixed-point codec
+// the committed global equals the client's locally trained variables to
+// within one quantization step per coordinate.
+func TestFederatedNoneMatchesLocalTraining(t *testing.T) {
+	vars, stats, _ := runJob(t, jobSpec{
+		population: 1, sampleFrac: 1, quorum: 1, rounds: 1,
+		codec: NoCompression(), seed: 3, turnstile: true,
+	})
+	if stats.Rounds != 1 {
+		t.Fatalf("committed %d rounds, want 1", stats.Rounds)
+	}
+	// Replay the client's local training exactly: same graph seed, same
+	// session seed, same shard, same step schedule.
+	model := tinyModel(7)
+	sess := tf.NewSession(model.Graph, tf.WithSeed(1))
+	varNodes, gradNodes, err := tf.GradientNodes(model.Graph, model.Loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := tinyShard(30, 100)
+	for s := 0; s < 3; s++ {
+		lo := (s * 10) % 30
+		bx, err := sliceRows(xs, lo, lo+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		by, err := sliceRows(ys, lo, lo+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetches := append([]*tf.Node{model.Loss}, gradNodes...)
+		out, err := sess.Run(tf.Feeds{model.X: bx, model.Y: by}, fetches, tf.Training())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, vn := range varNodes {
+			v, err := sess.Variable(vn.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := append([]float32(nil), v.Floats()...)
+			for j, g := range out[i+1].Floats() {
+				vals[j] -= 0.1 * g
+			}
+			nt, err := tf.FromFloats(v.Shape(), vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.SetVariable(vn.Name(), nt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, vn := range varNodes {
+		want, err := sess.Variable(vn.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := vars[vn.Name()]
+		if !ok {
+			t.Fatalf("coordinator is missing variable %q", vn.Name())
+		}
+		for i := range want.Floats() {
+			if diff := math.Abs(float64(got.Floats()[i] - want.Floats()[i])); diff > 1.0/fpScale*2 {
+				t.Fatalf("%s[%d]: coordinator %v vs local training %v", vn.Name(), i, got.Floats()[i], want.Floats()[i])
+			}
+		}
+	}
+}
+
+// TestFederatedQuorumStragglers pins the straggler-dropout contract:
+// the round completes at quorum without the slowest clients, their late
+// uploads are refused with the retryable flag, and every survivor
+// reveals the stragglers' pair seeds so the masked sum still resolves.
+func TestFederatedQuorumStragglers(t *testing.T) {
+	const population, quorum, rounds = 6, 4, 3
+	straggler := func(id int) bool { return id >= 4 }
+	vars, stats, clientStats := runJob(t, jobSpec{
+		population: population, sampleFrac: 1, quorum: quorum, rounds: rounds,
+		codec: NoCompression(), seed: 9, turnstile: true,
+		delay: func(id int, round uint64) time.Duration {
+			if straggler(id) {
+				return 10 * time.Second
+			}
+			return 0
+		},
+	})
+	if stats.Rounds != rounds {
+		t.Fatalf("committed %d rounds, want %d — the job waited for its stragglers", stats.Rounds, rounds)
+	}
+	if len(vars) == 0 {
+		t.Fatal("coordinator returned no variables")
+	}
+	for id, cs := range clientStats {
+		if straggler(id) {
+			if cs.Applied != 0 {
+				t.Fatalf("straggler %d had %d uploads accepted", id, cs.Applied)
+			}
+			if cs.Refusals == 0 {
+				t.Fatalf("straggler %d was never refused", id)
+			}
+		} else if cs.Applied != rounds {
+			t.Fatalf("punctual client %d applied %d rounds, want %d", id, cs.Applied, rounds)
+		}
+	}
+	if stats.Refusals == 0 {
+		t.Fatal("no refusals recorded for straggling uploads")
+	}
+	// Every closed round had the 2 stragglers dead, so all 4 accepted
+	// uploaders revealed in every round.
+	if want := quorum * rounds; stats.Reveals != want {
+		t.Fatalf("recorded %d seed reveals, want %d", stats.Reveals, want)
+	}
+}
+
+// churnSpec is the shared drop schedule of the determinism tests: two
+// deterministic clients drop mid-round every round (after training and
+// masking, before upload) and rejoin for the next round; the quorum
+// equals the survivor count, so the accepted membership is forced
+// regardless of upload order.
+func churnSpec(turnstile bool) jobSpec {
+	const population = 8
+	return jobSpec{
+		population: population, sampleFrac: 1, quorum: population - 2, rounds: 3,
+		codec: TopKCompression(0.5), seed: 17, turnstile: turnstile,
+		maxIdle: 1_000_000,
+		drop: func(id int, round uint64) bool {
+			return id == int(round%population) || id == int((round+4)%population)
+		},
+	}
+}
+
+// TestFederatedChurnDeterministic runs the churn schedule three times —
+// once under the discrete-event turnstile and twice free-threaded (the
+// mode the race detector exercises) — and requires bit-identical final
+// variables from all three: ring sums are order-independent and the
+// drop schedule forces the quorum membership, so goroutine scheduling
+// must not leak into the result.
+func TestFederatedChurnDeterministic(t *testing.T) {
+	ordered, orderedStats, _ := runJob(t, churnSpec(true))
+	free1, stats1, clientStats := runJob(t, churnSpec(false))
+	free2, stats2, _ := runJob(t, churnSpec(false))
+	assertSameVars(t, "turnstile vs free-threaded", ordered, free1)
+	assertSameVars(t, "free-threaded repeat", free1, free2)
+	for _, stats := range []Stats{orderedStats, stats1, stats2} {
+		if stats.Rounds != 3 {
+			t.Fatalf("committed %d rounds, want 3", stats.Rounds)
+		}
+		// 2 dead per round, each revealed by all 6 survivors.
+		if stats.Reveals != 6*3 {
+			t.Fatalf("recorded %d seed reveals, want %d", stats.Reveals, 18)
+		}
+	}
+	var rejoins int
+	for _, cs := range clientStats {
+		rejoins += cs.Rejoins
+	}
+	if rejoins != 2*3 {
+		t.Fatalf("recorded %d rejoins, want %d (2 drops per round)", rejoins, 6)
+	}
+}
+
+// TestFederatedSampling checks partial participation: with a fraction
+// sampled per round, only cohort members upload, and the cohort
+// sequence is a pure function of the job seed.
+func TestFederatedSampling(t *testing.T) {
+	const population, rounds = 10, 3
+	accepted := make(map[uint32]bool)
+	var mu sync.Mutex
+	_, stats, clientStats := runJob(t, jobSpec{
+		population: population, sampleFrac: 0.4, quorum: 4, rounds: rounds,
+		codec: NoCompression(), seed: 5, turnstile: true,
+		tap: func(round uint64, client uint32, name string, payload []byte) {
+			mu.Lock()
+			accepted[client] = true
+			mu.Unlock()
+		},
+	})
+	if stats.Rounds != rounds {
+		t.Fatalf("committed %d rounds, want %d", stats.Rounds, rounds)
+	}
+	if stats.Accepted != 4*rounds {
+		t.Fatalf("accepted %d uploads, want %d", stats.Accepted, 4*rounds)
+	}
+	var applied int
+	for id, cs := range clientStats {
+		applied += cs.Applied
+		inCohorts := 0
+		for r := uint64(0); r < rounds; r++ {
+			for _, cid := range roundCohort(5, r, population, 4) {
+				if int(cid) == id {
+					inCohorts++
+				}
+			}
+		}
+		if cs.Applied != inCohorts {
+			t.Fatalf("client %d applied %d rounds but was sampled into %d", id, cs.Applied, inCohorts)
+		}
+		if cs.Applied == 0 && accepted[uint32(id)] {
+			t.Fatalf("unsampled client %d had an upload accepted", id)
+		}
+	}
+	if applied != 4*rounds {
+		t.Fatalf("clients applied %d rounds total, coordinator accepted %d", applied, 4*rounds)
+	}
+}
+
+func TestCoordinatorConfigValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	vars := dist.InitialVars(tinyModel(7).Graph)
+	base := CoordinatorConfig{Listener: ln, Vars: vars, Clients: 100, SampleFraction: 0.5, Quorum: 40, Rounds: 2}
+	cases := []struct {
+		name string
+		mod  func(*CoordinatorConfig)
+	}{
+		{"no listener", func(c *CoordinatorConfig) { c.Listener = nil }},
+		{"no vars", func(c *CoordinatorConfig) { c.Vars = nil }},
+		{"no clients", func(c *CoordinatorConfig) { c.Clients = 0 }},
+		{"fraction above one", func(c *CoordinatorConfig) { c.SampleFraction = 1.5 }},
+		{"negative fraction", func(c *CoordinatorConfig) { c.SampleFraction = -0.1 }},
+		{"zero quorum", func(c *CoordinatorConfig) { c.Quorum = 0 }},
+		{"quorum above cohort", func(c *CoordinatorConfig) { c.Quorum = 51 }},
+		{"int8 ring overflow", func(c *CoordinatorConfig) {
+			c.Codec = Int8Compression()
+			c.SampleFraction = 1
+			c.Quorum = maxInt8Quorum + 1
+			c.Clients = 1000
+		}},
+		{"zero rounds", func(c *CoordinatorConfig) { c.Rounds = 0 }},
+		{"bad codec", func(c *CoordinatorConfig) { c.Codec = TopKCompression(2) }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		if _, err := NewCoordinator(cfg); err == nil {
+			t.Errorf("%s: coordinator construction succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	xs, ys := tinyShard(10, 1)
+	base := ClientConfig{
+		ID: 0, Addr: "127.0.0.1:1", Model: tinyModel(7), XS: xs, YS: ys,
+		BatchSize: 5, LocalSteps: 1, LocalLR: 0.1, Population: 4, Secret: testSecret,
+	}
+	cases := []struct {
+		name string
+		mod  func(*ClientConfig)
+	}{
+		{"no model", func(c *ClientConfig) { c.Model = dist.Model{} }},
+		{"no shard", func(c *ClientConfig) { c.XS = nil }},
+		{"no addr", func(c *ClientConfig) { c.Addr = "" }},
+		{"zero batch", func(c *ClientConfig) { c.BatchSize = 0 }},
+		{"zero steps", func(c *ClientConfig) { c.LocalSteps = 0 }},
+		{"zero lr", func(c *ClientConfig) { c.LocalLR = 0 }},
+		{"id out of population", func(c *ClientConfig) { c.ID = 4 }},
+		{"negative id", func(c *ClientConfig) { c.ID = -1 }},
+		{"masked without secret", func(c *ClientConfig) { c.Secret = nil }},
+		{"bad codec", func(c *ClientConfig) { c.Codec = TopKCompression(-1) }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		if _, err := NewClient(cfg); err == nil {
+			t.Errorf("%s: client construction succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestHandshakeRejectsMismatches pins fail-fast on configuration skew:
+// a client whose population, codec or masking mode disagrees with the
+// coordinator is refused at the handshake.
+func TestHandshakeRejectsMismatches(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listener: ln, Vars: dist.InitialVars(tinyModel(7).Graph),
+		Clients: 4, Quorum: 4, Rounds: 1, Codec: Int8Compression(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	xs, ys := tinyShard(10, 1)
+	base := ClientConfig{
+		ID: 0, Addr: ln.Addr().String(), Model: tinyModel(7), XS: xs, YS: ys,
+		BatchSize: 5, LocalSteps: 1, LocalLR: 0.1, Population: 4,
+		Secret: testSecret, Codec: Int8Compression(),
+	}
+	cases := []struct {
+		name string
+		mod  func(*ClientConfig)
+	}{
+		{"population mismatch", func(c *ClientConfig) { c.Population = 8; c.ID = 5 }},
+		{"codec mismatch", func(c *ClientConfig) { c.Codec = NoCompression() }},
+		{"clip mismatch", func(c *ClientConfig) { c.Codec = Codec{Kind: CodecInt8, Clip: 0.5} }},
+		{"masking mismatch", func(c *ClientConfig) { c.Unmasked = true; c.Secret = nil }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		if _, err := NewClient(cfg); err == nil {
+			t.Errorf("%s: handshake succeeded, want refusal", tc.name)
+		}
+	}
+	// The matching configuration does connect.
+	c, err := NewClient(base)
+	if err != nil {
+		t.Fatalf("matching handshake failed: %v", err)
+	}
+	c.Close()
+}

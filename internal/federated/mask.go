@@ -1,0 +1,104 @@
+package federated
+
+import (
+	"fmt"
+
+	"github.com/securetf/securetf/internal/seccrypto"
+)
+
+// pairSeed derives the shared masking seed for the client pair (a, b)
+// from the cohort secret. The derivation is symmetric in (a, b) — both
+// ends of the pair compute the identical seed — and the coordinator
+// never holds the cohort secret, so it cannot derive any pair's masks
+// on its own.
+func pairSeed(secret []byte, a, b uint32) seccrypto.Key {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return seccrypto.HKDF(secret, saltPair, fmt.Sprintf("pair %d %d", lo, hi))
+}
+
+// maskPRG expands a pair seed into the pair's mask stream for one
+// round. A fresh round-bound derivation means revealing a pair's seed
+// stream for round r (dropout recovery) discloses nothing about any
+// other round.
+func maskPRG(seed seccrypto.Key, round uint64) *seccrypto.PRG {
+	return seccrypto.NewPRG(seccrypto.HKDF(seed[:], saltMask, fmt.Sprintf("round %d", round)))
+}
+
+// maskWords draws the next n mask words of the given ring width from
+// the pair's stream. The stream is consumed variable-by-variable in
+// sorted manifest order, so both ends of the pair — and the coordinator
+// during dropout recovery — walk identical words.
+func maskWords(g *seccrypto.PRG, n, width int) []uint64 {
+	words := make([]uint64, n)
+	if width == 2 {
+		buf := make([]byte, 2*n)
+		g.Read(buf)
+		for i := range words {
+			words[i] = uint64(buf[2*i]) | uint64(buf[2*i+1])<<8
+		}
+		return words
+	}
+	for i := range words {
+		words[i] = g.Uint64()
+	}
+	return words
+}
+
+// applyPairMasks blinds one client's encoded words in place with the
+// pairwise masks against every other cohort member for the round.
+// Client self adds the pair mask when it is the lower id and subtracts
+// it when it is the higher id, so summed over any pair the masks
+// cancel in uint64 wraparound arithmetic — and therefore in any
+// power-of-two ring the words are later truncated to.
+//
+// updates maps variable name -> encoded words; names must be walked in
+// the given (sorted manifest) order so every party consumes each pair
+// stream identically.
+func applyPairMasks(updates map[string][]uint64, names []string, width int,
+	secret []byte, self uint32, cohort []uint32, round uint64) {
+	for _, peer := range cohort {
+		if peer == self {
+			continue
+		}
+		g := maskPRG(pairSeed(secret, self, peer), round)
+		for _, name := range names {
+			words := updates[name]
+			mask := maskWords(g, len(words), width)
+			if self < peer {
+				for i := range words {
+					words[i] += mask[i]
+				}
+			} else {
+				for i := range words {
+					words[i] -= mask[i]
+				}
+			}
+		}
+	}
+}
+
+// subtractDeadMasks removes the uncancelled masks a dead client j left
+// in survivor i's accepted upload, given the pair seed survivor i
+// revealed. The survivor added +mask(i,j) if i < j and -mask(i,j)
+// otherwise; the coordinator applies the inverse to the accumulated
+// sum.
+func subtractDeadMasks(acc map[string][]uint64, names []string, width int,
+	seed seccrypto.Key, survivor, dead uint32, round uint64) {
+	g := maskPRG(seed, round)
+	for _, name := range names {
+		words := acc[name]
+		mask := maskWords(g, len(words), width)
+		if survivor < dead {
+			for i := range words {
+				words[i] -= mask[i]
+			}
+		} else {
+			for i := range words {
+				words[i] += mask[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package federated
+
+import (
+	"sync"
+
+	"github.com/securetf/securetf/internal/vtime"
+)
+
+// Turnstile is a discrete-event scheduler for simulated clients: it
+// serializes the participants' network actions in global
+// (virtual time, id) order. Each client wraps every network exchange in
+// a turn; a turn is granted only when every live participant is asking
+// for one and this client's (clock, id) pair is the minimum — so the
+// interleaving is a pure function of the virtual timeline, and whole
+// federated runs (sampling, quorum membership, refusals, final
+// variables) are bit-reproducible across processes and GOMAXPROCS
+// settings.
+//
+// A nil *Turnstile grants every turn immediately, which is the
+// free-threaded mode the race-detector churn test runs in.
+type Turnstile struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	clocks  map[int]*vtime.Clock
+	waiting map[int]bool
+	alive   int
+	running bool
+}
+
+// NewTurnstile returns an empty scheduler. Every participant must Join
+// before any of them starts running, or early turns would be granted
+// against an incomplete roster.
+func NewTurnstile() *Turnstile {
+	t := &Turnstile{
+		clocks:  make(map[int]*vtime.Clock),
+		waiting: make(map[int]bool),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Join registers a participant and its clock.
+func (t *Turnstile) Join(id int, clock *vtime.Clock) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.clocks[id]; ok {
+		return
+	}
+	t.clocks[id] = clock
+	t.alive++
+}
+
+// Leave removes a finished participant so the remaining ones stop
+// waiting for it.
+func (t *Turnstile) Leave(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.clocks[id]; !ok {
+		return
+	}
+	delete(t.clocks, id)
+	delete(t.waiting, id)
+	t.alive--
+	t.cond.Broadcast()
+}
+
+// turn blocks until it is the caller's turn and returns the release
+// that ends it. The caller should hold the turn across one network
+// exchange plus the local work that determines its next action time,
+// so the next turn request carries an up-to-date clock.
+func (t *Turnstile) turn(id int) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.waiting[id] = true
+	// A new waiter can complete the roster and unblock the minimum
+	// holder — which may be a peer already waiting.
+	t.cond.Broadcast()
+	for !t.myTurnLocked(id) {
+		t.cond.Wait()
+	}
+	delete(t.waiting, id)
+	t.running = true
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.running = false
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		})
+	}
+}
+
+// myTurnLocked reports whether the caller holds the minimum
+// (virtual time, id) among the full live roster, with no turn in
+// flight. Waiting for the full roster is what makes the order a pure
+// function of the clocks rather than of goroutine scheduling.
+func (t *Turnstile) myTurnLocked(id int) bool {
+	if t.running || len(t.waiting) < t.alive {
+		return false
+	}
+	myTime := t.clocks[id].Now()
+	for other := range t.waiting {
+		if other == id {
+			continue
+		}
+		otherTime := t.clocks[other].Now()
+		if otherTime < myTime || (otherTime == myTime && other < id) {
+			return false
+		}
+	}
+	return true
+}

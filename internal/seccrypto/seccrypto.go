@@ -15,6 +15,7 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -127,6 +128,82 @@ func HKDF(ikm []byte, salt, info string) Key {
 	var k Key
 	copy(k[:], exp.Sum(nil))
 	return k
+}
+
+// PRG is a deterministic pseudo-random generator: AES-256-CTR over an
+// all-zero stream, keyed by a Key (typically derived with HKDF). Two
+// parties holding the same key produce byte-identical streams, which is
+// what the federated secure-aggregation masks and the per-round client
+// sampling rely on — no math/rand, no global state, no RNG on hot
+// paths. A PRG is NOT safe for concurrent use; derive one per
+// goroutine.
+type PRG struct {
+	stream cipher.Stream
+	// buf holds one carry word for Uint64, refilled 512 bytes at a time
+	// so short reads do not pay per-call CTR setup.
+	buf []byte
+	off int
+}
+
+// NewPRG returns a deterministic generator over the given key.
+func NewPRG(key Key) *PRG {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher only fails on a bad key size, impossible here.
+		panic(fmt.Sprintf("seccrypto: PRG cipher: %v", err))
+	}
+	var iv [aes.BlockSize]byte
+	return &PRG{stream: cipher.NewCTR(block, iv[:])}
+}
+
+// Read fills p with deterministic pseudo-random bytes. It never fails.
+func (g *PRG) Read(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	g.stream.XORKeyStream(p, p)
+}
+
+// Uint64 returns the next 64-bit word of the stream.
+func (g *PRG) Uint64() uint64 {
+	if g.off == len(g.buf) {
+		if g.buf == nil {
+			g.buf = make([]byte, 512)
+		}
+		g.Read(g.buf)
+		g.off = 0
+	}
+	v := binary.LittleEndian.Uint64(g.buf[g.off:])
+	g.off += 8
+	return v
+}
+
+// Intn returns a uniform integer in [0, n). It uses rejection sampling,
+// so the distribution carries no modulo bias. n must be positive.
+func (g *PRG) Intn(n int) int {
+	if n <= 0 {
+		panic("seccrypto: PRG.Intn on non-positive bound")
+	}
+	limit := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		if v := g.Uint64(); v < limit {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n) —
+// a Fisher-Yates shuffle driven by the generator.
+func (g *PRG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
 }
 
 // SigningKey is an ECDSA P-256 private key used for quotes and

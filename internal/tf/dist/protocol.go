@@ -21,6 +21,15 @@ const (
 	msgAck                       // PS → worker: round committed (or aborted)
 	msgHello                     // worker → PS: expected shard id/count handshake
 	msgManifest                  // PS → worker: shard id/count + owned-variable manifest
+
+	// Federated round protocol (internal/federated). Clients drive every
+	// exchange; the coordinator only ever answers, so its serve loop
+	// never blocks on a peer.
+	msgFedPoll   // client → coordinator: ask for work (round assignment)
+	msgFedRound  // coordinator → client: round assignment, wait, or done
+	msgFedUnmask // coordinator → client: reveal pair seeds for dead clients
+	msgFedPush   // client → coordinator: masked model update for a round
+	msgFedSeeds  // client → coordinator: pair-seed reveal for dead clients
 )
 
 // maxFrame bounds protocol frames on the wire (the MNIST CNN's
@@ -94,6 +103,24 @@ type message struct {
 	OK    bool
 	Stale bool
 	Err   string
+	// Closed marks a federated round refusal: the round the client
+	// pushed (or polled) for has already completed at quorum. Like Stale
+	// it is the retryable failure of its protocol — the client moves on
+	// to the next round's poll instead of aborting. A late update for a
+	// closed round must be refused outright: once the dead clients' pair
+	// seeds have been revealed, accepting the straggler's masked payload
+	// would let the coordinator unmask it.
+	Closed bool
+	// Seed is the per-round pattern seed of a federated round assignment
+	// (msgFedRound): both sides expand it through the deterministic PRG
+	// to the round's shared top-k coordinate pattern, so sparsification
+	// costs no index bytes on the wire and every cohort member masks the
+	// same coordinates.
+	Seed uint64
+	// Clients carries a federated client-id set: the round's sampled
+	// cohort on msgFedRound, the dead clients awaiting unmasking on
+	// msgFedUnmask. Always sorted ascending.
+	Clients []uint32
 }
 
 // encode serializes the message payload (everything after the length
@@ -154,6 +181,25 @@ func (m *message) encode() []byte {
 		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(blob)))
 		buf.Write(scratch[:4])
 		buf.Write(blob)
+	}
+	// The federated fields are a trailing extension, written only when
+	// one of them is set: frames of the worker/PS protocol stay
+	// byte-identical to the pre-federated format, and the decoder reads
+	// end-of-payload as all-zero.
+	if m.Closed || m.Seed != 0 || len(m.Clients) > 0 {
+		if m.Closed {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		binary.LittleEndian.PutUint64(scratch[:], m.Seed)
+		buf.Write(scratch[:])
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(m.Clients)))
+		buf.Write(scratch[:4])
+		for _, id := range m.Clients {
+			binary.LittleEndian.PutUint32(scratch[:4], id)
+			buf.Write(scratch[:4])
+		}
 	}
 	return buf.Bytes()
 }
@@ -302,6 +348,35 @@ func decode(payload []byte) (*message, error) {
 		}
 		m.Grads[name] = blob
 	}
+	// Trailing federated extension: absent on frames of the worker/PS
+	// protocol (see encode), in which case the fields stay zero.
+	if r.Len() == 0 {
+		return &m, nil
+	}
+	closedByte, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dist: truncated closed flag: %w", err)
+	}
+	m.Closed = closedByte != 0
+	if m.Seed, err = readUint(r, 8); err != nil {
+		return nil, err
+	}
+	clientCount, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	// Each client id is exactly four bytes; a larger count is a corrupt
+	// frame, not an allocation hint to honour.
+	if clientCount > uint64(r.Len())/4 {
+		return nil, fmt.Errorf("dist: client count %d exceeds remaining payload", clientCount)
+	}
+	for i := uint64(0); i < clientCount; i++ {
+		id, err := readUint(r, 4)
+		if err != nil {
+			return nil, err
+		}
+		m.Clients = append(m.Clients, uint32(id))
+	}
 	return &m, nil
 }
 
@@ -367,6 +442,35 @@ func send(conn net.Conn, clock *vtime.Clock, params sgx.Params, m *message) (int
 		return 0, err
 	}
 	return len(hdr) + len(payload), nil
+}
+
+// Exported wire API. internal/federated speaks the same framed
+// protocol — vtime-stamped frames, the hello/manifest handshake idiom,
+// the retryable-flag acks — with the msgFed* kinds, so the frame codec
+// and its fuzz hardening are shared rather than reimplemented.
+type Message = message
+
+// Federated message kinds and the handshake/ack kinds the federated
+// protocol reuses.
+const (
+	MsgAck       = msgAck
+	MsgHello     = msgHello
+	MsgManifest  = msgManifest
+	MsgFedPoll   = msgFedPoll
+	MsgFedRound  = msgFedRound
+	MsgFedUnmask = msgFedUnmask
+	MsgFedPush   = msgFedPush
+	MsgFedSeeds  = msgFedSeeds
+)
+
+// Send frames and sends m on conn (see send).
+func Send(conn net.Conn, clock *vtime.Clock, params sgx.Params, m *Message) (int, error) {
+	return send(conn, clock, params, m)
+}
+
+// Receive reads one frame from conn (see receive).
+func Receive(conn net.Conn, clock *vtime.Clock, params sgx.Params) (*Message, error) {
+	return receive(conn, clock, params)
 }
 
 // receive reads one frame from conn and advances clock to the causally

@@ -36,6 +36,20 @@ func fuzzSeedFrames() [][]byte {
 		{Kind: msgPush, Worker: 2, Round: 9, Step: 3, Grads: map[string][]byte{"b": topkBlob}},
 		{Kind: msgAck, OK: true},
 		{Kind: msgAck, OK: false, Stale: true, Err: "dist: push exceeds the staleness bound"},
+		// Federated frames: a round assignment with a sampled cohort and
+		// pattern seed, a masked update (opaque integer-ring payload in
+		// Grads), a round refusal, an unmask request and a seed reveal —
+		// the frames the secure-aggregation rounds actually exchange.
+		{Kind: msgFedPoll, Worker: 17, Round: 3},
+		{Kind: msgFedRound, OK: true, Round: 4, Seed: 0xfeedc0dedeadbeef,
+			Clients: []uint32{0, 3, 5, 17}, Vars: map[string]*tf.Tensor{"w": tensor}},
+		{Kind: msgFedRound, OK: true, Closed: true},
+		{Kind: msgFedPush, Worker: 5, Round: 4, Grads: map[string][]byte{
+			"w": {3, 8, 2, 0, 0, 0, 0x5a, 0xa5, 0x01, 0xff, 0x7f, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x12, 0x34, 0x56, 0x78},
+		}},
+		{Kind: msgAck, OK: false, Closed: true, Err: "federated: round 4 closed at quorum"},
+		{Kind: msgFedUnmask, OK: true, Round: 4, Clients: []uint32{3}},
+		{Kind: msgFedSeeds, Worker: 5, Round: 4, Grads: map[string][]byte{"3": make([]byte, 32)}},
 	}
 	out := make([][]byte, len(frames))
 	for i, m := range frames {
@@ -69,9 +83,10 @@ func FuzzFrameCodec(f *testing.F) {
 		// The count guards must have kept every decoded collection within
 		// the physical payload: each manifest name costs ≥ 4 bytes, each
 		// variable or compressed-gradient entry ≥ 8.
-		if len(m.Names)*4 > len(payload) || len(m.Vars)*8 > len(payload) || len(m.Grads)*8 > len(payload) {
-			t.Fatalf("decoded %d names, %d vars and %d grads out of a %d-byte payload",
-				len(m.Names), len(m.Vars), len(m.Grads), len(payload))
+		if len(m.Names)*4 > len(payload) || len(m.Vars)*8 > len(payload) || len(m.Grads)*8 > len(payload) ||
+			len(m.Clients)*4 > len(payload) {
+			t.Fatalf("decoded %d names, %d vars, %d grads and %d clients out of a %d-byte payload",
+				len(m.Names), len(m.Vars), len(m.Grads), len(m.Clients), len(payload))
 		}
 		reenc := m.encode()
 		back, err := decode(reenc)
@@ -81,12 +96,21 @@ func FuzzFrameCodec(f *testing.F) {
 		if back.Kind != m.Kind || back.Round != m.Round || back.Step != m.Step ||
 			back.Worker != m.Worker || back.OK != m.OK || back.Stale != m.Stale ||
 			back.Policy != m.Policy || back.Staleness != m.Staleness || back.Err != m.Err ||
-			back.Codec != m.Codec || back.TopK != m.TopK {
+			back.Codec != m.Codec || back.TopK != m.TopK ||
+			back.Closed != m.Closed || back.Seed != m.Seed {
 			t.Fatalf("round trip changed the header: %+v vs %+v", m, back)
 		}
 		if len(back.Names) != len(m.Names) || len(back.Vars) != len(m.Vars) || len(back.Grads) != len(m.Grads) {
 			t.Fatalf("round trip changed the payload: %d/%d names, %d/%d vars, %d/%d grads",
 				len(back.Names), len(m.Names), len(back.Vars), len(m.Vars), len(back.Grads), len(m.Grads))
+		}
+		if len(back.Clients) != len(m.Clients) {
+			t.Fatalf("round trip changed the client set: %d vs %d ids", len(back.Clients), len(m.Clients))
+		}
+		for i := range m.Clients {
+			if back.Clients[i] != m.Clients[i] {
+				t.Fatalf("round trip changed client id %d: %d vs %d", i, back.Clients[i], m.Clients[i])
+			}
 		}
 	})
 }

@@ -69,6 +69,62 @@ func SliceRows(t *Tensor, lo, hi int) (*Tensor, error) {
 	}
 }
 
+// FilterClasses keeps the rows of a labelled dataset whose one-hot
+// label is among the given classes — the non-IID sharding helper of the
+// federated-learning use case, where each participant holds examples of
+// only some classes. xs is [n, ...] and ys the matching [n, depth]
+// one-hot labels.
+func FilterClasses(xs, ys *Tensor, classes ...int) (*Tensor, *Tensor, error) {
+	if len(classes) == 0 {
+		return nil, nil, errors.New("securetf: FilterClasses needs at least one class")
+	}
+	xShape, yShape := xs.Shape(), ys.Shape()
+	if len(xShape) == 0 || len(yShape) != 2 || xShape[0] != yShape[0] {
+		return nil, nil, fmt.Errorf("securetf: FilterClasses on shapes %v and %v", xShape, yShape)
+	}
+	depth := yShape[1]
+	keep := make(map[int]bool, len(classes))
+	for _, cls := range classes {
+		if cls < 0 || cls >= depth {
+			return nil, nil, fmt.Errorf("securetf: class %d outside the %d-class label space", cls, depth)
+		}
+		keep[cls] = true
+	}
+	rowElems := 1
+	for _, d := range xShape[1:] {
+		rowElems *= d
+	}
+	var outX, outY []float32
+	rows := 0
+	for i := 0; i < yShape[0]; i++ {
+		row := ys.Floats()[i*depth : (i+1)*depth]
+		cls := 0
+		for j, v := range row {
+			if v > row[cls] {
+				cls = j
+			}
+		}
+		if !keep[cls] {
+			continue
+		}
+		outX = append(outX, xs.Floats()[i*rowElems:(i+1)*rowElems]...)
+		outY = append(outY, row...)
+		rows++
+	}
+	if rows == 0 {
+		return nil, nil, fmt.Errorf("securetf: no examples of classes %v in the dataset", classes)
+	}
+	fx, err := tf.FromFloats(append(Shape{rows}, xShape[1:]...), outX)
+	if err != nil {
+		return nil, nil, err
+	}
+	fy, err := tf.FromFloats(Shape{rows, depth}, outY)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fx, fy, nil
+}
+
 // Optimizer updates model variables from gradients. The concrete types
 // are SGD, Momentum and Adam.
 type (
