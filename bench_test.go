@@ -382,7 +382,7 @@ func BenchmarkServingThroughput(b *testing.B) {
 				cfg.MaxBatch = batch
 				cfg.BatchWindow = 2 * time.Millisecond
 			}
-			gw, err := securetf.ServeModels(c, "127.0.0.1:0", cfg)
+			gw, err := securetf.ServeModels(c, securetf.ModelServerConfig{Addr: "127.0.0.1:0", ServingConfig: cfg})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -418,7 +418,7 @@ func BenchmarkServingThroughput(b *testing.B) {
 						errs <- nil
 						return
 					}
-					cl, err := securetf.DialModelServer(c, gw.Addr(), "")
+					cl, err := securetf.DialModelServer(c, securetf.ModelClientConfig{Addr: gw.Addr()})
 					if err != nil {
 						errs <- err
 						return
@@ -499,7 +499,7 @@ func BenchmarkServingAutoscale(b *testing.B) {
 			cfg.Replicas = 1
 			cfg.Autoscale = &securetf.ServingAutoscale{MaxReplicas: 8}
 		}
-		gw, err := securetf.ServeModels(c, "127.0.0.1:0", cfg)
+		gw, err := securetf.ServeModels(c, securetf.ModelServerConfig{Addr: "127.0.0.1:0", ServingConfig: cfg})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -514,7 +514,7 @@ func BenchmarkServingAutoscale(b *testing.B) {
 		// Touch the idle model so its interpreter pool exists, then
 		// leave it alone: the static gateway keeps it resident for the
 		// whole run, the autoscaler notices the silence and evicts it.
-		warm, err := securetf.DialModelServer(c, gw.Addr(), "")
+		warm, err := securetf.DialModelServer(c, securetf.ModelClientConfig{Addr: gw.Addr()})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -537,7 +537,7 @@ func BenchmarkServingAutoscale(b *testing.B) {
 					errs <- nil
 					return
 				}
-				cl, err := securetf.DialModelServer(c, gw.Addr(), "")
+				cl, err := securetf.DialModelServer(c, securetf.ModelClientConfig{Addr: gw.Addr()})
 				if err != nil {
 					errs <- err
 					return
@@ -587,6 +587,145 @@ func BenchmarkServingAutoscale(b *testing.B) {
 	}
 	if rsAuto >= rsStatic {
 		b.Fatalf("autoscale used %.3f replica-seconds, static %.3f — no capacity saved", rsAuto, rsStatic)
+	}
+}
+
+// BenchmarkServingRouter measures the router tier's horizontal scaling:
+// the same 16-client single-row workload runs against fleets of 1, 2
+// and 4 gateway nodes, every node on its own platform (its own virtual
+// clock — a separate machine in the cost model). Aggregate virtual
+// req/s divides requests by the busiest node's clock advance, so with
+// even spread it grows with the fleet; metric scaling-1to2-x (reported
+// on the nodes2 run) is the CI bench gate's regression subject — the
+// acceptance bar is >= 1.7x from one node to two.
+func BenchmarkServingRouter(b *testing.B) {
+	model := securetf.BuildInferenceModel(securetf.PaperModels()[0]) // densenet, 42 MB
+	input := securetf.RandomImageInput(securetf.PaperModels()[0], 1, 1)
+	const clients = 16
+
+	launch := func(name string) *securetf.Container {
+		platform, err := securetf.NewPlatform(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := securetf.Launch(securetf.ContainerConfig{
+			Kind:     securetf.SconeHW,
+			Platform: platform,
+			Image:    securetf.TFLiteImage(),
+			HostFS:   securetf.NewMemFS(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	rpsAt := make(map[int]float64)
+	for _, nodeCount := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes%d", nodeCount), func(b *testing.B) {
+			nodeCs := make([]*securetf.Container, nodeCount)
+			specs := make([]securetf.RouterNode, nodeCount)
+			for i := 0; i < nodeCount; i++ {
+				c := launch(fmt.Sprintf("router-bench-node-%d", i))
+				defer c.Close()
+				gw, err := securetf.ServeModels(c, securetf.ModelServerConfig{
+					Addr:          "127.0.0.1:0",
+					ServingConfig: securetf.ServingConfig{QueueCap: 256},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer gw.Close()
+				if err := gw.Register("densenet", 1, model); err != nil {
+					b.Fatal(err)
+				}
+				nodeCs[i] = c
+				specs[i] = securetf.RouterNode{
+					Name:   fmt.Sprintf("node-%d", i),
+					Addr:   gw.Addr(),
+					Models: []string{"densenet"},
+				}
+			}
+			routerC := launch("router-bench-front")
+			defer routerC.Close()
+			rt, err := securetf.ServeRouter(routerC, securetf.RouterConfig{
+				Addr:  "127.0.0.1:0",
+				Nodes: specs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			clientC := launch("router-bench-client")
+			defer clientC.Close()
+
+			requests := b.N
+			if requests < 4*clients {
+				requests = 4 * clients
+			}
+			vBefore := make([]time.Duration, nodeCount)
+			for i, c := range nodeCs {
+				vBefore[i] = c.Clock().Now()
+			}
+			b.ResetTimer()
+			start := time.Now()
+			errs := make(chan error, clients)
+			for i := 0; i < clients; i++ {
+				count := requests / clients
+				if i < requests%clients {
+					count++
+				}
+				go func(count int) {
+					if count == 0 {
+						errs <- nil
+						return
+					}
+					cl, err := securetf.DialRouter(clientC, securetf.RouterClientConfig{
+						Addr:         rt.Addr(),
+						VerifyKey:    rt.ManifestKey().Public(),
+						ExpectModels: []string{"densenet"},
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer cl.Close()
+					for j := 0; j < count; j++ {
+						if _, err := cl.Classify("densenet", input); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}(count)
+			}
+			for i := 0; i < clients; i++ {
+				if err := <-errs; err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The fleet's virtual makespan is the busiest node's clock
+			// advance: separate platforms run concurrently in the cost
+			// model, so even spread divides the work.
+			var makespan time.Duration
+			for i, c := range nodeCs {
+				if d := c.Clock().Now() - vBefore[i]; d > makespan {
+					makespan = d
+				}
+			}
+			served := float64(requests)
+			rps := served / makespan.Seconds()
+			rpsAt[nodeCount] = rps
+			b.ReportMetric(rps, "req/s-virtual-aggregate")
+			b.ReportMetric(served/time.Since(start).Seconds(), "req/s-wall")
+			if base, ok := rpsAt[1]; ok && nodeCount == 2 {
+				b.ReportMetric(rps/base, "scaling-1to2-x")
+			}
+			if base, ok := rpsAt[1]; ok && nodeCount == 4 {
+				b.ReportMetric(rps/base, "scaling-1to4-x")
+			}
+			b.StopTimer()
+		})
 	}
 }
 

@@ -115,6 +115,10 @@ func run(args []string, w io.Writer) error {
 		fedComp    = fs.String("fed-compress", "none", "masked uplink codec: none, int8 (16-bit ring) or topk (with -fed-topk)")
 		fedTopK    = fs.Float64("fed-topk", 0.1, "shared pseudo-random coordinate fraction uploaded per variable, in (0, 1] (with -fed-compress topk)")
 
+		routerMode  = fs.Bool("router", false, "run an in-process multi-node serving fleet behind a router instead of a single gateway")
+		routerNodes = fs.Int("nodes", 2, "gateway nodes in the fleet (with -router)")
+		routerGraph = fs.Bool("graph", false, "compile a pipeline inference graph across the fleet and run a request through it (with -router)")
+
 		casAddr   = fs.String("cas", "", "CAS address (required)")
 		casInfo   = fs.String("cas-info", "", "path to the CAS platform key PEM; its .measurement sibling must exist (required)")
 		trustdir  = fs.String("trustdir", "", "directory where the CAS scans for platform keys (required)")
@@ -144,8 +148,32 @@ func run(args []string, w io.Writer) error {
 	// config the user didn't ask for is worse than a usage error.
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *train && *federated {
-		return errors.New("-train and -federated are mutually exclusive; run one job per invocation")
+	modes := 0
+	for _, m := range []bool{*train, *federated, *routerMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errors.New("-train, -federated and -router are mutually exclusive; run one job per invocation")
+	}
+	if !*routerMode {
+		for _, f := range []string{"nodes", "graph"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies with -router", f)
+			}
+		}
+	}
+	if *routerMode {
+		for _, f := range []string{"autoscale", "autoscale-max", "canary", "models", "replicas", "max-batch", "batch-window", "cas", "cas-info", "trustdir", "listen", "spec", "model", "session", "token"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies in serve mode, not with -router", f)
+			}
+		}
+		if *routerNodes < 1 {
+			return fmt.Errorf("-nodes must be >= 1, got %d", *routerNodes)
+		}
+		return runRouter(w, *routerNodes, *routerGraph)
 	}
 	if !*federated {
 		for _, f := range []string{"clients", "quorum", "sample-frac", "fed-rounds", "fed-compress", "fed-topk"} {
@@ -368,7 +396,9 @@ func run(args []string, w io.Writer) error {
 	if *autoscale {
 		servingCfg.Autoscale = &securetf.ServingAutoscale{MaxReplicas: *autoMax}
 	}
-	gateway, err := securetf.ServeModels(container, *listen, servingCfg)
+	gateway, err := securetf.ServeModels(container, securetf.ModelServerConfig{
+		Addr: *listen, ServingConfig: servingCfg,
+	})
 	if err != nil {
 		return err
 	}
@@ -509,6 +539,167 @@ func runFederated(w io.Writer, clients, quorum, rounds int, frac float64, comp s
 	return nil
 }
 
+// runRouter stands up an in-process serving fleet — nodeCount gateway
+// containers on one platform behind a router that verifies the
+// model→node placement at startup and signs it for clients — then
+// drives traffic through it and reports the spread. With withGraph, a
+// pre → digits → post pipeline graph spanning the fleet is compiled
+// against the placement and exercised in a single client call, with the
+// router's per-step virtual-time attribution printed.
+func runRouter(w io.Writer, nodeCount int, withGraph bool) error {
+	fmt.Fprintf(w, "router fleet: %d gateway nodes (graph: %v)\n", nodeCount, withGraph)
+	platform, err := securetf.NewPlatform("router-fleet")
+	if err != nil {
+		return err
+	}
+	launch := func() (*securetf.Container, error) {
+		return securetf.Launch(securetf.ContainerConfig{
+			Kind:     securetf.SconeHW,
+			Platform: platform,
+			Image:    securetf.TFLiteImage(),
+			HostFS:   securetf.NewMemFS(),
+		})
+	}
+	// stage builds a fixed-weight scaled-identity model over 10 classes;
+	// scaled identities compose, so pipeline steps verifiably multiply.
+	stage := func(scale float32) (*securetf.LiteModel, error) {
+		const k = 10
+		vals := make([]float32, k*k)
+		for i := 0; i < k; i++ {
+			vals[i*k+i] = scale
+		}
+		wt, err := securetf.TensorFromFloats(securetf.Shape{k, k}, vals)
+		if err != nil {
+			return nil, err
+		}
+		g := securetf.NewGraph()
+		x := g.Placeholder("in", securetf.Float32, securetf.Shape{-1, k})
+		y := g.MatMul(x, g.Const("w", wt))
+		frozen := &securetf.FrozenModel{Graph: g, Input: x, Output: y}
+		return frozen.ConvertToLite(securetf.ConvertOptions{})
+	}
+	digits, err := stage(1)
+	if err != nil {
+		return err
+	}
+
+	nodes := make([]securetf.RouterNode, nodeCount)
+	for i := 0; i < nodeCount; i++ {
+		c, err := launch()
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		gw, err := securetf.ServeModels(c, securetf.ModelServerConfig{Addr: "127.0.0.1:0"})
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		if err := gw.Register("digits", 1, digits); err != nil {
+			return err
+		}
+		models := []string{"digits"}
+		if withGraph && i == 0 {
+			pre, err := stage(2)
+			if err != nil {
+				return err
+			}
+			if err := gw.Register("pre", 1, pre); err != nil {
+				return err
+			}
+			models = append(models, "pre")
+		}
+		if withGraph && i == nodeCount-1 {
+			post, err := stage(4)
+			if err != nil {
+				return err
+			}
+			if err := gw.Register("post", 1, post); err != nil {
+				return err
+			}
+			models = append(models, "post")
+		}
+		nodes[i] = securetf.RouterNode{Name: fmt.Sprintf("node-%d", i), Addr: gw.Addr(), Models: models}
+	}
+
+	var graphs []securetf.GraphSpec
+	if withGraph {
+		graphs = []securetf.GraphSpec{{
+			Name: "pipeline",
+			Nodes: map[string]securetf.GraphNode{
+				"root": {Kind: securetf.GraphSequence, Steps: []securetf.GraphStep{
+					{Name: "pre", Model: "pre"},
+					{Name: "digits", Model: "digits"},
+					{Name: "post", Model: "post"},
+				}},
+			},
+		}}
+	}
+	routerC, err := launch()
+	if err != nil {
+		return err
+	}
+	defer routerC.Close()
+	rt, err := securetf.ServeRouter(routerC, securetf.RouterConfig{
+		Addr:   "127.0.0.1:0",
+		Nodes:  nodes,
+		Graphs: graphs,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	for _, n := range rt.Manifest().Nodes {
+		fmt.Fprintf(w, "placement verified: %s at %s serves %s\n", n.Name, n.Addr, strings.Join(n.Models, ", "))
+	}
+
+	clientC, err := launch()
+	if err != nil {
+		return err
+	}
+	defer clientC.Close()
+	expectGraphs := []string(nil)
+	if withGraph {
+		expectGraphs = []string{"pipeline"}
+	}
+	cl, err := securetf.DialRouter(clientC, securetf.RouterClientConfig{
+		Addr:         rt.Addr(),
+		VerifyKey:    rt.ManifestKey().Public(),
+		ExpectModels: []string{"digits"},
+		ExpectGraphs: expectGraphs,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	fmt.Fprintln(w, "client dialed: signed placement manifest verified against the pinned key")
+
+	input := securetf.RandNormal(securetf.Shape{1, 10}, 1, 7)
+	const requests = 32
+	for i := 0; i < requests; i++ {
+		if _, err := cl.Classify("digits", input); err != nil {
+			return err
+		}
+	}
+	for _, nm := range rt.Metrics().Nodes {
+		fmt.Fprintf(w, "spread: %s served %d of %d requests (weight %d)\n", nm.Name, nm.Requests, requests, nm.Weight)
+	}
+
+	if withGraph {
+		out, _, vt, err := cl.InferTimed("pipeline", 0, input)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "graph pipeline: 3 steps in one call, output scale %.0fx, virtual service time %v\n",
+			out.Floats()[0]/input.Floats()[0], vt)
+		traces := rt.Traces("pipeline")
+		for _, st := range traces[len(traces)-1].Steps {
+			fmt.Fprintf(w, "  step %-6s model %-6s on %-7s %v\n", st.Step, st.Model, st.Node, st.Vtime)
+		}
+	}
+	return nil
+}
+
 // probe runs one classification per served model through a second
 // attested container in this process, exercising the full CAS → TLS →
 // classify path. The probe container reuses the worker's platform (the
@@ -533,7 +724,9 @@ func probe(w io.Writer, platform *securetf.Platform, casAddr, casMeasurement str
 	if _, _, err := probeC.Provision(client, session, "models"); err != nil {
 		return fmt.Errorf("probe attestation: %w", err)
 	}
-	cl, err := securetf.DialModelServer(probeC, svcAddr, "classifier")
+	cl, err := securetf.DialModelServer(probeC, securetf.ModelClientConfig{
+		Addr: svcAddr, ServerName: "classifier",
+	})
 	if err != nil {
 		return err
 	}

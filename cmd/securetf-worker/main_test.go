@@ -403,6 +403,85 @@ func TestWorkerFederatedFlagValidation(t *testing.T) {
 	}
 }
 
+func TestWorkerRouterFleet(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-router", "-nodes", "2", "-graph"}, &buf)
+	if err != nil {
+		t.Fatalf("router mode: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"router fleet: 2 gateway nodes",
+		"placement verified: node-0",
+		"placement verified: node-1",
+		"signed placement manifest verified",
+		"graph pipeline: 3 steps in one call, output scale 8x",
+		"step pre",
+		"step post",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestWorkerRouterFlagValidation pins the usage-error contract for
+// router mode: fleet knobs without -router, mode mixing, and flags from
+// the other modes are rejected up front.
+func TestWorkerRouterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"nodes without router mode",
+			[]string{"-nodes", "3"},
+			"-nodes only applies with -router",
+		},
+		{
+			"graph without router mode",
+			[]string{"-graph"},
+			"-graph only applies with -router",
+		},
+		{
+			"router and train together",
+			[]string{"-router", "-train"},
+			"mutually exclusive",
+		},
+		{
+			"router and federated together",
+			[]string{"-router", "-federated"},
+			"mutually exclusive",
+		},
+		{
+			"zero nodes",
+			[]string{"-router", "-nodes", "0"},
+			"-nodes must be >= 1",
+		},
+		{
+			"serve flags under router mode",
+			[]string{"-router", "-canary", "10"},
+			"only applies in serve mode",
+		},
+		{
+			"cas flags under router mode",
+			[]string{"-router", "-cas", "127.0.0.1:1"},
+			"only applies in serve mode",
+		},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil {
+			t.Errorf("%s: accepted (a fleet ran with a config the user didn't ask for)", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 func TestLoadModelSpecs(t *testing.T) {
 	for _, spec := range []string{"densenet", "inception_v3"} {
 		m, err := loadModel(spec, "")

@@ -18,7 +18,8 @@
 //  3. Train a model with Train, Freeze it, convert it to the
 //     small-footprint Lite format with FrozenModel.ConvertToLite, and
 //     classify with a Classifier — or serve over the network with
-//     ServeModels (many models) or ServeInference (one model).
+//     ServeModels (one gateway) and ServeRouter (a fleet of gateways
+//     behind a router).
 //
 // A minimal secure classification round trip:
 //
@@ -67,9 +68,23 @@
 // responses carry one class label per row rather than full probability
 // vectors) and an explicit response status + serving version, so one
 // endpoint multiplexes models and clients can distinguish overload from
-// hard failure. ServeInference/DialInference remain as
-// single-model wrappers over the same gateway, publishing their one
-// model as DefaultModelName@1. A ModelClient can opt into overload
+// hard failure. Every response also carries the virtual service time the
+// node charged the request, which is what lets a router attribute
+// per-step cost across a fleet (§4.3 below). The serving facade is one
+// surface: ServeModels/DialModelServer take a single config struct
+// (ModelServerConfig, ModelClientConfig) and a request with an empty
+// model name resolves to DefaultModelName, so single-model deployments
+// need no separate API. The historical single-model pair
+// (ServeInference/DialInference with their InferenceService/
+// InferenceClient types) remains only as deprecated thin wrappers over
+// this surface — migrate by registering the model explicitly:
+//
+//	gw, _ := securetf.ServeModels(c, securetf.ModelServerConfig{Addr: addr})
+//	_ = gw.Register(securetf.DefaultModelName, 1, model)
+//	cl, _ := securetf.DialModelServer(c, securetf.ModelClientConfig{Addr: gw.Addr()})
+//	classes, _ := cl.Classify("", input)
+//
+// A ModelClient can opt into overload
 // retries with SetRetry: capped exponential backoff whose jitter is a
 // hash of the request identity rather than a random draw, so the retry
 // schedule is deterministic and the backoff is charged to the virtual
@@ -107,7 +122,11 @@
 // Rollouts are weighted canaries: StartCanary(model, candidate, cfg)
 // routes cfg.Percent of unpinned traffic to the candidate version
 // (pinned requests never participate), evenly spread rather than
-// front-loaded. After cfg.Window candidate responses the gateway
+// front-loaded. The observation window is bounded two ways: after
+// cfg.Window candidate responses, or — when cfg.WindowVtime is set —
+// after that much virtual time has elapsed since the canary started,
+// whichever comes first, so a trickle of traffic cannot leave a canary
+// undecided forever. At the boundary the gateway
 // decides: rollback when the model's admission-rejection fraction
 // exceeds its pre-canary baseline by MaxRejectDelta, when the
 // candidate's error rate exceeds the incumbent's by the same delta, or
@@ -120,6 +139,43 @@
 // exactly one of promoted / rolled-back / aborted — is reported by
 // ModelServer.Canary and in Metrics, whose snapshot is ordered
 // deterministically by model then version.
+//
+// Multi-node serving (§4.3) fronts a fleet of gateways with a router
+// tier. ServeRouter(c, RouterConfig{...}) takes the placement — a list
+// of RouterNode entries naming each gateway's address and the models it
+// is expected to serve — plus optional GraphSpec definitions, and
+// builds a signed placement manifest. At startup the router dials every
+// node through its own attested container and verifies the placement
+// against what the node actually serves, failing fast with
+// ErrManifestMismatch instead of routing into a misconfigured fleet;
+// the same check rejects graphs whose steps reference unplaced models.
+// Clients connect with DialRouter(c, RouterClientConfig{...}): the dial
+// handshake returns the manifest signed with the router's ECDSA
+// manifest key, the client verifies it against the pinned VerifyKey
+// (Router.ManifestKey().Public()), and ExpectModels/ExpectGraphs let
+// the client fail fast at dial time when the fleet does not serve what
+// it needs. Request spread is smooth weighted round-robin over the
+// healthy nodes serving the requested model: per-node rejection and
+// error rates, sampled on virtual-time ticks, drive the weights, a node
+// whose connection dies is marked dead and its pooled connections are
+// flushed, and in-flight requests fail over to the next candidate node
+// — the caller sees one surface regardless of fleet size.
+//
+// Inference graphs compose models across the fleet in a single client
+// call. A GraphSpec is a tree of GraphNodes: Sequence pipes each step's
+// output into the next (virtual cost is the sum of steps); Ensemble
+// runs its children concurrently and averages their outputs (cost is
+// the slowest child, and it degrades to the surviving children when a
+// node dies mid-call); Splitter picks one child per request by declared
+// weight with a deterministic modular counter, failing over in
+// declaration order; Switch classifies with its selector model and
+// branches on the argmax class, falling back to its default branch for
+// unmapped classes. Each executed step charges the virtual service time
+// reported by the node that ran it, so Router.Metrics carries per-graph
+// and per-node aggregates and Router.Traces(graph) returns per-request
+// GraphTraces — step, model, node and virtual time for every hop, which
+// is what examples/document_digitization prints for its three-step
+// OCR → classify → redact pipeline.
 //
 // Distributed training (§5.4) follows the classic TF1 between-graph
 // data-parallel architecture: StartParameterServer seeds a parameter

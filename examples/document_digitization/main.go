@@ -1,18 +1,30 @@
-// Document digitization: the paper's first production use case (§6.1).
+// Document digitization: the paper's first production use case (§6.1),
+// grown from a single classifier service into a multi-node serving
+// fleet.
 //
-// A company translates handwritten documents to digital text on a public
-// cloud. Its customers demand confidentiality of the document images;
-// the company must protect its model and inference code. The deployment
-// therefore runs the recognizer inside an enclave, stores model and code
-// through the file-system shield (the host only ever sees ciphertext),
-// and customers attest the enclave through the CAS before sending
-// images over TLS.
+// A company translates handwritten documents to digital text on a
+// public cloud. Its customers demand confidentiality of the document
+// images; the company must protect its model and inference code — and
+// its compliance rules additionally require that digits flagged as
+// sensitive (account-number digits, here 3 and 7) never leave the
+// enclave boundary in the clear. The digitization pipeline therefore
+// runs as an inference graph across three attested gateway nodes behind
+// a router:
 //
-// This example plays all three roles in one process:
+//	ocr      → recognize the handwriting (the trained model)
+//	classify → tag each digit with a sensitivity score
+//	redact   → replace sensitive digits with a mask class
 //
-//   - the company trains a digit recognizer and provisions the service,
-//   - the cloud runs the attested inference container,
-//   - a customer attests the service and submits a document.
+// The router verifies the model→node placement against every node at
+// startup, signs it, and publishes it to clients at dial time; the
+// customer pins the signing key and submits the whole document in one
+// call. This example plays all three roles in one process:
+//
+//   - the company trains the recognizer and builds the fixed-weight
+//     classify/redact stages,
+//   - the cloud runs the attested three-node fleet and the router,
+//   - a customer attests, pins the placement manifest and submits a
+//     document.
 //
 // Run with:
 //
@@ -27,14 +39,47 @@ import (
 	securetf "github.com/securetf/securetf"
 )
 
+// maskClass is the redaction class appended after the ten digits.
+const maskClass = 10
+
+// sensitive flags the digit classes the compliance policy redacts.
+var sensitive = map[int]bool{3: true, 7: true}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// stage builds a fixed-weight pipeline stage as a Lite model: an
+// optional softmax followed by a single matrix multiply with the given
+// [in, out] weights. The stages go through the same frozen-graph →
+// Lite conversion as trained models, so the fleet serves them like any
+// other model.
+func stage(in, out int, softmax bool, w func(i, j int) float32) (*securetf.LiteModel, error) {
+	vals := make([]float32, in*out)
+	for i := 0; i < in; i++ {
+		for j := 0; j < out; j++ {
+			vals[i*out+j] = w(i, j)
+		}
+	}
+	wt, err := securetf.TensorFromFloats(securetf.Shape{in, out}, vals)
+	if err != nil {
+		return nil, err
+	}
+	g := securetf.NewGraph()
+	x := g.Placeholder("in", securetf.Float32, securetf.Shape{-1, in})
+	cur := x
+	if softmax {
+		cur = g.Softmax(cur)
+	}
+	y := g.MatMul(cur, g.Const("w", wt))
+	frozen := &securetf.FrozenModel{Graph: g, Input: x, Output: y}
+	return frozen.ConvertToLite(securetf.ConvertOptions{})
+}
+
 func run() error {
-	// --- Cluster: a CAS node and a cloud worker node. ---
+	// --- Cluster: a CAS node and a cloud fleet platform. ---
 	casPlatform, err := securetf.NewPlatform("cas-node")
 	if err != nil {
 		return err
@@ -50,7 +95,8 @@ func run() error {
 	defer cas.Close()
 	fmt.Printf("CAS running (measurement %s…)\n", cas.Measurement().Hex()[:16])
 
-	// --- The company: train the recognizer on its private data. ---
+	// --- The company: train the recognizer on its private data, and
+	// build the classify/redact stages from its compliance policy. ---
 	companyFS := securetf.NewMemFS()
 	if err := securetf.GenerateMNIST(companyFS, "mnist", 512, 128, 7); err != nil {
 		return err
@@ -73,33 +119,89 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	model, err := frozen.ConvertToLite(securetf.ConvertOptions{})
+	ocrModel, err := frozen.ConvertToLite(securetf.ConvertOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("company trained recognizer (loss %.4f, %d weight bytes)\n",
-		trained.LastLoss(), model.WeightBytes())
-
-	// --- The cloud: an attested container with encrypted model storage.
-	// The untrusted host file system is cloudHost; everything under
-	// volumes/models/ is ciphertext there.
-	cloudHost := securetf.NewMemFS()
-	service, err := securetf.Launch(securetf.ContainerConfig{
-		Kind:          securetf.SconeHW,
-		Platform:      cloudPlatform,
-		Image:         securetf.TFLiteImage(),
-		HostFS:        cloudHost,
-		FSShieldRules: []securetf.Rule{securetf.EncryptPrefix("volumes/models/")},
+	// classify: softmax the OCR logits, pass the ten digit probabilities
+	// through, and append an 11th column holding the total probability
+	// mass on the sensitive digits.
+	classifyModel, err := stage(10, 11, true, func(i, j int) float32 {
+		switch {
+		case i == j:
+			return 1
+		case j == maskClass && sensitive[i]:
+			return 1
+		}
+		return 0
 	})
 	if err != nil {
 		return err
 	}
-	defer service.Close()
-
-	client, err := securetf.NewCASClient(service, cas, casPlatform, cloudPlatform)
+	// redact: suppress the digit scores of rows with sensitive mass and
+	// boost the mask class, so the document's argmax lands on the mask
+	// exactly where the policy applies.
+	redactModel, err := stage(11, 11, false, func(i, j int) float32 {
+		switch {
+		case i == maskClass && j == maskClass:
+			return 3
+		case i == maskClass:
+			return -2
+		case i == j:
+			return 1
+		}
+		return 0
+	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("company trained recognizer (loss %.4f, %d weight bytes) + built classify/redact stages\n",
+		trained.LastLoss(), ocrModel.WeightBytes())
+
+	// --- The cloud: three attested gateway nodes. The OCR node stores
+	// the company's model through the file-system shield; the untrusted
+	// host only ever sees ciphertext. ---
+	type fleetNode struct {
+		name      string
+		container *securetf.Container
+		gateway   *securetf.ModelServer
+	}
+	launchNode := func(shielded bool) (*securetf.Container, securetf.FS, error) {
+		host := securetf.NewMemFS()
+		cfg := securetf.ContainerConfig{
+			Kind:     securetf.SconeHW,
+			Platform: cloudPlatform,
+			Image:    securetf.TFLiteImage(),
+			HostFS:   host,
+		}
+		if shielded {
+			cfg.FSShieldRules = []securetf.Rule{securetf.EncryptPrefix("volumes/models/")}
+		}
+		c, err := securetf.Launch(cfg)
+		return c, host, err
+	}
+
+	ocrC, ocrHost, err := launchNode(true)
+	if err != nil {
+		return err
+	}
+	defer ocrC.Close()
+	classifyC, _, err := launchNode(false)
+	if err != nil {
+		return err
+	}
+	defer classifyC.Close()
+	redactC, _, err := launchNode(false)
+	if err != nil {
+		return err
+	}
+	defer redactC.Close()
+	routerC, _, err := launchNode(false)
+	if err != nil {
+		return err
+	}
+	defer routerC.Close()
+
 	volumeKey := make([]byte, 32)
 	for i := range volumeKey {
 		volumeKey[i] = byte(7 * i)
@@ -107,49 +209,97 @@ func run() error {
 	session := &securetf.Session{
 		Name:         "doc-digitization",
 		OwnerToken:   "company-secret-token",
-		Measurements: []string{service.Enclave().Measurement().Hex()},
+		Measurements: []string{ocrC.Enclave().Measurement().Hex()},
 		Volumes:      map[string][]byte{"models": volumeKey},
-		Services:     []string{"digitizer", "localhost", "127.0.0.1"},
+		Services:     []string{"ocr-node", "classify-node", "redact-node", "router", "localhost", "127.0.0.1"},
 	}
-	if err := client.Register(session); err != nil {
-		return err
-	}
-	_, timing, err := service.Provision(client, "doc-digitization", "models")
+	ownerCAS, err := securetf.NewCASClient(ocrC, cas, casPlatform, cloudPlatform)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cloud container attested in %v; network + file-system shields active\n", timing.Total())
+	if err := ownerCAS.Register(session); err != nil {
+		return err
+	}
+	for _, c := range []*securetf.Container{ocrC, classifyC, redactC, routerC} {
+		cl, err := securetf.NewCASClient(c, cas, casPlatform, cloudPlatform)
+		if err != nil {
+			return err
+		}
+		if _, _, err := c.Provision(cl, "doc-digitization", "models"); err != nil {
+			return err
+		}
+	}
+	fmt.Println("fleet attested: 3 gateway nodes + router, network + file-system shields active")
 
-	// Install the model through the shield and verify the host only
-	// holds ciphertext.
-	if err := securetf.WriteFile(service.FS(), "volumes/models/recognizer.stfl", model.Marshal()); err != nil {
+	// Install the recognizer through the OCR node's shield and verify
+	// the host only holds ciphertext.
+	if err := securetf.WriteFile(ocrC.FS(), "volumes/models/recognizer.stfl", ocrModel.Marshal()); err != nil {
 		return err
 	}
-	hostCopy, err := securetf.ReadFile(cloudHost, "volumes/models/recognizer.stfl")
+	hostCopy, err := securetf.ReadFile(ocrHost, "volumes/models/recognizer.stfl")
 	if err != nil {
 		return err
 	}
-	if bytes.Contains(hostCopy, model.Marshal()[:64]) {
+	if bytes.Contains(hostCopy, ocrModel.Marshal()[:64]) {
 		return fmt.Errorf("model visible in plaintext on the cloud host")
 	}
-	fmt.Println("model at rest on the cloud host: ciphertext only ✔")
+	fmt.Println("recognizer at rest on the cloud host: ciphertext only ✔")
 
-	stored, err := securetf.ReadFile(service.FS(), "volumes/models/recognizer.stfl")
-	if err != nil {
+	nodes := []fleetNode{
+		{name: "ocr", container: ocrC},
+		{name: "classify", container: classifyC},
+		{name: "redact", container: redactC},
+	}
+	for i := range nodes {
+		gw, err := securetf.ServeModels(nodes[i].container, securetf.ModelServerConfig{
+			Addr: "127.0.0.1:0",
+		})
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		nodes[i].gateway = gw
+	}
+	if err := nodes[0].gateway.LoadModel("ocr", 1, "volumes/models/recognizer.stfl"); err != nil {
 		return err
 	}
-	serveModel, err := securetf.UnmarshalLiteModel(stored)
-	if err != nil {
+	if err := nodes[1].gateway.Register("classify", 1, classifyModel); err != nil {
 		return err
 	}
-	svc, err := securetf.ServeInference(service, serveModel, "127.0.0.1:0", 1)
-	if err != nil {
+	if err := nodes[2].gateway.Register("redact", 1, redactModel); err != nil {
 		return err
 	}
-	defer svc.Close()
-	fmt.Printf("digitization service on %s (TLS via CAS-issued identity)\n", svc.Addr())
 
-	// --- A customer: attest, then submit a handwritten document. ---
+	// --- The router: verify the placement against every node, compile
+	// the digitization graph against it, and publish both as a signed
+	// manifest. ---
+	rt, err := securetf.ServeRouter(routerC, securetf.RouterConfig{
+		Addr: "127.0.0.1:0",
+		Nodes: []securetf.RouterNode{
+			{Name: "ocr-node", Addr: nodes[0].gateway.Addr(), ServerName: "ocr-node", Models: []string{"ocr"}},
+			{Name: "classify-node", Addr: nodes[1].gateway.Addr(), ServerName: "classify-node", Models: []string{"classify"}},
+			{Name: "redact-node", Addr: nodes[2].gateway.Addr(), ServerName: "redact-node", Models: []string{"redact"}},
+		},
+		Graphs: []securetf.GraphSpec{{
+			Name: "digitize",
+			Nodes: map[string]securetf.GraphNode{
+				"root": {Kind: securetf.GraphSequence, Steps: []securetf.GraphStep{
+					{Name: "ocr", Model: "ocr"},
+					{Name: "classify", Model: "classify"},
+					{Name: "redact", Model: "redact"},
+				}},
+			},
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	manifestKey := rt.ManifestKey().Public()
+	fmt.Printf("router on %s: placement verified against every node, graph %q compiled\n",
+		rt.Addr(), "digitize")
+
+	// --- A customer: attest, pin the manifest key, submit a document. ---
 	customerPlatform, err := securetf.NewPlatform("customer-node")
 	if err != nil {
 		return err
@@ -172,16 +322,21 @@ func run() error {
 	if _, _, err := customer.Provision(customerCAS, "doc-digitization", "models"); err != nil {
 		return err
 	}
-	fmt.Println("customer attested the service before sending anything ✔")
-
-	conn, err := securetf.DialInference(customer, svc.Addr(), "digitizer")
+	conn, err := securetf.DialRouter(customer, securetf.RouterClientConfig{
+		Addr:         rt.Addr(),
+		ServerName:   "router",
+		VerifyKey:    manifestKey, // published by the company out of band
+		ExpectGraphs: []string{"digitize"},
+	})
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	fmt.Println("customer attested the fleet and pinned the signed placement manifest ✔")
 
 	// The "document": a strip of handwritten digits from the customer's
-	// private test set.
+	// private test set — digitized in ONE call that flows ocr → classify
+	// → redact across the fleet.
 	customerFS := securetf.NewMemFS()
 	if err := securetf.GenerateMNIST(customerFS, "docs", 16, 16, 99); err != nil {
 		return err
@@ -190,24 +345,40 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	classes, err := conn.Classify(digits)
+	classes, err := conn.Classify("digitize", digits)
 	if err != nil {
 		return err
 	}
 	var text, truth bytes.Buffer
-	correct := 0
+	correct, masked := 0, 0
 	for i, cls := range classes {
-		fmt.Fprintf(&text, "%d", cls)
+		if cls == maskClass {
+			text.WriteRune('█')
+			masked++
+		} else {
+			fmt.Fprintf(&text, "%d", cls)
+		}
 		for d := 0; d < 10; d++ {
 			if labels.Floats()[i*10+d] == 1 {
 				fmt.Fprintf(&truth, "%d", d)
-				if d == cls {
+				if d == cls || (sensitive[d] && cls == maskClass) {
 					correct++
 				}
 			}
 		}
 	}
-	fmt.Printf("digitized document: %s\n", text.String())
-	fmt.Printf("ground truth:       %s  (%d/%d correct)\n", truth.String(), correct, len(classes))
+	fmt.Printf("digitized document: %s  (█ = redacted sensitive digit, %d masked)\n", text.String(), masked)
+	fmt.Printf("ground truth:       %s  (%d/%d correct under the policy)\n", truth.String(), correct, len(classes))
+
+	// Per-step attribution: the router charges each step the virtual
+	// service time its node reported, so the fleet's cost breakdown is
+	// observable per request.
+	traces := rt.Traces("digitize")
+	last := traces[len(traces)-1]
+	fmt.Println("per-step virtual time of that call:")
+	for _, st := range last.Steps {
+		fmt.Printf("  %-8s on %-13s %v\n", st.Step, st.Node, st.Vtime)
+	}
+	fmt.Printf("  total %v\n", last.Total)
 	return nil
 }

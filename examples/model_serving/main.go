@@ -141,11 +141,14 @@ func run() error {
 	}
 
 	// --- Serve: registry + replica pool + micro-batching. ---
-	gateway, err := securetf.ServeModels(service, "127.0.0.1:0", securetf.ServingConfig{
-		Replicas:    2,
-		MaxBatch:    8,
-		BatchWindow: 2 * time.Millisecond,
-		QueueCap:    64,
+	gateway, err := securetf.ServeModels(service, securetf.ModelServerConfig{
+		Addr: "127.0.0.1:0",
+		ServingConfig: securetf.ServingConfig{
+			Replicas:    2,
+			MaxBatch:    8,
+			BatchWindow: 2 * time.Millisecond,
+			QueueCap:    64,
+		},
 	})
 	if err != nil {
 		return err
@@ -198,7 +201,9 @@ func run() error {
 	}
 	clients := make([]*securetf.ModelClient, nClients)
 	for i := range clients {
-		cl, err := securetf.DialModelServer(customer, gateway.Addr(), "classifier")
+		cl, err := securetf.DialModelServer(customer, securetf.ModelClientConfig{
+			Addr: gateway.Addr(), ServerName: "classifier",
+		})
 		if err != nil {
 			return err
 		}
@@ -308,7 +313,9 @@ func run() error {
 	}
 	burst := make([]*securetf.ModelClient, 32)
 	for i := range burst {
-		cl, err := securetf.DialModelServer(customer, gateway.Addr(), "classifier")
+		cl, err := securetf.DialModelServer(customer, securetf.ModelClientConfig{
+			Addr: gateway.Addr(), ServerName: "classifier",
+		})
 		if err != nil {
 			return err
 		}

@@ -95,18 +95,34 @@ func run() error {
 	}
 	fmt.Printf("converted: Lite model, %d weight bytes\n", lite.WeightBytes())
 
-	classifier, err := securetf.NewClassifier(container, lite, 1)
+	// Serve the model through the unified facade: one gateway, one
+	// client, both on this container. A fleet version of the same surface
+	// (ServeRouter/DialRouter) appears in examples/document_digitization.
+	gateway, err := securetf.ServeModels(container, securetf.ModelServerConfig{
+		Addr:          "127.0.0.1:0",
+		ServingConfig: securetf.ServingConfig{Threads: 1},
+	})
 	if err != nil {
 		return err
 	}
-	defer classifier.Close()
+	defer gateway.Close()
+	if err := gateway.Register(securetf.DefaultModelName, 1, lite); err != nil {
+		return err
+	}
+	client, err := securetf.DialModelServer(container, securetf.ModelClientConfig{
+		Addr: gateway.Addr(),
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
 
 	batch, err := securetf.SliceRows(tx, 0, 8)
 	if err != nil {
 		return err
 	}
 	before := container.Clock().Now()
-	classes, err := classifier.Classify(batch)
+	classes, err := client.Classify("", batch)
 	if err != nil {
 		return err
 	}

@@ -15,7 +15,7 @@ type request struct {
 	input    *tf.Tensor
 	rows     int
 	start    time.Duration // virtual enqueue time
-	resp     chan wireResponse
+	resp     chan WireResponse
 }
 
 // dispatch is the per-model dispatcher loop: it pulls admitted requests
@@ -71,13 +71,13 @@ func (g *Gateway) dispatch(m *servedModel) {
 // so no request is silently dropped.
 func (g *Gateway) refuse(m *servedModel, carry *request) {
 	if carry != nil {
-		carry.resp <- wireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
+		carry.resp <- WireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
 	}
 	for {
 		select {
 		case req := <-m.queue:
 			m.pending.Add(-1)
-			req.resp <- wireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
+			req.resp <- WireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
 		default:
 			return
 		}
@@ -161,7 +161,7 @@ func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 			if req.fallback {
 				fallback = append(fallback, req)
 			} else {
-				req.resp <- wireResponse{
+				req.resp <- WireResponse{
 					Status:  StatusNotFound,
 					Message: fmt.Sprintf("model %s has no version %d", m.name, resolved),
 				}
@@ -172,7 +172,7 @@ func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 		}
 		reqs = fallback
 		if v, resolved = m.acquire(0); v == nil {
-			fail(reqs, wireResponse{
+			fail(reqs, WireResponse{
 				Status:  StatusNotFound,
 				Message: fmt.Sprintf("model %s has no serving version", m.name),
 			})
@@ -188,13 +188,13 @@ func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 	input, err := stackInputs(reqs)
 	if err != nil {
 		v.errors.Add(int64(len(reqs)))
-		fail(reqs, wireResponse{Status: StatusBadRequest, Message: err.Error()})
+		fail(reqs, WireResponse{Status: StatusBadRequest, Message: err.Error()})
 		return
 	}
 	ip, err := v.pool.acquire()
 	if err != nil {
 		v.errors.Add(int64(len(reqs)))
-		fail(reqs, wireResponse{Status: StatusInternal, Message: err.Error()})
+		fail(reqs, WireResponse{Status: StatusInternal, Message: err.Error()})
 		return
 	}
 	var out *tf.Tensor
@@ -206,13 +206,13 @@ func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 	v.pool.release(ip)
 	if err != nil {
 		v.errors.Add(int64(len(reqs)))
-		fail(reqs, wireResponse{Status: StatusInternal, Message: err.Error()})
+		fail(reqs, WireResponse{Status: StatusInternal, Message: err.Error()})
 		return
 	}
 	outputs, err := splitRows(out, reqs)
 	if err != nil {
 		v.errors.Add(int64(len(reqs)))
-		fail(reqs, wireResponse{Status: StatusInternal, Message: err.Error()})
+		fail(reqs, WireResponse{Status: StatusInternal, Message: err.Error()})
 		return
 	}
 	v.batches.Add(1)
@@ -225,14 +225,14 @@ func (g *Gateway) runGroup(m *servedModel, version int, reqs []*request) {
 			reduced, err := argmaxTensor(out)
 			if err != nil {
 				v.errors.Add(1)
-				req.resp <- wireResponse{Status: StatusInternal, Message: err.Error()}
+				req.resp <- WireResponse{Status: StatusInternal, Message: err.Error()}
 				continue
 			}
 			out = reduced
 		}
 		v.served.Add(1)
 		v.lat.record(now - req.start)
-		req.resp <- wireResponse{Status: StatusOK, Version: resolved, Output: out}
+		req.resp <- WireResponse{Status: StatusOK, Version: resolved, Output: out, ServiceVtime: now - req.start}
 	}
 }
 
@@ -251,7 +251,7 @@ func argmaxTensor(out *tf.Tensor) (*tf.Tensor, error) {
 }
 
 // fail answers every request in reqs with the same error response.
-func fail(reqs []*request, resp wireResponse) {
+func fail(reqs []*request, resp WireResponse) {
 	for _, req := range reqs {
 		req.resp <- resp
 	}

@@ -25,6 +25,13 @@ type CanaryConfig struct {
 	// Window is how many candidate responses to observe before the
 	// verdict (default 50).
 	Window int
+	// WindowVtime, when set, additionally bounds the rollout in virtual
+	// time: the verdict fires once the model's virtual clock has advanced
+	// this far past the canary start, even if fewer than Window candidate
+	// responses arrived — so a candidate receiving a trickle of traffic
+	// cannot hold the rollout open indefinitely. Zero leaves the window
+	// response-bounded only.
+	WindowVtime time.Duration
 	// MaxP99Ratio rolls back when the candidate's p99 virtual latency
 	// exceeds this multiple of the incumbent's (default 1.5).
 	MaxP99Ratio float64
@@ -72,14 +79,16 @@ const (
 // CanaryState is a snapshot of a model's canary: the active rollout, or
 // the latest verdict once decided.
 type CanaryState struct {
-	Model     string
-	Phase     string // "", active, promoted, rolled-back, aborted
-	Candidate int
-	Incumbent int
-	Percent   int
-	Window    int
+	Model       string
+	Phase       string // "", active, promoted, rolled-back, aborted
+	Candidate   int
+	Incumbent   int
+	Percent     int
+	Window      int
+	WindowVtime time.Duration
 	// Observed is how many candidate responses have been scored (equals
-	// Window once decided on the normal path).
+	// Window once decided on the normal path; may be lower when a
+	// WindowVtime bound fired first).
 	Observed int64
 	// Reason explains a rollback or abort; empty for promotions.
 	Reason string
@@ -90,9 +99,10 @@ type CanaryState struct {
 // canaryRun is the live state of one rollout. Counters the verdict
 // diffs against are snapshotted at start.
 type canaryRun struct {
-	cfg       CanaryConfig
-	candidate int
-	incumbent int
+	cfg        CanaryConfig
+	candidate  int
+	incumbent  int
+	startVtime time.Duration // virtual time at StartCanary
 
 	startArrivals                    int64 // model arrivals at start
 	startRejected                    int64
@@ -138,6 +148,7 @@ func (g *Gateway) StartCanary(model string, candidate int, cfg CanaryConfig) err
 		cfg:             cfg,
 		candidate:       candidate,
 		incumbent:       m.serving,
+		startVtime:      g.clock.Now(),
 		startArrivals:   m.arrivals.Load(),
 		startRejected:   m.rejected.Load(),
 		startCandServed: candV.served.Load(),
@@ -170,14 +181,22 @@ func (m *servedModel) routeCanary() (int, bool) {
 }
 
 // canaryObserve scores completed candidate responses and triggers the
-// verdict once the window is full. Called from the batch path with the
-// version the batch actually ran on.
+// verdict once the window is full — or, with WindowVtime set, once the
+// virtual clock has run past the time bound, whichever comes first.
+// Called from the batch path with the version the batch actually ran
+// on; the vtime bound is checked on every batch (incumbent traffic
+// included), so a starved candidate still reaches a verdict as long as
+// the model serves anything at all.
 func (g *Gateway) canaryObserve(m *servedModel, version, n int) {
 	c := m.canary.Load()
-	if c == nil || c.decided.Load() || version != c.candidate {
+	if c == nil || c.decided.Load() {
 		return
 	}
-	if c.observed.Add(int64(n)) >= int64(c.cfg.Window) {
+	if version == c.candidate && c.observed.Add(int64(n)) >= int64(c.cfg.Window) {
+		g.decideCanary(m, c)
+		return
+	}
+	if c.cfg.WindowVtime > 0 && g.clock.Now()-c.startVtime >= c.cfg.WindowVtime {
 		g.decideCanary(m, c)
 	}
 }
@@ -245,15 +264,16 @@ func (g *Gateway) decideCanary(m *servedModel, c *canaryRun) {
 		}
 	}
 	m.lastRun = CanaryState{
-		Model:     m.name,
-		Phase:     phase,
-		Candidate: c.candidate,
-		Incumbent: c.incumbent,
-		Percent:   c.cfg.Percent,
-		Window:    c.cfg.Window,
-		Observed:  c.observed.Load(),
-		Reason:    reason,
-		DecidedAt: g.clock.Now(),
+		Model:       m.name,
+		Phase:       phase,
+		Candidate:   c.candidate,
+		Incumbent:   c.incumbent,
+		Percent:     c.cfg.Percent,
+		Window:      c.cfg.Window,
+		WindowVtime: c.cfg.WindowVtime,
+		Observed:    c.observed.Load(),
+		Reason:      reason,
+		DecidedAt:   g.clock.Now(),
 	}
 	m.canary.Store(nil)
 }
@@ -265,14 +285,15 @@ func (m *servedModel) abortCanaryLocked(c *canaryRun, reason string) {
 		return
 	}
 	m.lastRun = CanaryState{
-		Model:     m.name,
-		Phase:     CanaryAborted,
-		Candidate: c.candidate,
-		Incumbent: c.incumbent,
-		Percent:   c.cfg.Percent,
-		Window:    c.cfg.Window,
-		Observed:  c.observed.Load(),
-		Reason:    reason,
+		Model:       m.name,
+		Phase:       CanaryAborted,
+		Candidate:   c.candidate,
+		Incumbent:   c.incumbent,
+		Percent:     c.cfg.Percent,
+		Window:      c.cfg.Window,
+		WindowVtime: c.cfg.WindowVtime,
+		Observed:    c.observed.Load(),
+		Reason:      reason,
 	}
 	m.canary.Store(nil)
 }
@@ -287,13 +308,14 @@ func (g *Gateway) Canary(model string) CanaryState {
 	}
 	if c := m.canary.Load(); c != nil && !c.decided.Load() {
 		return CanaryState{
-			Model:     m.name,
-			Phase:     CanaryActive,
-			Candidate: c.candidate,
-			Incumbent: c.incumbent,
-			Percent:   c.cfg.Percent,
-			Window:    c.cfg.Window,
-			Observed:  c.observed.Load(),
+			Model:       m.name,
+			Phase:       CanaryActive,
+			Candidate:   c.candidate,
+			Incumbent:   c.incumbent,
+			Percent:     c.cfg.Percent,
+			Window:      c.cfg.Window,
+			WindowVtime: c.cfg.WindowVtime,
+			Observed:    c.observed.Load(),
 		}
 	}
 	m.mu.Lock()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +101,14 @@ func Dial(c *core.Container, addr, serverName string) (*Client, error) {
 	return &Client{conn: conn, clock: c.Clock()}, nil
 }
 
+// NewClientConn wraps an already-established connection that speaks the
+// serving protocol — the router client uses it after its manifest
+// handshake, and the router's node pools after their placement check.
+// clock may be nil; it only times retry backoffs.
+func NewClientConn(conn net.Conn, clock *vtime.Clock) *Client {
+	return &Client{conn: conn, clock: clock}
+}
+
 // SetRetry enables overload retries with p (zero fields take defaults).
 // Only StatusOverloaded responses are retried — other errors, including
 // ErrShuttingDown, surface immediately.
@@ -113,27 +123,59 @@ func (cl *Client) SetRetry(p RetryPolicy) {
 func (cl *Client) Retries() int64 { return cl.retries.Load() }
 
 // Infer sends input to model (version 0 = the gateway's serving version)
-// and returns the raw output tensor plus the version that served it.
+// and returns the raw output tensor plus the version that served it. An
+// empty model name resolves to DefaultModelName.
 func (cl *Client) Infer(model string, version int, input *tf.Tensor) (*tf.Tensor, int, error) {
-	return cl.do(wireRequest{Model: model, Version: version, Input: input})
+	out, ver, _, err := cl.InferTimed(model, version, input)
+	return out, ver, err
+}
+
+// InferTimed is Infer plus the serving node's virtual service time for
+// the request — the per-step cost a router attributes to graph traces.
+func (cl *Client) InferTimed(model string, version int, input *tf.Tensor) (*tf.Tensor, int, time.Duration, error) {
+	resp, err := cl.do(WireRequest{Model: model, Version: version, Input: input})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return resp.Output, resp.Version, resp.ServiceVtime, nil
 }
 
 // Classify sends input to model's serving version and returns the argmax
 // class per row. The reduction runs server-side (the wire carries 4
-// bytes per row, and only the label leaves the service).
+// bytes per row, and only the label leaves the service). An empty model
+// name resolves to DefaultModelName.
 func (cl *Client) Classify(model string, input *tf.Tensor) ([]int, error) {
-	out, _, err := cl.do(wireRequest{Model: model, Argmax: true, Input: input})
+	resp, err := cl.do(WireRequest{Model: model, Argmax: true, Input: input})
 	if err != nil {
 		return nil, err
 	}
-	return ArgmaxRows(out)
+	return ArgmaxRows(resp.Output)
+}
+
+// Models asks the gateway for its registered model names, sorted — the
+// control round the router's placement check is built on.
+func (cl *Client) Models() ([]string, error) {
+	resp, err := cl.Do(WireRequest{ListModels: true})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusModels {
+		return nil, statusErr(resp.Status, resp.Message)
+	}
+	if resp.Message == "" {
+		return nil, nil
+	}
+	names := strings.Split(resp.Message, ",")
+	sort.Strings(names)
+	return names, nil
 }
 
 // do runs one request/response exchange, retrying overload rejections
-// per the retry policy. Each wire round is serialized under the mutex;
-// backoffs happen outside it so other goroutines can interleave their
-// rounds while this one waits.
-func (cl *Client) do(req wireRequest) (*tf.Tensor, int, error) {
+// per the retry policy and mapping error statuses to sentinel errors.
+// Each wire round is serialized under the mutex; backoffs happen outside
+// it so other goroutines can interleave their rounds while this one
+// waits.
+func (cl *Client) do(req WireRequest) (WireResponse, error) {
 	cl.mu.Lock()
 	policy := cl.retry
 	cl.mu.Unlock()
@@ -147,30 +189,37 @@ func (cl *Client) do(req wireRequest) (*tf.Tensor, int, error) {
 			cl.backoff(*policy, req.Model, attempt)
 			cl.retries.Add(1)
 		}
-		out, ver, err := cl.once(req)
-		if err == nil || !errors.Is(err, ErrOverloaded) {
-			return out, ver, err
+		resp, err := cl.Do(req)
+		if err != nil {
+			return WireResponse{}, err
+		}
+		if resp.Status == StatusOK || resp.Status == StatusModels {
+			return resp, nil
+		}
+		err = statusErr(resp.Status, resp.Message)
+		if !errors.Is(err, ErrOverloaded) {
+			return WireResponse{}, err
 		}
 		lastErr = err
 	}
-	return nil, 0, fmt.Errorf("%w (after %d attempts)", lastErr, attempts)
+	return WireResponse{}, fmt.Errorf("%w (after %d attempts)", lastErr, attempts)
 }
 
-// once runs one serialized wire round.
-func (cl *Client) once(req wireRequest) (*tf.Tensor, int, error) {
+// Do runs one serialized wire round and returns the response as decoded,
+// without retries or status-to-error mapping — the raw exchange the
+// router's forwarding path uses, where a non-OK status must pass through
+// to the caller rather than become a local error. An empty model name on
+// an inference request resolves to DefaultModelName.
+func (cl *Client) Do(req WireRequest) (WireResponse, error) {
+	if req.Model == "" && !req.ListModels {
+		req.Model = DefaultModelName
+	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if err := writeRequest(cl.conn, req); err != nil {
-		return nil, 0, err
+	if err := WriteRequest(cl.conn, req); err != nil {
+		return WireResponse{}, err
 	}
-	resp, err := readResponse(cl.conn)
-	if err != nil {
-		return nil, 0, err
-	}
-	if resp.Status != StatusOK {
-		return nil, 0, statusErr(resp.Status, resp.Message)
-	}
-	return resp.Output, resp.Version, nil
+	return ReadResponse(cl.conn)
 }
 
 // backoff waits out one capped exponential backoff step before retry

@@ -34,6 +34,7 @@ package serving
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -189,12 +190,12 @@ func (g *Gateway) accept() {
 // handle serves one connection: a sequence of request/response rounds.
 func (g *Gateway) handle(conn net.Conn) {
 	for {
-		req, err := readRequest(conn)
+		req, err := ReadRequest(conn)
 		if err != nil {
 			return
 		}
 		resp := g.submit(req)
-		if err := writeResponse(conn, resp); err != nil {
+		if err := WriteResponse(conn, resp); err != nil {
 			return
 		}
 	}
@@ -205,17 +206,26 @@ func (g *Gateway) handle(conn net.Conn) {
 // connection handlers that feed them. Unpinned requests may be routed to
 // an active canary candidate; the admission bound is the live resolved
 // QueueCap.
-func (g *Gateway) submit(wr wireRequest) wireResponse {
+func (g *Gateway) submit(wr WireRequest) WireResponse {
+	if wr.ListModels {
+		// The placement control round: answer with the registered model
+		// names so a router can verify its manifest against what this
+		// node actually serves, before any traffic flows.
+		return WireResponse{Status: StatusModels, Message: strings.Join(g.Models(), ",")}
+	}
+	if wr.Model == "" {
+		wr.Model = DefaultModelName
+	}
 	m := g.lookup(wr.Model)
 	if m == nil {
-		return wireResponse{Status: StatusNotFound, Message: fmt.Sprintf("unknown model %q", wr.Model)}
+		return WireResponse{Status: StatusNotFound, Message: fmt.Sprintf("unknown model %q", wr.Model)}
 	}
 	if len(wr.Input.Shape()) == 0 || wr.Input.Shape()[0] < 1 {
-		return wireResponse{Status: StatusBadRequest, Message: fmt.Sprintf("input shape %v has no batch rows", wr.Input.Shape())}
+		return WireResponse{Status: StatusBadRequest, Message: fmt.Sprintf("input shape %v has no batch rows", wr.Input.Shape())}
 	}
 	select {
 	case <-g.closed:
-		return wireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
+		return WireResponse{Status: StatusShuttingDown, Message: "gateway draining"}
 	default:
 	}
 	version, canaryRouted := wr.Version, false
@@ -229,13 +239,13 @@ func (g *Gateway) submit(wr wireRequest) wireResponse {
 		input:    wr.Input,
 		rows:     wr.Input.Shape()[0],
 		start:    g.clock.Now(),
-		resp:     make(chan wireResponse, 1),
+		resp:     make(chan WireResponse, 1),
 	}
 	m.arrivals.Add(1)
 	if !m.admit(req, g.cfgs.resolve(m.name, 0).QueueCap) {
 		m.rejected.Add(1)
 		g.maybeTick()
-		return wireResponse{Status: StatusOverloaded, Message: fmt.Sprintf("model %q queue full (%d)", m.name, g.cfgs.resolve(m.name, 0).QueueCap)}
+		return WireResponse{Status: StatusOverloaded, Message: fmt.Sprintf("model %q queue full (%d)", m.name, g.cfgs.resolve(m.name, 0).QueueCap)}
 	}
 	g.wake(m)
 	g.maybeTick()

@@ -113,10 +113,10 @@ func input(rows int, seed int64) *tf.Tensor {
 func TestWireRoundTrip(t *testing.T) {
 	var buf writeBuffer
 	in := input(2, 7)
-	if err := writeRequest(&buf, wireRequest{Model: "densenet", Version: 3, Argmax: true, Input: in}); err != nil {
+	if err := WriteRequest(&buf, WireRequest{Model: "densenet", Version: 3, Argmax: true, Input: in}); err != nil {
 		t.Fatal(err)
 	}
-	req, err := readRequest(&buf)
+	req, err := ReadRequest(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +124,10 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("request round trip: %+v", req)
 	}
 
-	if err := writeResponse(&buf, wireResponse{Status: StatusOK, Version: 2, Output: in}); err != nil {
+	if err := WriteResponse(&buf, WireResponse{Status: StatusOK, Version: 2, Output: in}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := readResponse(&buf)
+	resp, err := ReadResponse(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +135,10 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("response round trip: %+v", resp)
 	}
 
-	if err := writeResponse(&buf, wireResponse{Status: StatusOverloaded, Message: "queue full"}); err != nil {
+	if err := WriteResponse(&buf, WireResponse{Status: StatusOverloaded, Message: "queue full"}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = readResponse(&buf)
+	resp, err = ReadResponse(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +147,47 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 	if StatusOverloaded.String() != "OVERLOADED" || Status(200).String() != "STATUS_200" {
 		t.Fatal("status names")
+	}
+
+	// Protocol v2 fields: ServiceVtime rides every response (routers
+	// attribute per-step cost from it), and ListModels round-trips with
+	// an empty model name.
+	if err := WriteResponse(&buf, WireResponse{Status: StatusOK, Version: 1, ServiceVtime: 1234 * time.Microsecond, Output: in}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ServiceVtime != 1234*time.Microsecond {
+		t.Fatalf("ServiceVtime round trip: %+v", resp)
+	}
+
+	if err := WriteRequest(&buf, WireRequest{ListModels: true}); err != nil {
+		t.Fatal(err)
+	}
+	req, err = ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.ListModels || req.Model != "" || req.Input != nil {
+		t.Fatalf("ListModels round trip: %+v", req)
+	}
+	if err := WriteResponse(&buf, WireResponse{Status: StatusModels, Message: "a,b"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusModels || resp.Message != "a,b" {
+		t.Fatalf("models response round trip: %+v", resp)
+	}
+
+	// An empty model name without ListModels is rejected at the wire —
+	// default-model resolution happens above this layer.
+	if err := WriteRequest(&buf, WireRequest{Input: in}); err == nil {
+		t.Fatal("empty model name accepted on a non-list request")
 	}
 }
 
@@ -1307,6 +1348,58 @@ func TestCanaryRollbackSlowCandidate(t *testing.T) {
 		if _, ver, err := cl.Infer("m", 0, input(1, int64(200+i))); err != nil || ver != 1 {
 			t.Fatalf("post-rollback request: version %d err %v", ver, err)
 		}
+	}
+}
+
+// TestCanaryVtimeWindowVerdict pins the WindowVtime bound: a canary
+// whose response window would never fill still reaches a verdict once
+// the virtual clock runs past the vtime bound.
+func TestCanaryVtimeWindowVerdict(t *testing.T) {
+	c := launchContainer(t)
+	g, err := NewGateway(c, "127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register("m", 1, buildModel(t, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register("m", 2, buildModel(t, 62)); err != nil {
+		t.Fatal(err)
+	}
+	// A window far larger than the traffic we will send, bounded in
+	// vtime instead: every invoke advances the shared virtual clock, so
+	// the verdict must fire on the clock, not the count.
+	if err := g.StartCanary("m", 2, CanaryConfig{
+		Percent:     50,
+		Window:      1 << 20,
+		WindowVtime: 200 * time.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(c, g.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	deadline := 500
+	for i := 0; i < deadline && g.Canary("m").Phase == CanaryActive; i++ {
+		if _, _, err := cl.Infer("m", 0, input(1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Canary("m")
+	if st.Phase != CanaryPromoted {
+		t.Fatalf("canary phase = %q (%s), want promoted via the vtime bound", st.Phase, st.Reason)
+	}
+	if st.Observed >= int64(st.Window) {
+		t.Fatalf("window filled (%d of %d observed) — the vtime bound never gated", st.Observed, st.Window)
+	}
+	if st.WindowVtime != 200*time.Microsecond {
+		t.Fatalf("verdict lost the vtime bound: %+v", st)
+	}
+	if got := g.ServingVersion("m"); got != 2 {
+		t.Fatalf("serving version %d after vtime-bounded promotion, want 2", got)
 	}
 }
 

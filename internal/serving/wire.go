@@ -6,12 +6,19 @@
 // models and clients can distinguish overload (back off and retry) from
 // hard failures. Frames remain length-prefixed so the protocol runs
 // unchanged over plain TCP and over the network shield's TLS.
+//
+// The codec is exported because the router tier (internal/serving/router)
+// speaks the same protocol on both sides: it decodes client requests,
+// forwards them to backend gateways and relays the responses. Responses
+// carry the serving node's virtual service time, so a multi-hop caller
+// can attribute per-step enclave cost without sharing a clock.
 package serving
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/securetf/securetf/internal/core"
 	"github.com/securetf/securetf/internal/tf"
@@ -35,6 +42,9 @@ const (
 	StatusShuttingDown Status = 4
 	// StatusInternal signals an interpreter failure.
 	StatusInternal Status = 5
+	// StatusModels answers a ListModels request: the response Message
+	// carries the sorted, comma-joined registered model names.
+	StatusModels Status = 6
 )
 
 // String names the status.
@@ -52,6 +62,8 @@ func (s Status) String() string {
 		return "SHUTTING_DOWN"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusModels:
+		return "MODELS"
 	default:
 		return fmt.Sprintf("STATUS_%d", uint8(s))
 	}
@@ -60,28 +72,41 @@ func (s Status) String() string {
 const (
 	// protoVersion is the first byte of every request and response
 	// payload, so protocol evolution stays detectable.
-	protoVersion = 1
+	protoVersion = 2
 	// maxModelName bounds the model-name header field.
 	maxModelName = 1 << 10
 )
 
-// flagArgmax asks the server to reduce the output to the argmax class
-// per row before responding — the classic classifier contract: only the
-// label leaves the enclave, and the response is 4 bytes/row instead of
-// a full probability vector.
-const flagArgmax = 1 << 0
+// DefaultModelName is the registry name single-model deployments publish
+// under; a client request with an empty model name resolves to it.
+const DefaultModelName = "default"
 
-// wireRequest is one decoded inference request.
-type wireRequest struct {
+const (
+	// flagArgmax asks the server to reduce the output to the argmax class
+	// per row before responding — the classic classifier contract: only
+	// the label leaves the enclave, and the response is 4 bytes/row
+	// instead of a full probability vector.
+	flagArgmax = 1 << 0
+	// flagModels marks a control request asking for the registered model
+	// names instead of an inference; it carries no tensor and may leave
+	// the model name empty.
+	flagModels = 1 << 1
+)
+
+// WireRequest is one decoded inference request.
+type WireRequest struct {
 	Model   string
 	Version int // 0 requests the current serving version
 	Argmax  bool
-	Input   *tf.Tensor
+	// ListModels asks for the registered model names instead of an
+	// inference; Input is nil on such requests.
+	ListModels bool
+	Input      *tf.Tensor
 }
 
-// writeRequest encodes and sends a request frame.
-func writeRequest(w io.Writer, req wireRequest) error {
-	if len(req.Model) == 0 || len(req.Model) > maxModelName {
+// WriteRequest encodes and sends a request frame.
+func WriteRequest(w io.Writer, req WireRequest) error {
+	if len(req.Model) > maxModelName || (len(req.Model) == 0 && !req.ListModels) {
 		return fmt.Errorf("serving: model name of %d bytes", len(req.Model))
 	}
 	if req.Version < 0 {
@@ -91,7 +116,12 @@ func writeRequest(w io.Writer, req wireRequest) error {
 	if req.Argmax {
 		flags |= flagArgmax
 	}
-	enc := tf.EncodeTensor(req.Input)
+	var enc []byte
+	if req.ListModels {
+		flags |= flagModels
+	} else {
+		enc = tf.EncodeTensor(req.Input)
+	}
 	payload := make([]byte, 0, 1+1+2+len(req.Model)+4+len(enc))
 	payload = append(payload, protoVersion, flags)
 	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(req.Model)))
@@ -101,76 +131,86 @@ func writeRequest(w io.Writer, req wireRequest) error {
 	return core.WriteFrame(w, payload)
 }
 
-// readRequest reads and decodes a request frame.
-func readRequest(r io.Reader) (wireRequest, error) {
+// ReadRequest reads and decodes a request frame.
+func ReadRequest(r io.Reader) (WireRequest, error) {
 	payload, err := core.ReadFrame(r)
 	if err != nil {
-		return wireRequest{}, err
+		return WireRequest{}, err
 	}
 	if len(payload) < 1+1+2 || payload[0] != protoVersion {
-		return wireRequest{}, fmt.Errorf("serving: bad request header")
+		return WireRequest{}, fmt.Errorf("serving: bad request header")
 	}
 	flags := payload[1]
+	list := flags&flagModels != 0
 	nameLen := int(binary.LittleEndian.Uint16(payload[2:]))
 	rest := payload[4:]
-	if nameLen == 0 || nameLen > maxModelName || len(rest) < nameLen+4 {
-		return wireRequest{}, fmt.Errorf("serving: bad request model header")
+	if (nameLen == 0 && !list) || nameLen > maxModelName || len(rest) < nameLen+4 {
+		return WireRequest{}, fmt.Errorf("serving: bad request model header")
 	}
-	model := string(rest[:nameLen])
-	version := int(binary.LittleEndian.Uint32(rest[nameLen:]))
-	input, err := tf.DecodeTensor(rest[nameLen+4:])
-	if err != nil {
-		return wireRequest{}, fmt.Errorf("serving: decode request tensor: %w", err)
+	req := WireRequest{
+		Model:      string(rest[:nameLen]),
+		Version:    int(binary.LittleEndian.Uint32(rest[nameLen:])),
+		Argmax:     flags&flagArgmax != 0,
+		ListModels: list,
 	}
-	return wireRequest{
-		Model:   model,
-		Version: version,
-		Argmax:  flags&flagArgmax != 0,
-		Input:   input,
-	}, nil
+	if !list {
+		input, err := tf.DecodeTensor(rest[nameLen+4:])
+		if err != nil {
+			return WireRequest{}, fmt.Errorf("serving: decode request tensor: %w", err)
+		}
+		req.Input = input
+	}
+	return req, nil
 }
 
-// wireResponse is one decoded inference response.
-type wireResponse struct {
+// WireResponse is one decoded inference response.
+type WireResponse struct {
 	Status  Status
 	Version int // the model version that served an OK response
-	Output  *tf.Tensor
-	Message string
+	// ServiceVtime is the virtual time the serving node charged this
+	// request (enqueue → response ready on the node's own clock). A
+	// router summing these across graph steps attributes per-step enclave
+	// cost without the nodes sharing a clock.
+	ServiceVtime time.Duration
+	Output       *tf.Tensor
+	Message      string
 }
 
-// writeResponse encodes and sends a response frame.
-func writeResponse(w io.Writer, resp wireResponse) error {
+// WriteResponse encodes and sends a response frame.
+func WriteResponse(w io.Writer, resp WireResponse) error {
 	var body []byte
 	if resp.Status == StatusOK {
 		body = tf.EncodeTensor(resp.Output)
 	} else {
 		body = []byte(resp.Message)
 	}
-	payload := make([]byte, 0, 1+1+4+len(body))
+	payload := make([]byte, 0, 1+1+4+8+len(body))
 	payload = append(payload, protoVersion, byte(resp.Status))
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(resp.Version))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(resp.ServiceVtime))
 	payload = append(payload, body...)
 	return core.WriteFrame(w, payload)
 }
 
-// readResponse reads and decodes a response frame.
-func readResponse(r io.Reader) (wireResponse, error) {
+// ReadResponse reads and decodes a response frame.
+func ReadResponse(r io.Reader) (WireResponse, error) {
 	payload, err := core.ReadFrame(r)
 	if err != nil {
-		return wireResponse{}, err
+		return WireResponse{}, err
 	}
-	if len(payload) < 1+1+4 || payload[0] != protoVersion {
-		return wireResponse{}, fmt.Errorf("serving: bad response header")
+	if len(payload) < 1+1+4+8 || payload[0] != protoVersion {
+		return WireResponse{}, fmt.Errorf("serving: bad response header")
 	}
-	resp := wireResponse{
-		Status:  Status(payload[1]),
-		Version: int(binary.LittleEndian.Uint32(payload[2:])),
+	resp := WireResponse{
+		Status:       Status(payload[1]),
+		Version:      int(binary.LittleEndian.Uint32(payload[2:])),
+		ServiceVtime: time.Duration(binary.LittleEndian.Uint64(payload[6:])),
 	}
-	body := payload[6:]
+	body := payload[14:]
 	if resp.Status == StatusOK {
 		out, err := tf.DecodeTensor(body)
 		if err != nil {
-			return wireResponse{}, fmt.Errorf("serving: decode response tensor: %w", err)
+			return WireResponse{}, fmt.Errorf("serving: decode response tensor: %w", err)
 		}
 		resp.Output = out
 	} else {

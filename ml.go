@@ -22,6 +22,22 @@ type Graph = tf.Graph
 // Node is one operation instance in a Graph.
 type Node = tf.Node
 
+// DType identifies a tensor element type.
+type DType = tf.DType
+
+// Tensor element types.
+const (
+	Float32 = tf.Float32
+	Int32   = tf.Int32
+)
+
+// NewGraph creates an empty dataflow graph. Combined with the exported
+// FrozenModel fields this lets hand-built inference stages go through
+// the same ConvertToLite path as trained models — see
+// examples/document_digitization for fixed-weight graph steps built
+// this way.
+var NewGraph = tf.NewGraph
+
 // Tensor constructors, re-exported from the engine.
 var (
 	// TensorFromFloats builds a Float32 tensor from a flat slice.

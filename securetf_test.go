@@ -314,19 +314,27 @@ func TestCASProvisionAndSecureService(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := securetf.ServeInference(serviceC, model, "127.0.0.1:0", 1)
+	svc, err := securetf.ServeModels(serviceC, securetf.ModelServerConfig{
+		Addr:          "127.0.0.1:0",
+		ServingConfig: securetf.ServingConfig{Replicas: 1, Threads: 1, QueueCap: 256},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer svc.Close()
+	if err := svc.Register(securetf.DefaultModelName, 1, model); err != nil {
+		t.Fatal(err)
+	}
 
 	// A non-provisioned client lacks the CAS CA pool and client
 	// identity, so it must not reach the shielded service.
 	clientC := launch(t, securetf.NativeGlibc, securetf.Image{}, func(cfg *securetf.ContainerConfig) {
 		cfg.Platform = clientPlat
 	})
-	if cl, err := securetf.DialInference(clientC, svc.Addr(), "classifier"); err == nil {
-		if _, err := cl.Classify(securetf.RandNormal(securetf.Shape{1, 28, 28, 1}, 1, 1)); err == nil {
+	if cl, err := securetf.DialModelServer(clientC, securetf.ModelClientConfig{
+		Addr: svc.Addr(), ServerName: "classifier",
+	}); err == nil {
+		if _, err := cl.Classify("", securetf.RandNormal(securetf.Shape{1, 28, 28, 1}, 1, 1)); err == nil {
 			t.Fatal("unauthenticated client reached the shielded service")
 		}
 		cl.Close()
@@ -345,13 +353,15 @@ func TestCASProvisionAndSecureService(t *testing.T) {
 	if _, _, err := attested.Provision(attestedCAS, "svc", "models"); err != nil {
 		t.Fatal(err)
 	}
-	cl, err := securetf.DialInference(attested, svc.Addr(), "classifier")
+	cl, err := securetf.DialModelServer(attested, securetf.ModelClientConfig{
+		Addr: svc.Addr(), ServerName: "classifier",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	probe2, _ := learnableDigits(4, 21)
-	classes, err := cl.Classify(probe2)
+	classes, err := cl.Classify("", probe2)
 	if err != nil {
 		t.Fatal(err)
 	}
