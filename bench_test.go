@@ -273,6 +273,42 @@ func BenchmarkDistCompress(b *testing.B) {
 	b.ReportMetric(float64(none.PushWirePerShard)/float64(topk.PushWirePerShard), "wire-vtime-reduction-topk-x")
 }
 
+// BenchmarkDistElastic measures the elastic barrier (Figure9Elastic):
+// the same 4-worker, 2-shard synchronous job run uninterrupted and
+// with one worker killed mid-job. Metric survivor-throughput-ratio-x —
+// the killed run's committed-round throughput over the baseline's — is
+// the CI bench gate's regression subject, and the elasticity promise
+// is enforced here as a hard floor: losing 1 of W workers may not cost
+// more than that worker's share, ratio ≥ (W-1)/W. A barrier that
+// re-blocks on dead workers (or an eviction path whose detection
+// charge grows) fails the run outright.
+func BenchmarkDistElastic(b *testing.B) {
+	var rows []experiments.Fig9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure9Elastic(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) != 2 {
+		b.Fatalf("elastic sweep returned %d rows, want 2", len(rows))
+	}
+	base, kill := rows[0], rows[1]
+	if kill.Rounds != base.Rounds {
+		b.Fatalf("killed run committed %d rounds, baseline %d — the eviction lost rounds", kill.Rounds, base.Rounds)
+	}
+	ratio := kill.RoundsPerSec / base.RoundsPerSec
+	b.ReportMetric(base.RoundsPerSec, "rounds-per-vs-baseline")
+	b.ReportMetric(kill.RoundsPerSec, "rounds-per-vs-1kill")
+	b.ReportMetric(ratio, "survivor-throughput-ratio-x")
+	b.ReportMetric(float64(kill.Evictions), "evictions")
+	b.ReportMetric(float64(kill.ShrunkRounds), "shrunk-rounds")
+	if floor := float64(base.Workers-1) / float64(base.Workers); ratio < floor {
+		b.Fatalf("survivor throughput ratio %.3f below the elasticity floor (W-1)/W = %.2f", ratio, floor)
+	}
+}
+
 // BenchmarkFederated measures the federated subsystem at population
 // scale: 256 clients, a quarter sampled per round, quorum at 80% of the
 // cohort (so every round completes without its 13 slowest members and

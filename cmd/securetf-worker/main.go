@@ -25,6 +25,18 @@
 // ~4× fewer wire bytes) or "topk" (the top -train-topk fraction of
 // entries by magnitude, sent sparse); both lossy codecs keep a
 // worker-side error-feedback residual, so convergence is preserved.
+// Training survives failures: -checkpoint-every N snapshots every
+// parameter-server shard each N committed rounds through the
+// file-system shield (encrypted and authenticated on the host volume);
+// -checkpoint-dir persists the snapshots and the volume key to a host
+// directory, and -resume-from points a later invocation at that
+// directory to continue the job exactly where it stopped — the resumed
+// trajectory is bit-identical to an uninterrupted one. -chaos-plan
+// replays a deterministic fault schedule against the cluster
+// (kill:w1@r2+rejoin1, stall:w0@r3, delay:w2@r1+40ms, restart:ps0@r2,
+// semicolon-separated); kill and stall faults switch the cluster
+// elastic, so the round barrier shrinks to the survivors instead of
+// aborting.
 // Serve mode exposes the gateway's control plane: -autoscale lets the
 // gateway move replica counts with queue depth (up to -autoscale-max,
 // idle models scaling to zero), and -canary N stages version 2 of every
@@ -106,6 +118,10 @@ func run(args []string, w io.Writer) error {
 		trainStale   = fs.Int("train-staleness", 8, "async staleness bound K in variable versions; -1 for unbounded (with -train-consistency async)")
 		trainComp    = fs.String("train-compress", "none", "gradient codec on the push path: none, int8 (per-tensor symmetric quantization) or topk (with -train-topk)")
 		trainTopK    = fs.Float64("train-topk", 0.05, "top-k fraction of gradient entries pushed, in (0, 1] (with -train-compress topk)")
+		chaosPlan    = fs.String("chaos-plan", "", "deterministic fault schedule, e.g. 'kill:w1@r2+rejoin1;restart:ps0@r2' (with -train)")
+		ckptEvery    = fs.Int("checkpoint-every", 0, "snapshot every parameter-server shard each N committed rounds (with -train)")
+		ckptDir      = fs.String("checkpoint-dir", "", "host directory the encrypted snapshots and volume key persist to (with -checkpoint-every)")
+		resumeFrom   = fs.String("resume-from", "", "host directory of a previous run's -checkpoint-dir to resume training from (with -train)")
 
 		federated  = fs.Bool("federated", false, "run a federated-learning job with pairwise-masked secure aggregation instead of serving inference")
 		fedClients = fs.Int("clients", 8, "client population size (with -federated)")
@@ -161,6 +177,13 @@ func run(args []string, w io.Writer) error {
 		for _, f := range []string{"nodes", "graph"} {
 			if set[f] {
 				return fmt.Errorf("-%s only applies with -router", f)
+			}
+		}
+	}
+	if !*train {
+		for _, f := range []string{"chaos-plan", "checkpoint-every", "checkpoint-dir", "resume-from"} {
+			if set[f] {
+				return fmt.Errorf("-%s only applies with -train", f)
 			}
 		}
 	}
@@ -270,7 +293,24 @@ func run(args []string, w io.Writer) error {
 		default:
 			return fmt.Errorf("-train-compress must be none, int8 or topk, got %q", *trainComp)
 		}
-		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS, policy, comp)
+		if set["checkpoint-every"] && *ckptEvery < 1 {
+			return fmt.Errorf("-checkpoint-every must be >= 1, got %d", *ckptEvery)
+		}
+		if set["checkpoint-dir"] && *ckptEvery < 1 {
+			return errors.New("-checkpoint-dir only applies with -checkpoint-every")
+		}
+		if set["resume-from"] && *resumeFrom == "" {
+			return errors.New("-resume-from names no directory")
+		}
+		var plan *securetf.FaultPlan
+		if *chaosPlan != "" {
+			var err error
+			if plan, err = securetf.ParseFaultPlan(*chaosPlan); err != nil {
+				return fmt.Errorf("-chaos-plan: %w", err)
+			}
+		}
+		return runTraining(w, *trainWorkers, *psShards, *trainRounds, *trainBatch, *trainLR, *trainTLS, policy, comp,
+			faultTolerance{plan: plan, every: *ckptEvery, dir: *ckptDir, resumeFrom: *resumeFrom})
 	}
 	// Serve-mode flag validation: contradictions are usage errors, not
 	// silently-corrected settings.
@@ -454,14 +494,44 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// faultTolerance carries the training mode's failure-handling flags: a
+// parsed chaos plan, the checkpoint cadence and the host directories
+// the encrypted snapshots persist to and resume from.
+type faultTolerance struct {
+	plan       *securetf.FaultPlan
+	every      int
+	dir        string
+	resumeFrom string
+}
+
+// volumeKeyAt loads the snapshot volume key persisted at dir, drawing
+// and persisting a fresh one when none exists yet — a resumed run must
+// decrypt with the exact key the interrupted run sealed with.
+func volumeKeyAt(dir string, mustExist bool) (*securetf.VolumeKey, error) {
+	path := filepath.Join(dir, "volume.key")
+	if raw, err := os.ReadFile(path); err == nil {
+		return securetf.VolumeKeyFromBytes(raw)
+	} else if mustExist {
+		return nil, fmt.Errorf("no snapshot volume key at %s: %w", path, err)
+	}
+	key, err := securetf.NewVolumeKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return key, os.WriteFile(path, key[:], 0o600)
+}
+
 // runTraining stands up an in-process distributed training cluster —
 // one enclave node per parameter-server shard and per worker — trains
 // for the requested rounds under the chosen consistency policy and
 // reports the per-round losses, the per-phase virtual-time breakdown
 // and the per-shard push wire time the sharding exists to shrink.
-func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, withTLS bool, policy securetf.ConsistencyPolicy, comp securetf.GradCompression) error {
+func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, withTLS bool, policy securetf.ConsistencyPolicy, comp securetf.GradCompression, ft faultTolerance) error {
 	fmt.Fprintf(w, "training cluster: %d workers, %d parameter-server shards (TLS %v, %v, compress %v)\n", workers, shards, withTLS, policy, comp)
-	res, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+	cfg := securetf.DistTrainConfig{
 		TLS:         withTLS,
 		Workers:     workers,
 		PSShards:    shards,
@@ -479,16 +549,67 @@ func runTraining(w io.Writer, workers, shards, rounds, batch int, lr float64, wi
 			return securetf.LoadMNIST(fs, "shard/train-images-idx3-ubyte", "shard/train-labels-idx1-ubyte")
 		},
 		RoundTimeout: 60 * time.Second,
-	})
+		Chaos:        ft.plan,
+	}
+	if ft.plan != nil && (ft.plan.HasKind(securetf.FaultKillWorker) || ft.plan.HasKind(securetf.FaultStallWorker)) {
+		// Dead and stalled workers are detected by the round timeout, so
+		// the wall-clock wait per shrunk round is exactly this budget.
+		cfg.RoundTimeout = 2 * time.Second
+	}
+	cfg.Checkpoint.Every = ft.every
+	if dir := ft.dir; dir != "" || ft.resumeFrom != "" {
+		if ft.resumeFrom != "" {
+			dir = ft.resumeFrom
+		}
+		// Snapshots persist to a host directory: the shard containers
+		// write through the file-system shield, so the directory only
+		// ever holds encrypted, authenticated bytes plus the volume key.
+		key, err := volumeKeyAt(dir, ft.resumeFrom != "")
+		if err != nil {
+			return err
+		}
+		cfg.Checkpoint.FS = securetf.NewDirFS(dir)
+		cfg.Checkpoint.Key = key
+		fmt.Fprintf(w, "checkpoint volume: %s\n", dir)
+	}
+	if ft.resumeFrom != "" {
+		cfg.ResumeFrom = "checkpoints"
+	}
+	res, err := securetf.TrainDistributed(cfg)
 	if err != nil {
 		return err
 	}
-	for r := 0; r < res.Rounds; r++ {
-		var mean float64
-		for worker := range res.Losses {
-			mean += res.Losses[worker][r]
+	// Under churn the workers' loss slices cover different round subsets,
+	// so a per-round mean only lines up when every worker ran every
+	// round; otherwise report per-worker trajectories.
+	steps := len(res.Losses[0])
+	aligned := true
+	for _, ls := range res.Losses {
+		if len(ls) != steps {
+			aligned = false
+			break
 		}
-		fmt.Fprintf(w, "round %d: mean loss %.4f\n", r+1, mean/float64(len(res.Losses)))
+	}
+	if aligned {
+		for r := 0; r < steps; r++ {
+			var mean float64
+			for worker := range res.Losses {
+				mean += res.Losses[worker][r]
+			}
+			fmt.Fprintf(w, "round %d: mean loss %.4f\n", res.Rounds-steps+r+1, mean/float64(len(res.Losses)))
+		}
+	} else {
+		for worker, ls := range res.Losses {
+			if len(ls) == 0 {
+				fmt.Fprintf(w, "worker %d: killed before its first round\n", worker)
+				continue
+			}
+			fmt.Fprintf(w, "worker %d: %d rounds, final loss %.4f\n", worker, len(ls), ls[len(ls)-1])
+		}
+	}
+	if ft.plan != nil {
+		fmt.Fprintf(w, "chaos: %d evictions, %d rejoins, %d shrunk rounds, %d dropped pushes — all %d rounds committed\n",
+			res.Evictions, res.Rejoins, res.ShrunkRounds, res.DroppedPushes, res.Rounds)
 	}
 	fmt.Fprintf(w, "breakdown (max over workers): pull %v, compute %v, push %v\n",
 		res.Breakdown.Pull, res.Breakdown.Compute, res.Breakdown.Push)

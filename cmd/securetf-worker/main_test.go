@@ -84,6 +84,86 @@ func TestWorkerTrainsSharded(t *testing.T) {
 	}
 }
 
+// TestWorkerTrainsUnderChaos drives the training mode through a fault
+// plan: one worker is killed mid-job and rejoins, the elastic barrier
+// shrinks to the survivors, and the job still commits every round.
+func TestWorkerTrainsUnderChaos(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-train",
+		"-train-workers", "3",
+		"-train-rounds", "3",
+		"-train-batch", "10",
+		"-chaos-plan", "kill:w2@r1+rejoin1",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("chaos train: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"worker 2: 2 rounds",
+		"chaos: 1 evictions, 1 rejoins, 1 shrunk rounds",
+		"all 3 rounds committed",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestWorkerCheckpointResume persists encrypted shard snapshots to a
+// host directory in one invocation and resumes from them in a second —
+// the CLI face of the §5.4 checkpoint/restore path.
+func TestWorkerCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-train",
+		"-train-workers", "2",
+		"-train-rounds", "2",
+		"-train-batch", "10",
+		"-checkpoint-every", "2",
+		"-checkpoint-dir", dir,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("checkpointing train: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "checkpoint volume: "+dir) {
+		t.Fatalf("output missing the checkpoint volume:\n%s", buf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "volume.key")); err != nil {
+		t.Fatalf("no volume key persisted: %v", err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, "checkpoints", "shard-0.ckpt"))
+	if err != nil {
+		t.Fatalf("no shard snapshot persisted: %v", err)
+	}
+	// The snapshot went through the file-system shield: the host-side
+	// bytes must not carry the cleartext container magic.
+	if bytes.Contains(snap, []byte("STFD1")) {
+		t.Fatal("persisted snapshot is not encrypted")
+	}
+
+	buf.Reset()
+	err = run([]string{
+		"-train",
+		"-train-workers", "2",
+		"-train-rounds", "4",
+		"-train-batch", "10",
+		"-resume-from", dir,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("resumed train: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"round 3: mean loss", "round 4: mean loss"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("resumed output missing %q:\n%s", want, buf.String())
+		}
+	}
+	if strings.Contains(buf.String(), "round 1: mean loss") {
+		t.Fatalf("resumed run re-trained from round 1:\n%s", buf.String())
+	}
+}
+
 // runWorker drives a full worker startup against an in-process CAS and
 // returns the worker's output.
 func runWorker(t *testing.T, platformName string, extraArgs ...string) string {
@@ -246,6 +326,61 @@ func TestWorkerTrainFlagValidation(t *testing.T) {
 			"unknown consistency",
 			[]string{"-train", "-train-consistency", "eventual"},
 			"-train-consistency must be",
+		},
+		{
+			"chaos plan without train",
+			[]string{"-chaos-plan", "kill:w0@r1"},
+			"-chaos-plan only applies with -train",
+		},
+		{
+			"chaos plan under federated",
+			[]string{"-federated", "-chaos-plan", "kill:w0@r1"},
+			"-chaos-plan only applies with -train",
+		},
+		{
+			"checkpoint cadence without train",
+			[]string{"-checkpoint-every", "2"},
+			"-checkpoint-every only applies with -train",
+		},
+		{
+			"resume without train",
+			[]string{"-resume-from", "/tmp/ckpts"},
+			"-resume-from only applies with -train",
+		},
+		{
+			"resume under router",
+			[]string{"-router", "-resume-from", "/tmp/ckpts"},
+			"-resume-from only applies with -train",
+		},
+		{
+			"malformed chaos plan",
+			[]string{"-train", "-chaos-plan", "explode:w0@r1"},
+			"-chaos-plan",
+		},
+		{
+			"empty chaos plan",
+			[]string{"-train", "-chaos-plan", ";"},
+			"schedules nothing",
+		},
+		{
+			"zero checkpoint cadence",
+			[]string{"-train", "-checkpoint-every", "0"},
+			"-checkpoint-every must be >= 1",
+		},
+		{
+			"checkpoint dir without cadence",
+			[]string{"-train", "-checkpoint-dir", "/tmp/ckpts"},
+			"-checkpoint-dir only applies with -checkpoint-every",
+		},
+		{
+			"chaos kill targeting a worker outside the cluster",
+			[]string{"-train", "-train-workers", "2", "-chaos-plan", "kill:w5@r1"},
+			"targets worker 5",
+		},
+		{
+			"chaos restart without checkpointing",
+			[]string{"-train", "-chaos-plan", "restart:ps0@r2"},
+			"needs checkpointing",
 		},
 	}
 	for _, tc := range cases {

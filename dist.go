@@ -101,6 +101,79 @@ func WithCompression(c GradCompression) PSOption {
 	return func(cfg *dist.PSConfig) { cfg.Compression = c }
 }
 
+// WithElastic turns the shard's round timeout from an abort into an
+// eviction (the paper's §3.2 elasticity): members that never pushed are
+// declared dead, the barrier shrinks to the survivors and the round
+// commits from the gradients it has, averaged over the contributors.
+// minWorkers floors the shrunk barrier (0 defaults to 1); a timed-out
+// round with fewer pushes still aborts. Requires a synchronous shard
+// and a WithRoundTimeout to detect the dead.
+func WithElastic(minWorkers int) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.Elastic, cfg.MinWorkers = true, minWorkers }
+}
+
+// WithCheckpoint snapshots the shard every `every` committed rounds:
+// the encoded DistCheckpoint is handed to write before the round's
+// barrier releases, so a crash after round r either left the full
+// round-r snapshot or none. A write error aborts the round.
+func WithCheckpoint(every int, write func(data []byte) error) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.CheckpointEvery, cfg.CheckpointWrite = every, write }
+}
+
+// WithResume seeds the shard from a checkpoint instead of the fresh
+// variable values: variables, committed-round count and barrier
+// generation continue exactly where the snapshot left off.
+func WithResume(c *DistCheckpoint) PSOption {
+	return func(cfg *dist.PSConfig) { cfg.Resume = c }
+}
+
+// PSStats counts a parameter-server shard's elasticity events:
+// Evictions, Rejoins and ShrunkRounds.
+type PSStats = dist.PSStats
+
+// DistCheckpoint is one parameter-server shard's restart state — the
+// variables, committed-round count and barrier generation a fresh shard
+// needs (via WithResume) to continue a killed one.
+type DistCheckpoint = dist.Checkpoint
+
+// EncodeDistCheckpoint serializes a shard snapshot; the variable
+// payload is tf.SaveCheckpoint-compatible.
+func EncodeDistCheckpoint(c *DistCheckpoint) []byte { return dist.EncodeCheckpoint(c) }
+
+// DecodeDistCheckpoint parses a shard snapshot, validating every length
+// so truncated or bit-flipped files error instead of panicking.
+func DecodeDistCheckpoint(data []byte) (*DistCheckpoint, error) { return dist.DecodeCheckpoint(data) }
+
+// FaultPlan is a deterministic, seedable schedule of injected failures
+// for chaos-testing a distributed training job: the same plan against
+// the same seed yields the same trajectory.
+type FaultPlan = dist.FaultPlan
+
+// Fault is one scheduled failure of a FaultPlan.
+type Fault = dist.Fault
+
+// FaultKind names one kind of injected failure.
+type FaultKind = dist.FaultKind
+
+// The fault kinds a plan may schedule.
+const (
+	FaultKillWorker   = dist.FaultKillWorker
+	FaultStallWorker  = dist.FaultStallWorker
+	FaultDelayPush    = dist.FaultDelayPush
+	FaultRestartShard = dist.FaultRestartShard
+)
+
+// ParseFaultPlan parses the textual fault-plan grammar
+// (semicolon-separated `kill:w0@r2+rejoin1`, `stall:w1@r3`,
+// `delay:w2@r1+5ms`, `restart:ps0@r4` entries).
+func ParseFaultPlan(s string) (*FaultPlan, error) { return dist.ParseFaultPlan(s) }
+
+// RandomFaultPlan draws a reproducible churn schedule of worker kills
+// and rejoins from a seed.
+func RandomFaultPlan(seed int64, workers, rounds int) *FaultPlan {
+	return dist.RandomFaultPlan(seed, workers, rounds)
+}
+
 // StartParameterServer starts a parameter server inside a container,
 // listening on addr through the container's (possibly TLS-shielded)
 // listener. workers is the synchronous-round size and lr the learning
@@ -190,6 +263,14 @@ type WorkerSpec struct {
 	// handshake rejects mismatches. Lossy codecs keep their
 	// error-feedback residual on this worker.
 	Compression GradCompression
+	// StartStep offsets the worker's local step counter so a worker
+	// started against a resumed cluster walks the same minibatch
+	// schedule an uninterrupted run would.
+	StartStep int
+	// Reconnect, when positive, lets a failed shard exchange redial and
+	// retry once within this wall-clock window — the client half of a
+	// parameter-server shard restarting from checkpoint.
+	Reconnect time.Duration
 }
 
 // StartTrainingWorker connects a worker inside a container to a
@@ -230,6 +311,8 @@ func StartTrainingWorker(c *Container, spec WorkerSpec) (*TrainingWorker, error)
 		Consistency:      spec.Consistency,
 		ShardConsistency: spec.ShardConsistency,
 		Compression:      spec.Compression,
+		StartStep:        spec.StartStep,
+		Reconnect:        spec.Reconnect,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("securetf: start training worker %d: %w", spec.ID, err)
@@ -292,13 +375,65 @@ type DistTrainConfig struct {
 	// the trained variables converge to within quantization tolerance
 	// of the uncompressed run.
 	Compression GradCompression
+	// Elastic turns round timeouts into evictions on every shard: when
+	// a worker dies or stalls past RoundTimeout, the barrier shrinks to
+	// the survivors and the round commits from the gradients it has; a
+	// returning worker is folded back in at the next round boundary.
+	// Requires a fully synchronous cluster and RoundTimeout > 0.
+	Elastic bool
+	// MinWorkers floors the shrunk barrier (0 defaults to 1): a
+	// timed-out round with fewer pushes still aborts.
+	MinWorkers int
+	// Checkpoint enables periodic shard snapshots through the shielded
+	// file system (see DistCheckpointConfig). Zero disables them.
+	Checkpoint DistCheckpointConfig
+	// ResumeFrom resumes the whole job from the snapshot directory a
+	// previous run's Checkpoint config wrote: every shard restarts from
+	// `<ResumeFrom>/shard-<s>.ckpt` and the workers continue at the
+	// checkpointed round, walking the same minibatch schedule — for a
+	// synchronous cluster the resumed trajectory is bit-identical to an
+	// uninterrupted run. Requires Checkpoint.FS and Checkpoint.Key from
+	// the run that wrote the snapshots.
+	ResumeFrom string
+	// Chaos replays a deterministic fault plan against the job: workers
+	// are killed, stalled or delayed and shards restarted from
+	// checkpoint at the scheduled rounds, with hang detection on every
+	// wait. Kill and stall faults require a synchronous cluster and
+	// RoundTimeout > 0 (Elastic is switched on automatically); restart
+	// faults require Checkpoint.Every > 0. Training runs the rounds in
+	// lockstep waves so the schedule — and therefore the trajectory —
+	// is reproducible.
+	Chaos *FaultPlan
+}
+
+// DistCheckpointConfig configures TrainDistributed's periodic shard
+// snapshots. The snapshots are written through the file-system shield —
+// AES-256-GCM encrypted and authenticated on the host volume — so a
+// checkpoint leaks nothing and a tampered one is rejected on resume.
+type DistCheckpointConfig struct {
+	// Every snapshots every shard each Every committed rounds. The
+	// write lands before the round's barrier releases, so a crash after
+	// round r either left the full round-r snapshot set or none.
+	// 0 disables checkpointing.
+	Every int
+	// Dir is the snapshot directory on FS. Defaults to "checkpoints".
+	Dir string
+	// FS is the host volume the encrypted snapshots live on. Defaults
+	// to a fresh in-memory volume; pass the same FS (and Key) to a
+	// later job with ResumeFrom to resume across runs.
+	FS FS
+	// Key seals the snapshot volume. Defaults to a freshly drawn key.
+	Key *VolumeKey
 }
 
 // DistTrainResult reports a distributed training job's outcome.
 type DistTrainResult struct {
 	// FinalLoss is the mean over workers of the last round's loss.
 	FinalLoss float64
-	// Losses[w][r] is worker w's minibatch loss at round r.
+	// Losses[w] lists worker w's minibatch losses, one per round it
+	// completed. In an uninterrupted run Losses[w][r] is round r's
+	// loss; under a resume or a chaos plan the slice covers only the
+	// rounds this worker actually ran.
 	Losses [][]float64
 	// Rounds is the number of rounds committed by every shard when the
 	// whole cluster is synchronous. With any async shard, commits are
@@ -324,6 +459,20 @@ type DistTrainResult struct {
 	// summed over workers, shards and rounds — the quantity the
 	// gradient codec shrinks (independent of the bandwidth cost model).
 	PushBytes int64
+	// Evictions, Rejoins and ShrunkRounds are the elastic-barrier
+	// counters, the maximum over shards (every shard observes the same
+	// dead workers, so the max is the per-cluster count; restarted
+	// shards carry their pre-restart counts forward).
+	Evictions    int
+	Rejoins      int
+	ShrunkRounds int
+	// DroppedPushes is the number of shard contributions dropped
+	// because an elastic barrier committed a round without the pushing
+	// worker, summed over all worker instances.
+	DroppedPushes int
+	// FinalVars is the trained model state, merged across shards — the
+	// checkpoint/resume property tests compare it bit-for-bit.
+	FinalVars map[string]*Tensor
 }
 
 // TrainDistributed runs a complete synchronous data-parallel training
@@ -369,6 +518,51 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 			allSync = false
 		}
 	}
+	if cfg.Elastic && !allSync {
+		return nil, errors.New("securetf: DistTrainConfig.Elastic requires a fully synchronous cluster")
+	}
+	if cfg.Elastic && cfg.RoundTimeout <= 0 {
+		return nil, errors.New("securetf: DistTrainConfig.Elastic detects the dead via RoundTimeout; set one")
+	}
+	if cfg.MinWorkers < 0 || cfg.MinWorkers > cfg.Workers {
+		return nil, fmt.Errorf("securetf: DistTrainConfig.MinWorkers must be in [0, %d], got %d", cfg.Workers, cfg.MinWorkers)
+	}
+	if cfg.Checkpoint.Every < 0 {
+		return nil, fmt.Errorf("securetf: DistTrainConfig.Checkpoint.Every must be ≥ 0, got %d", cfg.Checkpoint.Every)
+	}
+	if cfg.ResumeFrom != "" && (cfg.Checkpoint.FS == nil || cfg.Checkpoint.Key == nil) {
+		return nil, errors.New("securetf: DistTrainConfig.ResumeFrom needs the snapshot volume and its key (Checkpoint.FS, Checkpoint.Key)")
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(cfg.Workers, cfg.PSShards, cfg.Rounds, cfg.Checkpoint.Every); err != nil {
+			return nil, fmt.Errorf("securetf: DistTrainConfig.Chaos: %w", err)
+		}
+		if cfg.Chaos.HasKind(FaultKillWorker) || cfg.Chaos.HasKind(FaultStallWorker) {
+			if !allSync {
+				return nil, errors.New("securetf: chaos kill/stall faults require a fully synchronous cluster")
+			}
+			if cfg.RoundTimeout <= 0 {
+				return nil, errors.New("securetf: chaos kill/stall faults need a RoundTimeout to detect the dead")
+			}
+			cfg.Elastic = true
+		}
+	}
+	checkpointing := cfg.Checkpoint.Every > 0 || cfg.ResumeFrom != ""
+	if checkpointing {
+		if cfg.Checkpoint.Dir == "" {
+			cfg.Checkpoint.Dir = "checkpoints"
+		}
+		if cfg.Checkpoint.FS == nil {
+			cfg.Checkpoint.FS = NewMemFS()
+		}
+		if cfg.Checkpoint.Key == nil {
+			key, err := NewVolumeKey()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Checkpoint.Key = key
+		}
+	}
 
 	var ca *seccrypto.CA
 	if cfg.TLS {
@@ -377,17 +571,30 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 			return nil, err
 		}
 	}
-	launchNode := func(name string, server bool) (*Container, error) {
+	launchNode := func(name string, server, shielded bool) (*Container, error) {
 		platform, err := NewPlatform(name)
 		if err != nil {
 			return nil, err
 		}
-		c, err := Launch(ContainerConfig{
+		ccfg := ContainerConfig{
 			Kind:     cfg.Kind,
 			Platform: platform,
 			Image:    TensorFlowImage(),
 			HostFS:   NewMemFS(),
-		})
+		}
+		if shielded {
+			// Checkpointing shards share the snapshot volume through the
+			// file-system shield: the snapshots land encrypted and
+			// authenticated, and a restarted shard (same key, same
+			// volume) reads them back transparently.
+			ccfg.HostFS = cfg.Checkpoint.FS
+			ccfg.FSShieldRules = []Rule{EncryptPrefix(cfg.Checkpoint.Dir + "/")}
+			if cfg.ResumeFrom != "" && cfg.ResumeFrom != cfg.Checkpoint.Dir {
+				ccfg.FSShieldRules = append(ccfg.FSShieldRules, EncryptPrefix(cfg.ResumeFrom+"/"))
+			}
+			ccfg.VolumeKey = cfg.Checkpoint.Key
+		}
+		c, err := Launch(ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -405,33 +612,88 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 		return c, nil
 	}
 
-	// Parameter-server shards, one node each.
+	// Parameter-server shards, one node each. psOpts is shared with the
+	// chaos path's shard restarts, so a resumed shard runs exactly the
+	// options the original did.
+	ckptPath := func(dir string, s int) string { return fmt.Sprintf("%s/shard-%d.ckpt", dir, s) }
+	psOpts := func(c *Container, s int) []PSOption {
+		opts := []PSOption{
+			WithShard(s, cfg.PSShards), WithRoundTimeout(cfg.RoundTimeout),
+			WithConsistency(policyFor(s)), WithCompression(cfg.Compression),
+		}
+		if cfg.Elastic {
+			opts = append(opts, WithElastic(cfg.MinWorkers))
+		}
+		if cfg.Checkpoint.Every > 0 {
+			fsys, p := c.FS(), ckptPath(cfg.Checkpoint.Dir, s)
+			opts = append(opts, WithCheckpoint(cfg.Checkpoint.Every, func(data []byte) error {
+				return WriteFile(fsys, p, data)
+			}))
+		}
+		return opts
+	}
+	loadCheckpoint := func(c *Container, dir string, s int) (*DistCheckpoint, error) {
+		data, err := ReadFile(c.FS(), ckptPath(dir, s))
+		if err != nil {
+			return nil, fmt.Errorf("securetf: shard %d checkpoint: %w", s, err)
+		}
+		ck, err := DecodeDistCheckpoint(data)
+		if err != nil {
+			return nil, fmt.Errorf("securetf: shard %d checkpoint: %w", s, err)
+		}
+		if ck.Shards != cfg.PSShards {
+			return nil, fmt.Errorf("securetf: shard %d checkpoint is from a %d-shard cluster, this job runs %d", s, ck.Shards, cfg.PSShards)
+		}
+		return ck, nil
+	}
+
 	vars := InitialVariables(cfg.NewModel())
 	shardNodes := make([]*Container, cfg.PSShards)
 	shards := make([]*ParameterServer, cfg.PSShards)
 	addrs := make([]string, cfg.PSShards)
 	defer func() {
+		// Loops over the slices, not captured values: the chaos path
+		// replaces restarted shards in place.
+		for _, ps := range shards {
+			if ps != nil {
+				ps.Close()
+			}
+		}
 		for _, c := range shardNodes {
 			if c != nil {
 				c.Close()
 			}
 		}
 	}()
+	startRounds := 0
 	for s := range shards {
-		c, err := launchNode(fmt.Sprintf("ps-shard-%d", s), true)
+		c, err := launchNode(fmt.Sprintf("ps-shard-%d", s), true, checkpointing)
 		if err != nil {
 			return nil, err
 		}
 		shardNodes[s] = c
-		ps, addr, err := StartParameterServer(c, "127.0.0.1:0", vars, cfg.Workers, cfg.LR,
-			WithShard(s, cfg.PSShards), WithRoundTimeout(cfg.RoundTimeout),
-			WithConsistency(policyFor(s)), WithCompression(cfg.Compression))
+		opts := psOpts(c, s)
+		if cfg.ResumeFrom != "" {
+			ck, err := loadCheckpoint(c, cfg.ResumeFrom, s)
+			if err != nil {
+				return nil, err
+			}
+			if s == 0 {
+				startRounds = ck.Rounds
+			} else if ck.Rounds != startRounds {
+				return nil, fmt.Errorf("securetf: shard %d checkpoint is at round %d, shard 0 at %d (torn snapshot set)", s, ck.Rounds, startRounds)
+			}
+			opts = append(opts, WithResume(ck))
+		}
+		ps, addr, err := StartParameterServer(c, "127.0.0.1:0", vars, cfg.Workers, cfg.LR, opts...)
 		if err != nil {
 			return nil, err
 		}
-		defer ps.Close()
 		shards[s] = ps
 		addrs[s] = addr.String()
+	}
+	if startRounds >= cfg.Rounds {
+		return nil, fmt.Errorf("securetf: resume checkpoint is already at round %d of a %d-round job", startRounds, cfg.Rounds)
 	}
 
 	// Worker nodes, trained concurrently.
@@ -444,7 +706,7 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 		}
 	}()
 	for w := range workerNodes {
-		c, err := launchNode(fmt.Sprintf("train-worker-%d", w), false)
+		c, err := launchNode(fmt.Sprintf("train-worker-%d", w), false, false)
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +715,8 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 
 	res := &DistTrainResult{Losses: make([][]float64, cfg.Workers)}
 	workers := make([]*TrainingWorker, cfg.Workers)
-	errs := make([]error, cfg.Workers)
+	var retired []*TrainingWorker
+	statsBase := make([]PSStats, cfg.PSShards)
 	// A worker that fails before pushing leaves the others blocked on a
 	// barrier that can never fill; closing the shards aborts their
 	// rounds so the job returns the error instead of deadlocking (Close
@@ -462,61 +725,97 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 	abort := func() {
 		abortOnce.Do(func() {
 			for _, ps := range shards {
-				ps.Close()
+				if ps != nil {
+					ps.Close()
+				}
 			}
 		})
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if errs[w] != nil {
-					abort()
-				}
-			}()
-			xs, ys, err := cfg.ShardData(w)
-			if err != nil {
-				errs[w] = err
-				return
+	if cfg.Chaos != nil {
+		// The chaos path runs the rounds in lockstep waves so the fault
+		// schedule — kills, stalls, delays, shard restarts — lands at
+		// deterministic points and the trajectory is reproducible.
+		job := &chaosJob{
+			cfg: cfg, res: res,
+			launchNode: launchNode, psOpts: psOpts, loadCheckpoint: loadCheckpoint,
+			vars: vars, shardNodes: shardNodes, shards: shards, addrs: addrs,
+			workerNodes: workerNodes, workers: workers,
+			statsBase: statsBase, startRounds: startRounds, abort: abort,
+			xs: make([]*Tensor, cfg.Workers), ys: make([]*Tensor, cfg.Workers),
+		}
+		if err := job.run(); err != nil {
+			abort()
+			return nil, err
+		}
+		retired = job.retired
+		for _, worker := range workers {
+			if worker != nil {
+				worker.Close()
 			}
-			worker, err := StartTrainingWorker(workerNodes[w], WorkerSpec{
-				ID:         w,
-				Addrs:      addrs,
-				ServerName: "parameter-server",
-				Model:      cfg.NewModel(),
-				XS:         xs, YS: ys,
-				BatchSize:        cfg.BatchSize,
-				Consistency:      cfg.Consistency,
-				ShardConsistency: cfg.ShardConsistency,
-				Compression:      cfg.Compression,
-			})
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			defer worker.Close()
-			workers[w] = worker
-			for r := 0; r < cfg.Rounds; r++ {
-				if err := worker.Step(); err != nil {
+		}
+	} else {
+		errs := make([]error, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer func() {
+					if errs[w] != nil {
+						abort()
+					}
+				}()
+				xs, ys, err := cfg.ShardData(w)
+				if err != nil {
 					errs[w] = err
 					return
 				}
-				res.Losses[w] = append(res.Losses[w], worker.LastLoss)
-			}
-		}(w)
-	}
-	wg.Wait()
-	// Join all worker errors: when one failure aborts the cluster, the
-	// root cause surfaces alongside the survivors' abort errors.
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+				worker, err := StartTrainingWorker(workerNodes[w], WorkerSpec{
+					ID:         w,
+					Addrs:      addrs,
+					ServerName: "parameter-server",
+					Model:      cfg.NewModel(),
+					XS:         xs, YS: ys,
+					BatchSize:        cfg.BatchSize,
+					Consistency:      cfg.Consistency,
+					ShardConsistency: cfg.ShardConsistency,
+					Compression:      cfg.Compression,
+					StartStep:        startRounds,
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				defer worker.Close()
+				workers[w] = worker
+				for r := startRounds; r < cfg.Rounds; r++ {
+					if err := worker.Step(); err != nil {
+						errs[w] = err
+						return
+					}
+					res.Losses[w] = append(res.Losses[w], worker.LastLoss)
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Join all worker errors: when one failure aborts the cluster, the
+		// root cause surfaces alongside the survivors' abort errors.
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
 	}
 
+	roundsRun := cfg.Rounds - startRounds
 	var pushWire time.Duration
+	live := 0
 	for w, worker := range workers {
-		res.FinalLoss += res.Losses[w][cfg.Rounds-1]
+		if worker == nil || len(res.Losses[w]) == 0 {
+			// A worker killed by the fault plan and never replaced has
+			// no final state to fold in.
+			continue
+		}
+		live++
+		res.FinalLoss += res.Losses[w][len(res.Losses[w])-1]
 		b := worker.LastBreakdown
 		if b.Pull > res.Breakdown.Pull {
 			res.Breakdown.Pull = b.Pull
@@ -527,17 +826,46 @@ func TrainDistributed(cfg DistTrainConfig) (*DistTrainResult, error) {
 		if b.Push > res.Breakdown.Push {
 			res.Breakdown.Push = b.Push
 		}
+	}
+	if live > 0 {
+		res.FinalLoss /= float64(live)
+	}
+	// Wire accounting sums over every worker instance, including the
+	// ones the fault plan killed mid-job.
+	for _, worker := range append(append([]*TrainingWorker{}, workers...), retired...) {
+		if worker == nil {
+			continue
+		}
 		for _, d := range worker.PushWire() {
 			pushWire += d
 		}
 		for _, n := range worker.PushBytes() {
 			res.PushBytes += n
 		}
-	}
-	res.FinalLoss /= float64(cfg.Workers)
-	res.PushWirePerShard = pushWire / time.Duration(cfg.PSShards*cfg.Rounds)
-	for _, worker := range workers {
 		res.StalenessRetries += worker.StalenessRetries()
+		res.DroppedPushes += worker.DroppedPushes()
+	}
+	res.PushWirePerShard = pushWire / time.Duration(cfg.PSShards*roundsRun)
+	for s, ps := range shards {
+		st := ps.Stats()
+		st.Evictions += statsBase[s].Evictions
+		st.Rejoins += statsBase[s].Rejoins
+		st.ShrunkRounds += statsBase[s].ShrunkRounds
+		if st.Evictions > res.Evictions {
+			res.Evictions = st.Evictions
+		}
+		if st.Rejoins > res.Rejoins {
+			res.Rejoins = st.Rejoins
+		}
+		if st.ShrunkRounds > res.ShrunkRounds {
+			res.ShrunkRounds = st.ShrunkRounds
+		}
+	}
+	res.FinalVars = make(map[string]*Tensor, len(vars))
+	for _, ps := range shards {
+		for name, t := range ps.Vars() {
+			res.FinalVars[name] = t
+		}
 	}
 	if allSync {
 		res.Rounds = shards[0].Rounds()

@@ -1,0 +1,268 @@
+package securetf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/securetf/securetf/internal/tf/dist"
+)
+
+// chaosWaveTimeout is the wall-clock hang guard on every chaos wait: a
+// wave that never finishes or a round the shards never commit fails the
+// run explicitly instead of hanging the test suite.
+const chaosWaveTimeout = 60 * time.Second
+
+// chaosReconnect is the redial window workers get when the fault plan
+// restarts parameter-server shards mid-job.
+const chaosReconnect = 5 * time.Second
+
+// chaosJob drives a TrainDistributed run under a fault plan: the rounds
+// run in lockstep waves, and kills, rejoins and shard restarts land
+// between waves — on a quiescent cluster — so the same plan against the
+// same seed always produces the same trajectory.
+type chaosJob struct {
+	cfg            DistTrainConfig
+	res            *DistTrainResult
+	launchNode     func(name string, server, shielded bool) (*Container, error)
+	psOpts         func(c *Container, s int) []PSOption
+	loadCheckpoint func(c *Container, dir string, s int) (*DistCheckpoint, error)
+	vars           map[string]*Tensor
+	shardNodes     []*Container
+	shards         []*ParameterServer
+	addrs          []string
+	workerNodes    []*Container
+	workers        []*TrainingWorker
+	// retired collects killed worker instances so their wire and drop
+	// counters still fold into the result.
+	retired []*TrainingWorker
+	// statsBase accumulates the elasticity counters of shards that were
+	// restarted, so a restart does not erase its shard's history.
+	statsBase   []PSStats
+	xs, ys      []*Tensor
+	startRounds int
+	abort       func()
+}
+
+func (j *chaosJob) reconnect() time.Duration {
+	if j.cfg.Chaos.HasKind(FaultRestartShard) {
+		return chaosReconnect
+	}
+	return 0
+}
+
+// startWorker launches (or relaunches) worker w's training client on
+// its container. startStep aligns the minibatch schedule: a rejoining
+// replacement walks the same data windows the dead worker would have.
+func (j *chaosJob) startWorker(w, startStep int) (*TrainingWorker, error) {
+	return StartTrainingWorker(j.workerNodes[w], WorkerSpec{
+		ID:         w,
+		Addrs:      j.addrs,
+		ServerName: "parameter-server",
+		Model:      j.cfg.NewModel(),
+		XS:         j.xs[w], YS: j.ys[w],
+		BatchSize:        j.cfg.BatchSize,
+		Consistency:      j.cfg.Consistency,
+		ShardConsistency: j.cfg.ShardConsistency,
+		Compression:      j.cfg.Compression,
+		StartStep:        startStep,
+		Reconnect:        j.reconnect(),
+	})
+}
+
+// retire kills worker w: its connections close (the elastic barrier
+// evicts it on the next round timeout) and the instance moves to the
+// retired list for final accounting.
+func (j *chaosJob) retire(w int) {
+	if j.workers[w] == nil {
+		return
+	}
+	j.retired = append(j.retired, j.workers[w])
+	j.workers[w].Close()
+	j.workers[w] = nil
+}
+
+// restartShard kills PS shard s and brings it back from its latest
+// checkpoint on a fresh container: same address, same options, same
+// snapshot volume and key. The cluster sits at `round` committed
+// rounds, which must be exactly what the checkpoint recorded — restarts
+// land only on checkpoint boundaries, so the resumed trajectory is
+// bit-identical. Workers redial lazily through their Reconnect window.
+func (j *chaosJob) restartShard(s, round int) error {
+	j.shards[s].Close()
+	base := j.shards[s].Stats()
+	j.statsBase[s].Evictions += base.Evictions
+	j.statsBase[s].Rejoins += base.Rejoins
+	j.statsBase[s].ShrunkRounds += base.ShrunkRounds
+	j.shardNodes[s].Close()
+	c, err := j.launchNode(fmt.Sprintf("ps-shard-%d-r%d", s, round), true, true)
+	if err != nil {
+		return fmt.Errorf("securetf: restart shard %d: %w", s, err)
+	}
+	j.shardNodes[s] = c
+	ck, err := j.loadCheckpoint(c, j.cfg.Checkpoint.Dir, s)
+	if err != nil {
+		return fmt.Errorf("securetf: restart shard %d: %w", s, err)
+	}
+	if ck.Rounds != round {
+		return fmt.Errorf("securetf: restart shard %d: checkpoint is at round %d, cluster at %d (restart off a checkpoint boundary)", s, ck.Rounds, round)
+	}
+	opts := append(j.psOpts(c, s), WithResume(ck))
+	ps, _, err := StartParameterServer(c, j.addrs[s], j.vars, j.cfg.Workers, j.cfg.LR, opts...)
+	if err != nil {
+		return fmt.Errorf("securetf: restart shard %d: %w", s, err)
+	}
+	j.shards[s] = ps
+	return nil
+}
+
+// waitCommitted polls until every shard has committed n rounds, with
+// the wall-clock hang guard — the "zero hangs" assertion every chaos
+// wait runs under.
+func (j *chaosJob) waitCommitted(n int) error {
+	deadline := time.Now().Add(chaosWaveTimeout)
+	for {
+		ok := true
+		for _, ps := range j.shards {
+			if ps.Rounds() < n {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("securetf: chaos run stuck: shards never committed round %d", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (j *chaosJob) run() error {
+	cfg, plan := j.cfg, j.cfg.Chaos
+	alive := make([]bool, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		xs, ys, err := cfg.ShardData(w)
+		if err != nil {
+			return err
+		}
+		j.xs[w], j.ys[w] = xs, ys
+		worker, err := j.startWorker(w, j.startRounds)
+		if err != nil {
+			return err
+		}
+		j.workers[w] = worker
+		alive[w] = true
+	}
+
+	type rejoin struct{ worker, at int }
+	var rejoins []rejoin
+	for round := j.startRounds; round < cfg.Rounds; round++ {
+		// Shard restarts scheduled for "after `round` committed rounds"
+		// run first, on the quiescent cluster.
+		for _, f := range plan.FaultsAt(round) {
+			if f.Kind == dist.FaultRestartShard {
+				if err := j.restartShard(f.Shard, round); err != nil {
+					return err
+				}
+			}
+		}
+		// Replacement workers due this round rejoin while nothing is in
+		// flight, so every shard folds them back immediately.
+		kept := rejoins[:0]
+		for _, rj := range rejoins {
+			if rj.at > round {
+				kept = append(kept, rj)
+				continue
+			}
+			worker, err := j.startWorker(rj.worker, round)
+			if err != nil {
+				return fmt.Errorf("securetf: rejoin worker %d at round %d: %w", rj.worker, round, err)
+			}
+			j.workers[rj.worker] = worker
+			alive[rj.worker] = true
+		}
+		rejoins = kept
+		// Kills land before the round's step: the worker simply never
+		// pushes, and the elastic barrier evicts it on the timeout.
+		stall := make(map[int]bool)
+		delay := make(map[int]time.Duration)
+		for _, f := range plan.FaultsAt(round) {
+			switch f.Kind {
+			case dist.FaultKillWorker:
+				if !alive[f.Worker] {
+					continue
+				}
+				j.retire(f.Worker)
+				alive[f.Worker] = false
+				if f.Rejoin > 0 {
+					rejoins = append(rejoins, rejoin{f.Worker, round + f.Rejoin})
+				}
+			case dist.FaultStallWorker:
+				stall[f.Worker] = true
+			case dist.FaultDelayPush:
+				delay[f.Worker] += f.Delay
+			}
+		}
+
+		// The wave: every live worker takes one step concurrently.
+		errs := make([]error, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			if !alive[w] {
+				continue
+			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker := j.workers[w]
+				if d := delay[w]; d > 0 {
+					// A slow worker: the extra virtual time stretches the
+					// round for everyone blocked on the barrier.
+					j.workerNodes[w].Clock().Advance(d)
+				}
+				if stall[w] {
+					// The classic straggler: compute, then hold the push
+					// until the shards have committed the round without
+					// us. The late push bounces off the moved-on barrier
+					// (eviction) and the worker rejoins in place.
+					if err := worker.BeginStep(); err != nil {
+						errs[w] = err
+						return
+					}
+					if err := j.waitCommitted(round + 1); err != nil {
+						errs[w] = err
+						return
+					}
+					if err := worker.FinishStep(); err != nil {
+						errs[w] = err
+						return
+					}
+				} else if err := worker.Step(); err != nil {
+					errs[w] = err
+					return
+				}
+				j.res.Losses[w] = append(j.res.Losses[w], worker.LastLoss)
+			}(w)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(chaosWaveTimeout):
+			j.abort()
+			<-done
+			return fmt.Errorf("securetf: chaos run stuck: round %d wave never finished", round)
+		}
+		if err := errors.Join(errs...); err != nil {
+			j.abort()
+			return err
+		}
+		if err := j.waitCommitted(round + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -185,7 +185,8 @@
 // dial through the container, so the network shield's TLS wraps the
 // parameter traffic exactly as in the paper's Figure 8 "w/ TLS" series;
 // WithRoundTimeout bounds how long a round may wait on a straggler
-// before aborting (the elasticity concern of §3.2). Workers report
+// before aborting — or, with WithElastic, before evicting it and
+// carrying on (the elasticity story below). Workers report
 // their per-phase virtual time (pull / compute / push) in
 // TrainingWorker.LastBreakdown; the push stamp is taken only after the
 // last parameter-server ack has been read, so the breakdown carries the
@@ -263,6 +264,40 @@
 // Figure8Compress experiment (securetf-bench -fig 8-compress) sweeps
 // codec × {TLS, plain} at 4 workers / 2 shards, and the TLS-vs-plain
 // latency gap — a wire-bytes story in §5.4 — shrinks with the codec.
+//
+// The synchronous barrier survives churn (§3.2's elasticity, the
+// public-cloud half of the paper's deployment story). With WithElastic
+// on a shard — DistTrainConfig.Elastic on the facade — an expired
+// RoundTimeout no longer aborts: the members that never pushed are
+// declared dead and evicted, the barrier shrinks to the survivors, and
+// the round commits from the gradients it has, averaged over the
+// actual contributors so the update magnitude stays an average
+// (MinWorkers floors the shrunk barrier — a lone "cluster" is usually
+// an outage, not elasticity). An evicted worker rejoins by re-running
+// the same hello/manifest handshake that admitted it, folding back
+// into the barrier at the next round boundary; contributions are
+// summed in worker-id order rather than arrival order, so a run's
+// whole trajectory is bit-reproducible regardless of who died when.
+// The eviction/rejoin/shrunk-round counters surface in
+// ParameterServer.Stats and DistTrainResult. Checkpointing makes the
+// shards themselves expendable: WithCheckpoint (facade:
+// DistCheckpointConfig{Every, Dir, FS, Key}) snapshots each shard's
+// variables, round count and barrier generation into an STFD1
+// container every N committed rounds — written through the file-system
+// shield before the round's barrier releases, so a crash leaves either
+// the full round-N snapshot or the previous one, never a torn write —
+// and WithResume (facade: ResumeFrom) restarts a shard, or a whole
+// later job, exactly where the snapshot left off: the resumed
+// trajectory is bit-identical to the uninterrupted one under every
+// gradient codec. All of it is exercised by a deterministic
+// fault-injection harness: a FaultPlan (ParseFaultPlan's
+// "kill:w2@r1+rejoin2;restart:ps0@r2" grammar, or RandomFaultPlan's
+// seeded churn schedules) handed to DistTrainConfig.Chaos — or
+// securetf-worker -chaos-plan — kills, stalls, delays and restarts at
+// the scheduled rounds, and the Figure9Elastic experiment gates the
+// payoff in CI: killing 1 of 4 workers mid-job costs less than that
+// worker's share of round throughput (BenchmarkDistElastic's
+// survivor-throughput floor).
 //
 // Federated learning (§6.2) promotes the paper's second production use
 // case — hospitals jointly training a diagnostic model without sharing

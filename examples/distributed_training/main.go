@@ -13,7 +13,10 @@
 // per-phase virtual time (pull / compute / push), the per-shard push
 // wire time and the end-to-end latency the paper's Figure 8 measures —
 // then repeats the job under the bounded-staleness async policy
-// (apply-on-push, staleness ≤ 2) through the TrainDistributed facade.
+// (apply-on-push, staleness ≤ 2) through the TrainDistributed facade,
+// and finally survives a scripted fault plan: a worker killed and
+// rejoining, a parameter-server shard restarted from its encrypted
+// checkpoint, every round still committed (§3.2 elasticity).
 //
 // Run with:
 //
@@ -262,6 +265,39 @@ func run() error {
 		rawBytes, compressed.PushBytes,
 		float64(rawBytes)/float64(compressed.PushBytes),
 		compressed.FinalLoss, rawLoss)
+
+	// --- Surviving churn: elasticity + checkpoint/restore. ---
+	// A deterministic fault plan kills worker 2 before round 1 (it
+	// rejoins a round later via the same manifest handshake that
+	// admitted it) and restarts PS shard 0 from its round-2 checkpoint.
+	// The elastic barrier evicts the dead worker after RoundTimeout,
+	// shrinks to the survivors and commits the round from the gradients
+	// it has; the restarted shard resumes from the STFD1 snapshot the
+	// file-system shield encrypted two rounds earlier. Every round still
+	// commits.
+	plan, err := securetf.ParseFaultPlan("kill:w2@r1+rejoin1;restart:ps0@r2")
+	if err != nil {
+		return err
+	}
+	churn, err := securetf.TrainDistributed(securetf.DistTrainConfig{
+		Workers:   workers,
+		PSShards:  psShards,
+		Rounds:    rounds,
+		BatchSize: batchSize,
+		LR:        lr,
+		NewModel:  func() securetf.Model { return securetf.NewMNISTCNN(1) },
+		ShardData: func(w int) (*securetf.Tensor, *securetf.Tensor, error) {
+			return shard(w)
+		},
+		RoundTimeout: 2 * time.Second,
+		Checkpoint:   securetf.DistCheckpointConfig{Every: 2},
+		Chaos:        plan,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn (%s): %d/%d rounds committed — %d eviction(s), %d rejoin(s), %d shrunk round(s), final loss %.3f\n",
+		plan, churn.Rounds, rounds, churn.Evictions, churn.Rejoins, churn.ShrunkRounds, churn.FinalLoss)
 	return nil
 }
 

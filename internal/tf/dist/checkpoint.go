@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/securetf/securetf/internal/tf"
+)
+
+// ckptMagic prefixes a shard checkpoint: a dist header (shard placement,
+// committed-round count, barrier generation) followed by the variables
+// in the tf.SaveCheckpoint format.
+const ckptMagic = "STFD1"
+
+// maxCkptShards bounds the shard count a checkpoint may claim — far
+// above any real cluster, low enough that a bit-flipped header cannot
+// masquerade as a sane placement.
+const maxCkptShards = 1 << 20
+
+// Checkpoint is one parameter-server shard's restart state: everything
+// a fresh ParameterServer needs (via PSConfig.Resume) to continue a
+// killed shard exactly where the snapshot left off.
+type Checkpoint struct {
+	// Shard and Shards record the snapshot's cluster placement; Resume
+	// rejects a checkpoint taken for a different placement.
+	Shard  int
+	Shards int
+	// Rounds is the shard's committed-round count at the snapshot.
+	Rounds int
+	// Gen is the barrier generation (sync) or variable version (async)
+	// the next exchange continues from.
+	Gen uint64
+	// Vars is the shard's variable partition at the snapshot.
+	Vars map[string]*tf.Tensor
+}
+
+// EncodeCheckpoint serializes c: the dist header followed by the
+// variables in the tf.SaveCheckpoint format (STFC1), so shard
+// snapshots and session checkpoints share one tensor encoding.
+func EncodeCheckpoint(c *Checkpoint) []byte {
+	inner := tf.EncodeVarCheckpoint(c.Vars)
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(c.Shard))
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(c.Shards))
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(c.Rounds))
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], c.Gen)
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(inner)))
+	buf.Write(scratch[:4])
+	buf.Write(inner)
+	return buf.Bytes()
+}
+
+// DecodeCheckpoint reverses EncodeCheckpoint. The input is untrusted —
+// a snapshot read back through the shielded FS is authenticated, but
+// the decoder still validates every length against the remaining
+// payload, so a truncated or bit-flipped file errors instead of
+// panicking or over-allocating.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != ckptMagic {
+		return nil, errors.New("dist: bad checkpoint magic")
+	}
+	shard, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	shards, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 || shards > maxCkptShards || shard >= shards {
+		return nil, fmt.Errorf("dist: checkpoint places shard %d in a cluster of %d", shard, shards)
+	}
+	rounds, err := readUint(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	if rounds > 1<<31 {
+		return nil, fmt.Errorf("dist: checkpoint claims %d committed rounds", rounds)
+	}
+	gen, err := readUint(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	innerLen, err := readUint(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	if innerLen != uint64(r.Len()) {
+		return nil, fmt.Errorf("dist: checkpoint variable payload of %d bytes, %d remain", innerLen, r.Len())
+	}
+	inner := make([]byte, innerLen)
+	if _, err := io.ReadFull(r, inner); err != nil {
+		return nil, err
+	}
+	vars, err := tf.DecodeVarCheckpoint(inner)
+	if err != nil {
+		return nil, fmt.Errorf("dist: checkpoint variables: %w", err)
+	}
+	return &Checkpoint{
+		Shard:  int(shard),
+		Shards: int(shards),
+		Rounds: int(rounds),
+		Gen:    gen,
+		Vars:   vars,
+	}, nil
+}

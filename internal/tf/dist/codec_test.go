@@ -438,6 +438,30 @@ func TestCompressedTrainingCheckpointRoundTrip(t *testing.T) {
 			t.Fatalf("variable %q changed across the checkpoint round trip", v.Name())
 		}
 	}
+
+	// The same state must also survive the dist shard-snapshot container
+	// (STFD1) and reseed a fresh parameter server via Resume: the
+	// resumed shard reports the snapshot's round count and bit-identical
+	// variables, with the worker-side residuals still uninvolved.
+	ck, err := DecodeCheckpoint(EncodeCheckpoint(ps.Checkpoint()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Rounds != ps.Rounds() {
+		t.Fatalf("snapshot records %d rounds, shard committed %d", ck.Rounds, ps.Rounds())
+	}
+	ps2, _, _ := newTestPS(t, 1, func(cfg *PSConfig) {
+		cfg.Compression = TopKCompression(0.1)
+		cfg.Resume = ck
+	})
+	if ps2.Rounds() != ps.Rounds() {
+		t.Fatalf("resumed shard reports %d rounds, want %d", ps2.Rounds(), ps.Rounds())
+	}
+	for name, v := range vars {
+		if !tf.AllClose(ps2.Vars()[name], v, 0) {
+			t.Fatalf("variable %q changed across the shard snapshot resume", name)
+		}
+	}
 }
 
 // TestAsyncRetryBreakdownAccounting pins the Figure 8 bookkeeping fix:

@@ -121,6 +121,16 @@ type message struct {
 	// cohort on msgFedRound, the dead clients awaiting unmasking on
 	// msgFedUnmask. Always sorted ascending.
 	Clients []uint32
+	// Evicted marks an elasticity event on an elastic synchronous
+	// shard. On msgAck it is the retryable-in-spirit rejection of the
+	// barrier-shrink protocol: the pushing worker was declared dead
+	// when a round timed out (or is awaiting fold-in after rejoining),
+	// so its gradient was dropped — the worker re-runs the manifest
+	// handshake to rejoin and its next step contributes again. On
+	// msgManifest it acknowledges a rejoin: the shard recognized a
+	// previously evicted worker and seats it at the barrier at the next
+	// round boundary.
+	Evicted bool
 }
 
 // encode serializes the message payload (everything after the length
@@ -185,8 +195,12 @@ func (m *message) encode() []byte {
 	// The federated fields are a trailing extension, written only when
 	// one of them is set: frames of the worker/PS protocol stay
 	// byte-identical to the pre-federated format, and the decoder reads
-	// end-of-payload as all-zero.
-	if m.Closed || m.Seed != 0 || len(m.Clients) > 0 {
+	// end-of-payload as all-zero. The elasticity flag is a second
+	// trailing extension after the federated one — when it is set the
+	// federated block is written too (the decoder reads the extensions
+	// in order), and when both are clear neither is written, so
+	// pre-elastic frames stay byte-identical as well.
+	if m.Closed || m.Seed != 0 || len(m.Clients) > 0 || m.Evicted {
 		if m.Closed {
 			buf.WriteByte(1)
 		} else {
@@ -200,6 +214,9 @@ func (m *message) encode() []byte {
 			binary.LittleEndian.PutUint32(scratch[:4], id)
 			buf.Write(scratch[:4])
 		}
+	}
+	if m.Evicted {
+		buf.WriteByte(1)
 	}
 	return buf.Bytes()
 }
@@ -377,6 +394,16 @@ func decode(payload []byte) (*message, error) {
 		}
 		m.Clients = append(m.Clients, uint32(id))
 	}
+	// Trailing elasticity extension (see encode): absent on pre-elastic
+	// frames, which read end-of-payload as false.
+	if r.Len() == 0 {
+		return &m, nil
+	}
+	evictedByte, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dist: truncated evicted flag: %w", err)
+	}
+	m.Evicted = evictedByte != 0
 	return &m, nil
 }
 

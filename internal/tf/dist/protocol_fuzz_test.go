@@ -50,6 +50,11 @@ func fuzzSeedFrames() [][]byte {
 		{Kind: msgAck, OK: false, Closed: true, Err: "federated: round 4 closed at quorum"},
 		{Kind: msgFedUnmask, OK: true, Round: 4, Clients: []uint32{3}},
 		{Kind: msgFedSeeds, Worker: 5, Round: 4, Grads: map[string][]byte{"3": make([]byte, 32)}},
+		// Elastic frames: the barrier-shrink rejection of an evicted
+		// worker's push and the rejoin-acknowledging manifest, so the
+		// fuzzer starts at the trailing-extension boundary.
+		{Kind: msgAck, OK: false, Evicted: true, Err: "dist: worker evicted from the shrunk barrier"},
+		{Kind: msgManifest, Shards: 1, OK: true, Evicted: true, Names: []string{"b", "w"}},
 	}
 	out := make([][]byte, len(frames))
 	for i, m := range frames {
@@ -97,7 +102,7 @@ func FuzzFrameCodec(f *testing.F) {
 			back.Worker != m.Worker || back.OK != m.OK || back.Stale != m.Stale ||
 			back.Policy != m.Policy || back.Staleness != m.Staleness || back.Err != m.Err ||
 			back.Codec != m.Codec || back.TopK != m.TopK ||
-			back.Closed != m.Closed || back.Seed != m.Seed {
+			back.Closed != m.Closed || back.Seed != m.Seed || back.Evicted != m.Evicted {
 			t.Fatalf("round trip changed the header: %+v vs %+v", m, back)
 		}
 		if len(back.Names) != len(m.Names) || len(back.Vars) != len(m.Vars) || len(back.Grads) != len(m.Grads) {

@@ -71,6 +71,35 @@ type PSConfig struct {
 	// workers receive an error instead of hanging forever. Zero disables
 	// the timeout.
 	RoundTimeout time.Duration
+	// Elastic turns the RoundTimeout from an abort into an eviction
+	// (the paper's §3.2 elasticity): when a synchronous round times
+	// out, the members that never pushed are declared dead, the barrier
+	// shrinks to the survivors, and the round commits from the
+	// gradients it has — averaged over the contributors, so the update
+	// magnitude stays an average. The survivors' detection wait (the
+	// timeout itself) is charged to the shard clock. An evicted worker
+	// rejoins by re-running the msgHello/msgManifest handshake and is
+	// folded back into the barrier at the next round boundary. Sync
+	// mode only; the default (false) keeps the abort behavior.
+	Elastic bool
+	// MinWorkers floors the shrunk barrier: a timed-out round with
+	// fewer than MinWorkers pushes still aborts (a lone survivor
+	// training "distributed" by itself is usually a dead cluster, not
+	// elasticity). Defaults to 1.
+	MinWorkers int
+	// CheckpointEvery, with CheckpointWrite, snapshots the shard every
+	// CheckpointEvery committed rounds: the encoded Checkpoint is
+	// handed to CheckpointWrite before the round's barrier releases, so
+	// a crash after round r either left the full round-r snapshot or
+	// none. A write error aborts the round.
+	CheckpointEvery int
+	CheckpointWrite func(data []byte) error
+	// Resume seeds the shard from a Checkpoint instead of the fresh
+	// Vars values: variables, committed-round count and barrier
+	// generation continue where the snapshot left off. The checkpoint
+	// must carry exactly this shard's variable partition (same
+	// placement, same shapes).
+	Resume *Checkpoint
 	// ApplyMeter, when set, is charged with the gradient-averaging and
 	// SGD-apply work (FLOPs, bytes) of each committed round, so the PS
 	// node's device sees the same workload shape as the paper's.
@@ -94,22 +123,61 @@ type ParameterServer struct {
 	conns  map[net.Conn]struct{}
 
 	// Per-round barrier state, reset on commit or abort (sync mode
-	// only). gen guards the timeout callback against firing into a
-	// later round; in async mode it is the variable version, bumped on
-	// every applied push, and the staleness bound is measured against
-	// it.
-	sum     map[string]*tf.Tensor
-	pushes  int
-	waiters []chan error
-	timer   *time.Timer
-	gen     uint64
+	// only). Contributions are staged per pusher and summed at commit
+	// in ascending worker-id order, so the float accumulation — and
+	// therefore the whole trajectory — is independent of push arrival
+	// order (bit-reproducible runs, which the elasticity and
+	// checkpoint/resume tests pin). gen guards the timeout callback
+	// against firing into a later round; in async mode it is the
+	// variable version, bumped on every applied push, and the staleness
+	// bound is measured against it.
+	contribs []contribution
+	pushes   int
+	waiters  []chan error
+	timer    *time.Timer
+	gen      uint64
 
 	// steps tracks each worker's latest pushed local step (async
 	// accounting; sync pushes record it too, it just never gates
 	// anything there).
 	steps map[uint32]uint64
 
+	// Elastic membership (sync + Elastic only). members holds the
+	// workers currently seated at the barrier; evicted the ones
+	// declared dead on a round timeout; pending the evicted workers
+	// that re-ran the handshake and wait for the next round boundary to
+	// be folded back in. expected is the current barrier size (==
+	// cfg.Workers while nobody is evicted — non-elastic servers never
+	// change it); pushedBy guards against double pushes within one
+	// round.
+	expected int
+	members  map[uint32]bool
+	evicted  map[uint32]bool
+	pending  map[uint32]bool
+	pushedBy map[uint32]bool
+	stats    PSStats
+
 	wg sync.WaitGroup
+}
+
+// contribution is one worker's staged gradient partition of the
+// current synchronous round.
+type contribution struct {
+	worker uint32
+	vars   map[string]*tf.Tensor
+}
+
+// PSStats counts a shard's elasticity events.
+type PSStats struct {
+	// Evictions is the number of barrier seats removed on round
+	// timeouts — one per worker declared dead.
+	Evictions int
+	// Rejoins is the number of evicted workers folded back into the
+	// barrier after re-running the handshake.
+	Rejoins int
+	// ShrunkRounds is the number of rounds committed by a shrunk
+	// barrier — rounds that timed out and went on without the dead.
+	ShrunkRounds int
 }
 
 // errRoundTimeout is what blocked workers receive when a round aborts.
@@ -120,6 +188,12 @@ var errRoundTimeout = errors.New("dist: synchronous round aborted: timeout waiti
 // the Stale wire flag, so workers retry (re-pull, recompute, re-push)
 // instead of aborting.
 var errStalePush = errors.New("dist: push exceeds the staleness bound")
+
+// errEvicted rejects a push from a worker an elastic shard declared
+// dead (or whose round the shrunk barrier already committed). It
+// travels as the Evicted wire flag: the worker drops the contribution,
+// re-runs the handshake to rejoin, and its next step counts again.
+var errEvicted = errors.New("dist: worker evicted from the round barrier")
 
 // NewParameterServer validates cfg, deep-copies the seed variables and
 // starts accepting worker connections.
@@ -153,11 +227,30 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 	if err := cfg.Compression.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.MinWorkers == 0 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.MinWorkers < 1 || cfg.MinWorkers > cfg.Workers {
+		return nil, fmt.Errorf("dist: PSConfig.MinWorkers must be in [1, %d], got %d", cfg.Workers, cfg.MinWorkers)
+	}
+	if cfg.Elastic && cfg.Consistency.Kind != ConsistencySync {
+		return nil, errors.New("dist: PSConfig.Elastic requires the synchronous barrier (async shards never block on the dead)")
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("dist: PSConfig.CheckpointEvery must be ≥ 0, got %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointWrite == nil {
+		return nil, errors.New("dist: PSConfig.CheckpointEvery requires CheckpointWrite")
+	}
 	ps := &ParameterServer{
-		cfg:   cfg,
-		vars:  make(map[string]*tf.Tensor, len(cfg.Vars)),
-		conns: make(map[net.Conn]struct{}),
-		steps: make(map[uint32]uint64),
+		cfg:      cfg,
+		vars:     make(map[string]*tf.Tensor, len(cfg.Vars)),
+		conns:    make(map[net.Conn]struct{}),
+		steps:    make(map[uint32]uint64),
+		expected: cfg.Workers,
+		members:  make(map[uint32]bool),
+		evicted:  make(map[uint32]bool),
+		pending:  make(map[uint32]bool),
 	}
 	for name, t := range ShardVars(cfg.Vars, cfg.Shard, cfg.Shards) {
 		if t == nil || t.DType() != tf.Float32 {
@@ -167,9 +260,65 @@ func NewParameterServer(cfg PSConfig) (*ParameterServer, error) {
 		ps.manifest = append(ps.manifest, name)
 	}
 	sort.Strings(ps.manifest)
+	if cfg.Resume != nil {
+		if err := ps.resume(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
 	ps.wg.Add(1)
 	go ps.accept()
 	return ps, nil
+}
+
+// resume seeds the freshly constructed shard from a checkpoint: the
+// snapshot must carry exactly this shard's variable partition, and the
+// round count and barrier generation continue from its values.
+func (ps *ParameterServer) resume(c *Checkpoint) error {
+	if c.Shard != ps.cfg.Shard || c.Shards != ps.cfg.Shards {
+		return fmt.Errorf("dist: checkpoint is shard %d of %d, this server is shard %d of %d",
+			c.Shard, c.Shards, ps.cfg.Shard, ps.cfg.Shards)
+	}
+	if len(c.Vars) != len(ps.vars) {
+		return fmt.Errorf("dist: checkpoint carries %d variables, shard %d owns %d", len(c.Vars), ps.cfg.Shard, len(ps.vars))
+	}
+	for name, t := range c.Vars {
+		v, ok := ps.vars[name]
+		if !ok {
+			return fmt.Errorf("dist: checkpoint variable %q is not placed on shard %d", name, ps.cfg.Shard)
+		}
+		if t.DType() != tf.Float32 || !t.Shape().Equal(v.Shape()) {
+			return fmt.Errorf("dist: checkpoint variable %q has shape %v, shard owns %v", name, t.Shape(), v.Shape())
+		}
+	}
+	for name, t := range c.Vars {
+		ps.vars[name] = t.Clone()
+	}
+	ps.rounds = c.Rounds
+	ps.gen = c.Gen
+	return nil
+}
+
+// Stats snapshots the shard's elasticity counters.
+func (ps *ParameterServer) Stats() PSStats {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.stats
+}
+
+// Checkpoint snapshots the shard's restart state: the current
+// variables, the committed-round count and the barrier generation.
+// Feed it (or its EncodeCheckpoint encoding) to PSConfig.Resume to
+// continue a killed shard exactly where the snapshot left off.
+func (ps *ParameterServer) Checkpoint() *Checkpoint {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return &Checkpoint{
+		Shard:  ps.cfg.Shard,
+		Shards: ps.cfg.Shards,
+		Rounds: ps.rounds,
+		Gen:    ps.gen,
+		Vars:   ps.snapshotLocked(),
+	}
 }
 
 // Rounds reports how many commits the shard has applied: synchronous
@@ -285,6 +434,7 @@ func (ps *ParameterServer) serve(conn net.Conn) {
 			if err := ps.push(msg); err != nil {
 				resp.OK = false
 				resp.Stale = errors.Is(err, errStalePush)
+				resp.Evicted = errors.Is(err, errEvicted)
 				resp.Err = err.Error()
 			}
 		default:
@@ -332,6 +482,27 @@ func (ps *ParameterServer) handshake(msg *message) *message {
 		resp.OK = false
 		resp.Err = fmt.Sprintf("dist: worker %d pushes with codec %v, but shard %d decodes %v (mixed-codec cluster)",
 			msg.Worker, want, ps.cfg.Shard, ps.cfg.Compression)
+	}
+	if resp.OK && ps.cfg.Elastic {
+		ps.mu.Lock()
+		if ps.evicted[msg.Worker] {
+			// An evicted worker re-ran the handshake: this is the rejoin.
+			// A quiescent barrier (no pushes in flight) folds it back
+			// immediately; mid-round it waits for the boundary, so the
+			// round in progress keeps the size its timeout math assumed.
+			delete(ps.evicted, msg.Worker)
+			if ps.pushes == 0 {
+				ps.members[msg.Worker] = true
+				ps.expected++
+				ps.stats.Rejoins++
+			} else {
+				ps.pending[msg.Worker] = true
+			}
+			resp.Evicted = true // acknowledge the rejoin explicitly
+		} else if !ps.members[msg.Worker] && !ps.pending[msg.Worker] {
+			ps.members[msg.Worker] = true
+		}
+		ps.mu.Unlock()
 	}
 	return resp
 }
@@ -396,7 +567,20 @@ func (ps *ParameterServer) push(msg *message) error {
 	// pulled from. A mismatch means the worker's round has already
 	// committed or aborted while it was computing — its gradient is
 	// against stale parameters and must not seed the next round.
-	if msg.Round != ps.gen {
+	if ps.cfg.Elastic {
+		// An elastic shard turns those rejections into the retryable
+		// eviction signal: the worker drops the contribution, re-runs
+		// the handshake and counts again from its next step.
+		if ps.evicted[msg.Worker] || ps.pending[msg.Worker] || msg.Round != ps.gen {
+			ps.mu.Unlock()
+			return fmt.Errorf("%w: worker %d pushed for round generation %d, current is %d",
+				errEvicted, msg.Worker, msg.Round, ps.gen)
+		}
+		if ps.pushedBy[msg.Worker] {
+			ps.mu.Unlock()
+			return fmt.Errorf("dist: worker %d pushed twice into round generation %d", msg.Worker, msg.Round)
+		}
+	} else if msg.Round != ps.gen {
 		ps.mu.Unlock()
 		return fmt.Errorf("dist: worker %d pushed for round generation %d, current is %d (round committed or aborted)", msg.Worker, msg.Round, ps.gen)
 	}
@@ -407,20 +591,13 @@ func (ps *ParameterServer) push(msg *message) error {
 		return err
 	}
 	ps.steps[msg.Worker] = msg.Step
-	if ps.sum == nil {
-		ps.sum = make(map[string]*tf.Tensor, len(ps.vars))
-	}
-	for name, g := range msg.Vars {
-		acc, ok := ps.sum[name]
-		if !ok {
-			ps.sum[name] = g.Clone()
-			continue
+	if ps.cfg.Elastic {
+		if ps.pushedBy == nil {
+			ps.pushedBy = make(map[uint32]bool, ps.expected)
 		}
-		dst, src := acc.Floats(), g.Floats()
-		for i := range dst {
-			dst[i] += src[i]
-		}
+		ps.pushedBy[msg.Worker] = true
 	}
+	ps.contribs = append(ps.contribs, contribution{worker: msg.Worker, vars: msg.Vars})
 	ps.pushes++
 	ch := make(chan error, 1)
 	ps.waiters = append(ps.waiters, ch)
@@ -428,7 +605,7 @@ func (ps *ParameterServer) push(msg *message) error {
 		gen := ps.gen
 		ps.timer = time.AfterFunc(ps.cfg.RoundTimeout, func() { ps.timeout(gen) })
 	}
-	if ps.pushes >= ps.cfg.Workers {
+	if ps.pushes >= ps.expected {
 		ps.commitLocked()
 	}
 	ps.mu.Unlock()
@@ -488,16 +665,41 @@ func (ps *ParameterServer) pushAsyncLocked(msg *message) error {
 	ps.steps[msg.Worker] = msg.Step
 	ps.rounds++
 	ps.gen++
-	return nil
+	return ps.maybeCheckpointLocked(ps.gen)
 }
 
 // commitLocked averages the round's gradients, applies them at the
-// learning rate, charges the apply meter and releases the barrier.
+// learning rate, charges the apply meter and releases the barrier. The
+// averaging divisor is the number of contributors — cfg.Workers on a
+// full barrier, the survivor count on a shrunk elastic round — so the
+// update magnitude always stays an average.
 func (ps *ParameterServer) commitLocked() {
-	inv := float32(1) / float32(ps.cfg.Workers)
+	contributors := ps.cfg.Workers
+	if ps.cfg.Elastic {
+		contributors = ps.pushes
+	}
+	inv := float32(1) / float32(contributors)
 	lr := float32(ps.cfg.LR)
+	// Sum in ascending worker-id order, not arrival order: float
+	// addition is not associative, so a schedule-dependent order would
+	// make trajectories irreproducible.
+	sort.SliceStable(ps.contribs, func(i, j int) bool { return ps.contribs[i].worker < ps.contribs[j].worker })
+	sum := make(map[string]*tf.Tensor, len(ps.vars))
+	for _, c := range ps.contribs {
+		for name, g := range c.vars {
+			acc, ok := sum[name]
+			if !ok {
+				sum[name] = g.Clone()
+				continue
+			}
+			dst, src := acc.Floats(), g.Floats()
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	}
 	var elems int64
-	for name, acc := range ps.sum {
+	for name, acc := range sum {
 		v := ps.vars[name].Floats()
 		g := acc.Floats()
 		for i := range v {
@@ -506,25 +708,75 @@ func (ps *ParameterServer) commitLocked() {
 		elems += int64(len(g))
 	}
 	if ps.cfg.ApplyMeter != nil {
-		// Sum of Workers contributions (done incrementally on push),
-		// scale and subtract: ~(Workers+2) FLOPs per element. Traffic:
+		// Sum of the contributions (done incrementally on push), scale
+		// and subtract: ~(contributors+2) FLOPs per element. Traffic:
 		// read every contribution once, read+write the variables.
-		ps.cfg.ApplyMeter(elems*int64(ps.cfg.Workers+2), elems*4*int64(ps.cfg.Workers+2))
+		ps.cfg.ApplyMeter(elems*int64(contributors+2), elems*4*int64(contributors+2))
 	}
 	ps.rounds++
+	if err := ps.maybeCheckpointLocked(ps.gen + 1); err != nil {
+		ps.finishRoundLocked(err)
+		return
+	}
 	ps.finishRoundLocked(nil)
+}
+
+// maybeCheckpointLocked snapshots the shard if the committed-round count
+// just crossed a checkpoint boundary. gen is the barrier generation the
+// snapshot resumes into — the one the barrier is about to advance to —
+// so a restart from this checkpoint accepts exactly the pushes the dead
+// shard would have.
+func (ps *ParameterServer) maybeCheckpointLocked(gen uint64) error {
+	if ps.cfg.CheckpointEvery <= 0 || ps.rounds%ps.cfg.CheckpointEvery != 0 {
+		return nil
+	}
+	data := EncodeCheckpoint(&Checkpoint{
+		Shard:  ps.cfg.Shard,
+		Shards: ps.cfg.Shards,
+		Rounds: ps.rounds,
+		Gen:    gen,
+		Vars:   ps.snapshotLocked(),
+	})
+	if err := ps.cfg.CheckpointWrite(data); err != nil {
+		return fmt.Errorf("dist: shard %d checkpoint at round %d: %w", ps.cfg.Shard, ps.rounds, err)
+	}
+	return nil
 }
 
 // timeout fires when a round stays incomplete past RoundTimeout. gen
 // identifies the round the timer was armed for; a commit that raced the
-// timer bumps the generation, making this a no-op.
+// timer bumps the generation, making this a no-op. A non-elastic shard
+// aborts the round; an elastic one declares the members that never
+// pushed dead, shrinks the barrier to the survivors and commits from
+// the gradients it has.
 func (ps *ParameterServer) timeout(gen uint64) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if gen != ps.gen || ps.pushes == 0 {
 		return
 	}
-	ps.abortLocked(errRoundTimeout)
+	if !ps.cfg.Elastic || ps.pushes < ps.cfg.MinWorkers {
+		ps.abortLocked(errRoundTimeout)
+		return
+	}
+	for w := range ps.members {
+		if !ps.pushedBy[w] {
+			delete(ps.members, w)
+			ps.evicted[w] = true
+		}
+	}
+	// Count seats, not membership entries: a worker that died before it
+	// ever said hello holds a seat without a members entry, and its
+	// eviction must still show up in the ledger.
+	ps.stats.Evictions += ps.expected - ps.pushes
+	ps.stats.ShrunkRounds++
+	ps.expected = ps.pushes
+	// The survivors spent the whole detection window blocked on the
+	// dead; charge it to the shard clock so the job's latency stays
+	// honest (and deterministic — the charge is the configured timeout,
+	// not a measured wall delay).
+	ps.cfg.Clock.Advance(ps.cfg.RoundTimeout)
+	ps.commitLocked()
 }
 
 func (ps *ParameterServer) abortLocked(err error) {
@@ -541,11 +793,21 @@ func (ps *ParameterServer) finishRoundLocked(err error) {
 		ch <- err
 	}
 	ps.waiters = nil
-	ps.sum = nil
+	ps.contribs = nil
 	ps.pushes = 0
 	if ps.timer != nil {
 		ps.timer.Stop()
 		ps.timer = nil
 	}
 	ps.gen++
+	if ps.cfg.Elastic {
+		// Round boundary: fold rejoined workers back into the barrier.
+		for w := range ps.pending {
+			delete(ps.pending, w)
+			ps.members[w] = true
+			ps.expected++
+			ps.stats.Rejoins++
+		}
+		ps.pushedBy = nil
+	}
 }

@@ -68,6 +68,17 @@ type WorkerConfig struct {
 	// verifies the codec against every shard, so a mixed-codec cluster
 	// fails at construction instead of corrupting gradients silently.
 	Compression Compression
+	// StartStep offsets the worker's local step counter, so a worker
+	// resumed alongside a checkpointed cluster keeps walking the same
+	// minibatch schedule an uninterrupted run would (the batch window is
+	// step*BatchSize mod the shard size). Defaults to 0 — a fresh job.
+	StartStep int
+	// Reconnect, when positive, is how long a failed shard exchange may
+	// spend redialing before the step fails: the connection is reopened,
+	// the handshake re-run and the exchange retried once — the client
+	// half of a PS shard restarting from checkpoint. Zero (the default)
+	// keeps connection errors fatal.
+	Reconnect time.Duration
 }
 
 // Worker runs SGD steps against a (possibly sharded) parameter-server
@@ -84,6 +95,7 @@ type WorkerConfig struct {
 // worker waits for its slowest parameter server.
 type Worker struct {
 	cfg    WorkerConfig
+	addrs  []string   // shard endpoints, indexed by shard id (for redial)
 	conns  []net.Conn // one per shard, indexed by shard id
 	router *Router
 	sess   *tf.Session
@@ -129,6 +141,12 @@ type Worker struct {
 	// staleRetries counts pushes rejected for exceeding an async
 	// shard's staleness bound and retried after a re-pull + recompute.
 	staleRetries int
+	// dropped[s] counts pushes shard s rejected with the eviction flag —
+	// contributions an elastic barrier committed without; rejoined[s]
+	// counts the handshake re-runs that folded this worker back in.
+	// Indexed writes from the per-shard fan-out goroutines, so no lock.
+	dropped  []int
+	rejoined []int
 
 	// LastLoss is the minibatch loss of the most recent step.
 	LastLoss float64
@@ -218,17 +236,24 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, fmt.Errorf("dist: worker %d: %w", cfg.ID, err)
 	}
 
+	if cfg.StartStep < 0 {
+		return nil, fmt.Errorf("dist: WorkerConfig.StartStep must be ≥ 0, got %d", cfg.StartStep)
+	}
 	w := &Worker{
 		cfg:          cfg,
+		addrs:        addrs,
 		conns:        make([]net.Conn, len(addrs)),
 		router:       router,
 		sess:         tf.NewSession(cfg.Model.Graph, tf.WithDevice(cfg.Device), tf.WithSeed(int64(cfg.ID)+1)),
 		policies:     policies,
 		lossAndGrads: append([]*tf.Node{cfg.Model.Loss}, grads...),
 		gradNames:    names,
+		step:         cfg.StartStep,
 		rounds:       make([]uint64, len(addrs)),
 		pushWire:     make([]time.Duration, len(addrs)),
 		pushBytes:    make([]int64, len(addrs)),
+		dropped:      make([]int, len(addrs)),
+		rejoined:     make([]int, len(addrs)),
 	}
 	for s, addr := range addrs {
 		conn, err := cfg.Dial("tcp", addr)
@@ -237,7 +262,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 			return nil, fmt.Errorf("dist: worker %d dial shard %d at %s: %w", cfg.ID, s, addr, err)
 		}
 		w.conns[s] = conn
-		if err := w.handshake(s); err != nil {
+		if err := w.handshake(s, cfg.Clock); err != nil {
 			w.Close()
 			return nil, err
 		}
@@ -248,8 +273,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 // handshake verifies that the endpoint dialed for shard s identifies as
 // shard s of the expected cluster size, runs the consistency policy
 // this worker expects of it, and owns exactly the variables the local
-// name-hash placement assigns to it.
-func (w *Worker) handshake(s int) error {
+// name-hash placement assigns to it. It runs on the given clock so a
+// mid-step rejoin (inside the fan-out) charges its branch, not the
+// worker clock directly.
+func (w *Worker) handshake(s int, clock *vtime.Clock) error {
 	policy, staleness := wirePolicy(w.policies[s])
 	codec, topk := wireCompression(w.cfg.Compression)
 	req := &message{
@@ -262,11 +289,11 @@ func (w *Worker) handshake(s int) error {
 		Codec:     codec,
 		TopK:      topk,
 	}
-	if _, err := send(w.conns[s], w.cfg.Clock, w.cfg.Params, req); err != nil {
+	if _, err := send(w.conns[s], clock, w.cfg.Params, req); err != nil {
 		return fmt.Errorf("dist: worker %d handshake with shard %d: %w", w.cfg.ID, s, err)
 	}
-	w.cfg.Clock.Advance(w.cfg.Params.LANRTT / 2)
-	resp, err := receive(w.conns[s], w.cfg.Clock, w.cfg.Params)
+	clock.Advance(w.cfg.Params.LANRTT / 2)
+	resp, err := receive(w.conns[s], clock, w.cfg.Params)
 	if err != nil {
 		return fmt.Errorf("dist: worker %d handshake with shard %d: %w", w.cfg.ID, s, err)
 	}
@@ -347,6 +374,29 @@ func (w *Worker) RunSteps(n int) error {
 // shard's staleness bound and retried (re-pull, recompute, re-push)
 // over the worker's lifetime.
 func (w *Worker) StalenessRetries() int { return w.staleRetries }
+
+// Rejoins reports how many times this worker was folded back into an
+// elastic shard's barrier after an eviction — one handshake re-run per
+// Evicted push rejection.
+func (w *Worker) Rejoins() int {
+	var n int
+	for _, r := range w.rejoined {
+		n += r
+	}
+	return n
+}
+
+// DroppedPushes reports how many shard contributions were dropped
+// because an elastic barrier evicted this worker (or committed its
+// round without it). Each drop costs the step nothing beyond its own
+// wasted work — the next step pulls fresh variables and counts again.
+func (w *Worker) DroppedPushes() int {
+	var n int
+	for _, d := range w.dropped {
+		n += d
+	}
+	return n
+}
 
 // Step runs one training step (pull, compute, push) and records its
 // loss and per-phase virtual-time breakdown. It is exactly
@@ -454,7 +504,12 @@ func (w *Worker) retryStale(stale []int, rb *Breakdown) (float64, []int, error) 
 	clock := w.cfg.Clock
 	span := clock.Start()
 	for _, s := range stale {
-		n, err := w.pullExchange(s, clock)
+		var n int64
+		err := w.withReconnect(s, clock, func() error {
+			var err error
+			n, err = w.pullExchange(s, clock)
+			return err
+		})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -474,11 +529,16 @@ func (w *Worker) retryStale(stale []int, rb *Breakdown) (float64, []int, error) 
 	}
 	var still []int
 	for _, s := range stale {
-		redo, err := w.pushExchange(s, clock, parts[s])
+		var o pushOutcome
+		err := w.withReconnect(s, clock, func() error {
+			var err error
+			o, err = w.pushExchange(s, clock, parts[s])
+			return err
+		})
 		if err != nil {
 			return 0, nil, err
 		}
-		if redo {
+		if o == pushStale {
 			still = append(still, s)
 		}
 	}
@@ -514,11 +574,59 @@ func (w *Worker) fanOut(fn func(s int, clock *vtime.Clock) error) error {
 	return errors.Join(errs...)
 }
 
+// withReconnect runs one shard exchange; when Reconnect is enabled and
+// the exchange fails, the shard is redialed (a PS restarting from
+// checkpoint needs a moment to come back) and the exchange retried
+// once. The restarted shard applied nothing from the broken connection,
+// so the retry cannot double-contribute.
+func (w *Worker) withReconnect(s int, clock *vtime.Clock, fn func() error) error {
+	err := fn()
+	if err == nil || w.cfg.Reconnect <= 0 {
+		return err
+	}
+	if rerr := w.redial(s, clock); rerr != nil {
+		return errors.Join(err, rerr)
+	}
+	return fn()
+}
+
+// redial reopens the connection to shard s and re-runs the handshake,
+// retrying until the Reconnect wall-clock window closes.
+func (w *Worker) redial(s int, clock *vtime.Clock) error {
+	if w.conns[s] != nil {
+		w.conns[s].Close()
+		w.conns[s] = nil
+	}
+	deadline := time.Now().Add(w.cfg.Reconnect)
+	var last error
+	for {
+		conn, err := w.cfg.Dial("tcp", w.addrs[s])
+		if err == nil {
+			w.conns[s] = conn
+			if err = w.handshake(s, clock); err == nil {
+				return nil
+			}
+			conn.Close()
+			w.conns[s] = nil
+		}
+		last = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: worker %d redial shard %d: %w", w.cfg.ID, s, last)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func (w *Worker) pull() error {
 	var mu sync.Mutex
 	var bytes int64
 	err := w.fanOut(func(s int, clock *vtime.Clock) error {
-		n, err := w.pullExchange(s, clock)
+		var n int64
+		err := w.withReconnect(s, clock, func() error {
+			var err error
+			n, err = w.pullExchange(s, clock)
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -615,33 +723,54 @@ func (w *Worker) pushGrads(grads map[string]*tf.Tensor) ([]int, error) {
 			}
 		}
 	}
-	redo := make([]bool, len(w.conns))
+	outcomes := make([]pushOutcome, len(w.conns))
 	err = w.fanOut(func(s int, clock *vtime.Clock) error {
-		r, err := w.pushExchange(s, clock, parts[s])
-		redo[s] = r
+		err := w.withReconnect(s, clock, func() error {
+			o, err := w.pushExchange(s, clock, parts[s])
+			outcomes[s] = o
+			return err
+		})
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	var stale []int
-	for s, r := range redo {
-		if r {
+	for s, o := range outcomes {
+		if o == pushStale {
 			stale = append(stale, s)
 		}
 	}
 	return stale, nil
 }
 
+// pushOutcome classifies a shard's answer to one gradient push.
+type pushOutcome uint8
+
+const (
+	// pushApplied: the shard accepted the contribution.
+	pushApplied pushOutcome = iota
+	// pushStale: an async shard rejected the push for staleness; the
+	// caller re-pulls, recomputes and re-pushes.
+	pushStale
+	// pushDropped: an elastic shard evicted this worker or committed
+	// its round without it. The contribution is gone — not retried; the
+	// worker has already re-run the handshake to rejoin, and its next
+	// step pulls fresh variables and counts again.
+	pushDropped
+)
+
 // pushExchange sends shard s its gradient partition on the given clock
-// and reads the ack. A staleness rejection is reported as stale=true —
-// the one retryable outcome; every other rejection is an error. Under a
-// lossy codec the partition is compressed with the error-feedback
-// residual folded in, and the new residual — the mass this frame drops
-// — is committed only on an applied push: a rejected frame was
-// discarded by the parameter server, so its unsent mass must not be
-// double-counted when the retry re-encodes a fresh gradient.
-func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Tensor) (stale bool, err error) {
+// and reads the ack. A staleness rejection reports pushStale (the
+// caller retries after a re-pull + recompute); an eviction reports
+// pushDropped after re-running the rejoin handshake; every other
+// rejection is an error. Under a lossy codec the partition is
+// compressed with the error-feedback residual folded in, and the new
+// residual — the mass this frame drops — is committed only on an
+// applied push: a rejected frame was discarded by the parameter server,
+// so its unsent mass must not be double-counted when a later push
+// re-encodes a fresh gradient.
+func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Tensor) (pushOutcome, error) {
 	req := &message{
 		Kind:   msgPush,
 		Worker: uint32(w.cfg.ID),
@@ -657,7 +786,7 @@ func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Ten
 		for name, g := range vars {
 			blob, newRes, err := w.cfg.Compression.compress(g, w.residuals[name])
 			if err != nil {
-				return false, fmt.Errorf("shard %d: compress %q: %w", s, name, err)
+				return pushApplied, fmt.Errorf("shard %d: compress %q: %w", s, name, err)
 			}
 			req.Grads[name] = blob
 			pending[name] = newRes
@@ -666,30 +795,41 @@ func (w *Worker) pushExchange(s int, clock *vtime.Clock, vars map[string]*tf.Ten
 	wireStart := clock.Now()
 	n, err := send(w.conns[s], clock, w.cfg.Params, req)
 	if err != nil {
-		return false, err
+		return pushApplied, err
 	}
 	w.pushWire[s] += clock.Now() - wireStart
 	w.pushBytes[s] += int64(n)
 	clock.Advance(w.cfg.Params.LANRTT / 2)
 	resp, err := receive(w.conns[s], clock, w.cfg.Params)
 	if err != nil {
-		return false, err
+		return pushApplied, err
 	}
 	if resp.Kind != msgAck {
-		return false, fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
+		return pushApplied, fmt.Errorf("shard %d: unexpected response kind %d", s, resp.Kind)
 	}
 	if !resp.OK {
 		if resp.Stale {
-			return true, nil
+			return pushStale, nil
 		}
-		return false, errors.New(resp.Err)
+		if resp.Evicted {
+			// The barrier went on without us. Drop the contribution and
+			// rejoin through the handshake; the shard folds us back in
+			// at the next round boundary.
+			w.dropped[s]++
+			if err := w.handshake(s, clock); err != nil {
+				return pushDropped, fmt.Errorf("shard %d rejoin: %w", s, err)
+			}
+			w.rejoined[s]++
+			return pushDropped, nil
+		}
+		return pushApplied, errors.New(resp.Err)
 	}
 	// Applied: commit this partition's residuals in place (the slices
 	// were allocated before the fan-out; only this shard touches them).
 	for name, res := range pending {
 		copy(w.residuals[name], res)
 	}
-	return false, nil
+	return pushApplied, nil
 }
 
 // sliceRows returns rows [lo, hi) of a tensor's leading dimension as a

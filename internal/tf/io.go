@@ -91,6 +91,7 @@ func (r *reader) u64() (uint64, error) {
 	r.off += 8
 	return v, nil
 }
+func (r *reader) remaining() int { return len(r.data) - r.off }
 func (r *reader) str() (string, error) {
 	n, err := r.u32()
 	if err != nil {
@@ -155,6 +156,11 @@ func decodeTensorFrom(r *reader) (*Tensor, error) {
 	}
 	if shape.NumElements() != int(n) {
 		return nil, fmt.Errorf("tf: tensor shape %v vs %d elements", shape, n)
+	}
+	// Every element is four bytes on the wire; a count beyond the
+	// remaining payload is corruption, not an allocation size to honour.
+	if int64(n)*4 > int64(r.remaining()) {
+		return nil, fmt.Errorf("tf: tensor of %d elements exceeds remaining payload", n)
 	}
 	t := NewTensor(dtype, shape)
 	switch dtype {
@@ -393,6 +399,67 @@ func SaveCheckpoint(s *Session) []byte {
 		encodeTensorInto(&w, s.vars[name])
 	}
 	return w.buf.Bytes()
+}
+
+// EncodeVarCheckpoint serializes a variable map in the SaveCheckpoint
+// format (STFC1), names sorted — the shape a parameter-server shard
+// snapshots, so shard checkpoints and session checkpoints share one
+// encoding and RestoreCheckpoint loads either.
+func EncodeVarCheckpoint(vars map[string]*Tensor) []byte {
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var w writer
+	w.buf.Write(checkpointMagic)
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		w.str(name)
+		encodeTensorInto(&w, vars[name])
+	}
+	return w.buf.Bytes()
+}
+
+// DecodeVarCheckpoint parses a SaveCheckpoint/EncodeVarCheckpoint blob
+// into a variable map. The input is untrusted: counts and element
+// totals are validated against the remaining payload before any
+// allocation, so a truncated or bit-flipped snapshot errors instead of
+// panicking or over-allocating.
+func DecodeVarCheckpoint(data []byte) (map[string]*Tensor, error) {
+	if len(data) < len(checkpointMagic) || !bytes.Equal(data[:len(checkpointMagic)], checkpointMagic) {
+		return nil, fmt.Errorf("tf: bad checkpoint magic")
+	}
+	r := &reader{data: data, off: len(checkpointMagic)}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry takes at least a name length prefix plus the minimal
+	// tensor header (dtype, rank, element count); a larger count is
+	// corruption, not an allocation hint to honour.
+	if int64(count) > int64(r.remaining())/13 {
+		return nil, fmt.Errorf("tf: checkpoint variable count %d exceeds remaining payload", count)
+	}
+	vars := make(map[string]*Tensor, count)
+	for i := uint32(0); i < count; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := vars[name]; ok {
+			return nil, fmt.Errorf("tf: duplicate checkpoint variable %q", name)
+		}
+		t, err := decodeTensorFrom(r)
+		if err != nil {
+			return nil, err
+		}
+		vars[name] = t
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("tf: %d trailing bytes after checkpoint", r.remaining())
+	}
+	return vars, nil
 }
 
 // RestoreCheckpoint loads variable values saved by SaveCheckpoint into
