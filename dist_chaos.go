@@ -121,6 +121,7 @@ func (j *chaosJob) restartShard(s, round int) error {
 // the wall-clock hang guard — the "zero hangs" assertion every chaos
 // wait runs under.
 func (j *chaosJob) waitCommitted(n int) error {
+	//securetf:allow nowallclock the chaos hang guard is wall by definition: a hang is a real bug, nothing virtual advances
 	deadline := time.Now().Add(chaosWaveTimeout)
 	for {
 		ok := true
@@ -133,9 +134,11 @@ func (j *chaosJob) waitCommitted(n int) error {
 		if ok {
 			return nil
 		}
+		//securetf:allow nowallclock wall deadline check for the hang guard above
 		if time.Now().After(deadline) {
 			return fmt.Errorf("securetf: chaos run stuck: shards never committed round %d", n)
 		}
+		//securetf:allow nowallclock real poll interval while waiting on real goroutines
 		time.Sleep(2 * time.Millisecond)
 	}
 }
@@ -251,6 +254,7 @@ func (j *chaosJob) run() error {
 		go func() { wg.Wait(); close(done) }()
 		select {
 		case <-done:
+		//securetf:allow nowallclock wall watchdog on a real goroutine wave; all virtual clocks are parked if this fires
 		case <-time.After(chaosWaveTimeout):
 			j.abort()
 			<-done

@@ -346,4 +346,39 @@
 // are charged to a per-platform virtual clock, so programs built on this
 // package are deterministic and fast while preserving the performance
 // shape the paper reports; read latencies with Container.Clock.
+//
+// # Static invariants
+//
+// The properties this documentation promises are compiled into
+// machine-checked analyzers (internal/analysis), run in CI as a
+// `go vet -vettool` pass and standalone via cmd/securetf-vet:
+//
+//   - nowallclock: vtime-accounted packages (tf, dist, federated,
+//     serving, core, this facade) never read the ambient wall clock —
+//     time.Now/Sleep/After and friends are flagged; files named
+//     *_wall.go are exempt wholesale.
+//   - detrand: deterministic-trajectory packages never draw from the
+//     global math/rand or math/rand/v2 source; randomness comes from
+//     an explicitly-seeded *rand.Rand threaded from config.
+//   - shieldedfs: enclave code never does direct package os file I/O;
+//     persistent state goes through fsapi.FS so it passes the FS
+//     shield. internal/fsapi, cmd/ and examples/ are exempt.
+//   - blockingsyscall: SCONE-hosted packages never mint raw net/tls
+//     conns or call Read/Accept on values typed as raw net
+//     conns/listeners; blocking waits must route through
+//     Runtime.BlockingSyscall via the container wrappers.
+//   - wirealloc: an integer decoded from wire bytes is bounds-checked
+//     before it sizes a make() or bounds an append loop.
+//   - deprecatedapi: symbols carrying a "Deprecated:" notice (and the
+//     retired serving facade aliases) are not used in new code or
+//     tests; serve.go and doc.go stay exempt as the compatibility and
+//     migration surface.
+//
+// A reviewed exception is annotated on the offending line, or the line
+// above it, with a mandatory reason:
+//
+//	//securetf:allow <analyzer> <reason>
+//
+// Malformed directives (unknown analyzer, missing reason) are
+// themselves diagnostics, so a typo cannot silently fail open.
 package securetf

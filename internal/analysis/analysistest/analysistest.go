@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its diagnostics against expectations embedded in the
+// fixtures, in the style of golang.org/x/tools/go/analysis/analysistest
+// but self-contained on the standard library.
+//
+// A fixture is a directory of .go files compiled as one package under
+// a caller-chosen import path (scoping is path-based, so a fixture
+// analyzed as "fixture/dist" exercises the dist rules). A line that
+// should be diagnosed carries a trailing marker:
+//
+//	payload := make([]byte, n) // want "unvalidated integer"
+//
+// The marker text is a regexp matched against the diagnostic message.
+// Every marker must be matched by a diagnostic on its line and vice
+// versa; //securetf:allow suppressions and _wall.go-style allowlists
+// are applied exactly as in the real drivers, so fixtures assert
+// suppression behaviour too.
+package analysistest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/securetf/securetf/internal/analysis"
+)
+
+// Run analyzes the fixture directory as a single package with the
+// given import path and asserts that the analyzer's surviving
+// diagnostics exactly match the // want markers.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	conf := &types.Config{Importer: stdImporter()}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	diags, err := analysis.RunPackage(fset, files, pkg, info, "", []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Line-comment form, or block-comment form for lines whose
+				// trailing line comment is itself under test (directives).
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					if text, ok = strings.CutPrefix(c.Text, "/* want "); !ok {
+						continue
+					}
+					text = strings.TrimSuffix(text, "*/")
+				}
+				pat, err := strconv.Unquote(strings.TrimSpace(text))
+				if err != nil {
+					t.Fatalf("%s: bad // want marker %q: %v", fset.Position(c.Pos()), text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad // want regexp: %v", fset.Position(c.Pos()), err)
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				if len(wants[k]) == 0 {
+					delete(wants, k)
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+var (
+	stdImporterOnce sync.Once
+	stdImp          types.Importer
+)
+
+// stdImporter type-checks standard-library imports from GOROOT source
+// (the module forbids external deps, so there is no export data to
+// borrow outside a `go list` run, and fixtures only import std).
+// Cgo is disabled so conditional-cgo packages like net resolve to
+// their pure-Go variants.
+func stdImporter() types.Importer {
+	stdImporterOnce.Do(func() {
+		build.Default.CgoEnabled = false
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return stdImp
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// rootDeprecatedSymbols are the root facade's deprecated aliases,
+// flagged wherever the root package is imported. Export data carries
+// no doc comments, so cross-package deprecation cannot be recovered
+// from type information alone; this table pins the known set (the one
+// the retired CI grep used to police) while the doc-comment scan below
+// catches same-package uses of anything newly deprecated.
+var rootDeprecatedSymbols = map[string]string{
+	"ServeInference":   "use ServeModels with an explicit register",
+	"DialInference":    "use DialModelServer (or DialRouter for a fleet)",
+	"InferenceService": "use ModelServer via ServeModels",
+	"InferenceClient":  "use ModelClient via DialModelServer",
+}
+
+// DeprecatedAPI reports uses of symbols marked "Deprecated:" in module
+// code. It replaces the grep-based CI step with a type-resolved check:
+// a mention in a comment or a string no longer trips it, and a use
+// through an alias no longer evades it. Uses inside the declaring
+// file, and in serve.go/doc.go (the compatibility shim and the
+// migration notes), are allowed. Unlike the other analyzers this one
+// covers _test.go files too — tests must stay off deprecated surfaces
+// so they keep compiling when the aliases are deleted.
+var DeprecatedAPI = &Analyzer{
+	Name:         "deprecatedapi",
+	IncludeTests: true,
+	Doc: `no calls to deprecated facade symbols
+
+Symbols whose doc comment carries a "Deprecated:" notice (and the root
+facade's known deprecated aliases: ServeInference, DialInference,
+InferenceService, InferenceClient) must not be used in new code. The
+declaring file and the serve.go/doc.go compatibility surface are
+exempt.`,
+	Run: runDeprecatedAPI,
+}
+
+func runDeprecatedAPI(pass *Pass) error {
+	if !inModule(pass.Pkg.Path(), pass.Module) {
+		return nil
+	}
+	// Same-package deprecations: objects declared in these files whose
+	// doc comment carries a "Deprecated:" paragraph.
+	local := map[types.Object]token.Pos{} // object -> declaring position
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if hasDeprecated(d.Doc) {
+					if obj := pass.TypesInfo.Defs[d.Name]; obj != nil {
+						local[obj] = d.Pos()
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if hasDeprecated(d.Doc) || hasDeprecated(sp.Doc) {
+							if obj := pass.TypesInfo.Defs[sp.Name]; obj != nil {
+								local[obj] = sp.Pos()
+							}
+						}
+					case *ast.ValueSpec:
+						if hasDeprecated(d.Doc) || hasDeprecated(sp.Doc) {
+							for _, name := range sp.Names {
+								if obj := pass.TypesInfo.Defs[name]; obj != nil {
+									local[obj] = sp.Pos()
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	rootPath := pass.Module
+	if rootPath == "" {
+		rootPath = pass.Pkg.Path()
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			base := fileBase(pass.Fset, id.Pos())
+			if base == "serve.go" || base == "doc.go" {
+				return true
+			}
+			if declPos, ok := local[obj]; ok {
+				if samePosFile(pass.Fset, declPos, id.Pos()) {
+					return true // the declaring file may use its own shims
+				}
+				pass.Reportf(id.Pos(), "%s is deprecated; see its Deprecated: notice for the replacement", obj.Name())
+				return true
+			}
+			if hint, ok := rootDeprecatedSymbols[obj.Name()]; ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == rootPath && obj.Parent() == obj.Pkg().Scope() {
+				pass.Reportf(id.Pos(), "%s is a deprecated serving facade alias; %s", obj.Name(), hint)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasDeprecated(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+		if strings.HasPrefix(text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+func samePosFile(fset *token.FileSet, a, b token.Pos) bool {
+	return fset.Position(a).Filename == fset.Position(b).Filename
+}

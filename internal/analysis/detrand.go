@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-global source. Constructors (New, NewSource,
+// NewZipf) and methods on an explicitly-seeded *rand.Rand are allowed
+// — that is the required idiom.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// globalRandV2Funcs is the same surface for math/rand/v2, whose global
+// functions are seeded from runtime entropy and therefore never
+// reproducible.
+var globalRandV2Funcs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+}
+
+// DetRand reports draws from the global math/rand source in
+// deterministic-trajectory packages. Training runs, cohort sampling,
+// dataset synthesis and fault schedules are all bit-reproducible at a
+// fixed seed; randomness there must come from an explicitly-seeded
+// *rand.Rand threaded from config, or from the seccrypto PRG.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: `no global math/rand in deterministic-trajectory code
+
+Packages whose trajectories are pinned bit-identical at a fixed seed
+(tf, dist, datasets, federated, serving, core) must not draw from the
+process-global math/rand or math/rand/v2 source. Use
+rand.New(rand.NewSource(seed)) with a seed threaded from config, or
+the seccrypto deterministic PRG.`,
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), "tf", "dist", "datasets", "federated", "serving", "core") &&
+		!(pass.Module != "" && pass.Pkg.Path() == pass.Module) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := usedObject(pass.TypesInfo, sel.Sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand":
+				if isPkgFunc(obj, "math/rand", obj.Name()) && globalRandFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the global math/rand source; use an explicitly-seeded *rand.Rand (rand.New(rand.NewSource(seed))) or the seccrypto PRG so trajectories stay bit-reproducible", obj.Name())
+				}
+			case "math/rand/v2":
+				if isPkgFunc(obj, "math/rand/v2", obj.Name()) && globalRandV2Funcs[obj.Name()] {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the runtime-seeded math/rand/v2 global source; use an explicitly-seeded generator so trajectories stay bit-reproducible", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

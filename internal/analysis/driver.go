@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the standalone
+// driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// RunStandalone loads the packages matching patterns (relative to dir,
+// or the working directory when dir is empty), type-checks the
+// in-module ones from source against build-cache export data
+// (`go list -export -deps`), runs the analyzers, and prints surviving
+// diagnostics to out. It returns the number printed.
+//
+// Only non-test files are loaded in this mode; the unitchecker path
+// (`go vet -vettool=securetf-vet`) covers test compilation units too.
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, out io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return 0, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		pkg := new(listPackage)
+		if err := dec.Decode(pkg); err != nil {
+			return 0, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if pkg.Error != nil {
+			return 0, fmt.Errorf("loading %s: %s", pkg.ImportPath, pkg.Error.Err)
+		}
+		if pkg.Export != "" {
+			exports[pkg.ImportPath] = pkg.Export
+		}
+		if !pkg.DepOnly && !pkg.Standard && pkg.Module != nil && len(pkg.GoFiles) > 0 {
+			targets = append(targets, pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	total := 0
+	for _, pkg := range targets {
+		if len(pkg.CgoFiles) > 0 {
+			fmt.Fprintf(out, "%s: skipped (cgo package)\n", pkg.ImportPath)
+			continue
+		}
+		var files []*ast.File
+		for _, name := range pkg.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(pkg.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return total, err
+			}
+			files = append(files, f)
+		}
+		goVersion := pkg.Module.GoVersion
+		if goVersion != "" && !strings.HasPrefix(goVersion, "go") {
+			goVersion = "go" + goVersion
+		}
+		conf := &types.Config{Importer: imp, GoVersion: goVersion}
+		info := newTypesInfo()
+		typed, err := conf.Check(pkg.ImportPath, fset, files, info)
+		if err != nil {
+			return total, fmt.Errorf("type-checking %s: %v", pkg.ImportPath, err)
+		}
+		diags, err := RunPackage(fset, files, typed, info, pkg.Module.Path, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/securetf/securetf/internal/analysis"
+)
+
+// TestModuleVetClean runs the full suite over the whole module, the
+// same pass CI makes: every invariant violation must be fixed or carry
+// a reviewed //securetf:allow suppression, so the count is zero.
+func TestModuleVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis needs a populated build cache; skipped in -short")
+	}
+	var buf strings.Builder
+	n, err := analysis.RunStandalone("../..", []string{"./..."}, analysis.All(), &buf)
+	if err != nil {
+		t.Fatalf("standalone run over the module: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("module is not vet-clean: %d unsuppressed diagnostics\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// shieldedFSFuncs are the package os entry points that touch the host
+// filesystem. The FS shield (internal/shield/fsshield behind
+// internal/fsapi) is the only sanctioned path for persistent state in
+// enclave code: it provides the authenticated encryption, the
+// generation counter that defeats rollback, and the vtime accounting
+// the paper's storage numbers rest on. os.Stat-style metadata reads
+// are deliberately not listed — they leak nothing the host does not
+// already control.
+var shieldedFSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Truncate": true, "Symlink": true, "Link": true,
+}
+
+// ShieldedFS reports direct package os file I/O outside the shield's
+// own implementation and the host-side binaries. Everything inside the
+// enclave boundary must go through fsapi.FS so reads and writes pass
+// the FS shield.
+var ShieldedFS = &Analyzer{
+	Name: "shieldedfs",
+	Doc: `no direct os file I/O outside internal/fsapi and cmd/
+
+Enclave code persists state only through the FS shield: take an
+fsapi.FS and use it. Direct os.Open/ReadFile/WriteFile/... calls are
+confined to internal/fsapi (the shield's backing store) and to the
+host-side cmd/ and examples/ binaries that bootstrap containers.`,
+	Run: runShieldedFS,
+}
+
+func runShieldedFS(pass *Pass) error {
+	// fsapi is the shield's backing store; cmd/ and examples/ are
+	// host-side binaries; internal/analysis is build tooling that reads
+	// compiler artifacts, not enclave state.
+	if inScope(pass.Pkg.Path(), "fsapi", "cmd", "examples", "analysis") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := usedObject(pass.TypesInfo, sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+				return true
+			}
+			if !isPkgFunc(obj, "os", obj.Name()) || !shieldedFSFuncs[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "os.%s bypasses the FS shield; enclave code must do persistent I/O through fsapi.FS (internal/fsapi)", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive shared by all analyzers:
+//
+//	//securetf:allow <analyzer> <reason>
+//
+// It suppresses diagnostics of the named analyzer on its own line and
+// on the line immediately below (so it works both as a trailing
+// comment and as a comment above the offending statement).
+const allowPrefix = "//securetf:allow"
+
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type directiveSet struct {
+	allows    []directive
+	malformed []Diagnostic
+}
+
+// collectDirectives scans every comment in the files for
+// //securetf:allow directives. A directive must name a known analyzer
+// and give a non-empty reason; anything else becomes a diagnostic
+// (attributed to the pseudo-analyzer "allow") so a typo cannot
+// silently fail open.
+func collectDirectives(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) *directiveSet {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ds := &directiveSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// Some other //securetf:allowfoo pragma; not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					ds.malformed = append(ds.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Message:  "malformed //securetf:allow directive: missing analyzer name and reason",
+					})
+				case !known[fields[0]] && fields[0] != "allow":
+					ds.malformed = append(ds.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("//securetf:allow names unknown analyzer %q", fields[0]),
+					})
+				case len(fields) < 2:
+					ds.malformed = append(ds.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("//securetf:allow %s needs a reason: a suppression is a reviewed claim and the claim must be stated", fields[0]),
+					})
+				default:
+					ds.allows = append(ds.allows, directive{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: fields[0],
+					})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether a well-formed directive covers a
+// diagnostic from the named analyzer at position.
+func (ds *directiveSet) suppresses(analyzer string, position token.Position) bool {
+	for _, d := range ds.allows {
+		if d.analyzer != analyzer || d.file != position.Filename {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+// Package allowfix exercises the directive parser: malformed
+// suppressions must fail closed, as diagnostics, never silently.
+package allowfix
+
+import "time"
+
+// Directive defects: unknown analyzer, missing reason, empty.
+func bad() {
+	_ = 0 /* want "unknown analyzer" */      //securetf:allow frobnicate whatever
+	_ = 1 /* want "needs a reason" */        //securetf:allow nowallclock
+	_ = 2 /* want "missing analyzer name" */ //securetf:allow
+}
+
+// A malformed directive also fails to suppress: the finding survives
+// alongside the directive's own diagnostic.
+func survives() {
+	_ = 3                        /* want "unknown analyzer" */ //securetf:allow frobnicate wall pacing
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}

@@ -1,0 +1,30 @@
+// Package securetf is a deprecatedapi fixture mirroring the root
+// facade: serve.go declares the compatibility shims and is exempt.
+package securetf
+
+// ServeInference is the retired serving entry point.
+//
+// Deprecated: use ServeModels with an explicit register.
+func ServeInference(addr string) error {
+	return serveModels(addr) // the compat file may use anything
+}
+
+// DialInference is the retired client constructor; it carries no local
+// notice here, so only the pinned facade-alias table catches it.
+func DialInference(addr string) error {
+	_ = addr
+	return nil
+}
+
+// Retired is a locally-deprecated helper.
+//
+// Deprecated: use Current.
+func Retired() int { return 0 }
+
+// Current replaces Retired.
+func Current() int { return 1 }
+
+func serveModels(addr string) error {
+	_ = addr
+	return nil
+}

@@ -1,0 +1,14 @@
+package securetf
+
+// Boot still calls the deprecated surfaces from new code.
+func Boot() error {
+	n := Retired() // want "Retired is deprecated"
+	_ = n
+	if err := ServeInference(":0"); err != nil { // want "ServeInference is deprecated"
+		return err
+	}
+	return DialInference(":0") // want "deprecated serving facade alias"
+}
+
+// Migrated uses the replacements: clean.
+func Migrated() int { return Current() }

@@ -1,0 +1,7 @@
+package securetf
+
+// deprecatedapi sets IncludeTests: tests must come off deprecated
+// surfaces too, or they break when the aliases are deleted.
+func useInTest() int {
+	return Retired() // want "Retired is deprecated"
+}

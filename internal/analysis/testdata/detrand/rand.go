@@ -1,0 +1,35 @@
+// Package tf is a detrand fixture: deterministic-trajectory code that
+// must not draw from the global math/rand sources.
+package tf
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// InitWeights draws from the process-global source: irreproducible.
+func InitWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rand.NormFloat64() // want "global math/rand source"
+	}
+	rand.Shuffle(len(w), func(i, j int) { w[i], w[j] = w[j], w[i] }) // want "global math/rand source"
+	w[0] += float64(randv2.IntN(10))                                 // want "runtime-seeded math/rand/v2"
+	return w
+}
+
+// SeededWeights is the required idiom: a generator seeded from config.
+func SeededWeights(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the fix, not a finding
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// JitterPort picks a debug port; the draw never touches a trajectory,
+// so the site is reviewed and suppressed.
+func JitterPort() int {
+	return 49152 + rand.Intn(1024) //securetf:allow detrand debug port choice is outside every pinned trajectory
+}

@@ -1,0 +1,20 @@
+// Package dist is a nowallclock fixture: a vtime-accounted package
+// (path segment "dist") that reads the ambient wall clock.
+package dist
+
+import "time"
+
+// Step mimics a training step that leaks wall time into a trajectory.
+func Step(epoch time.Time) time.Duration {
+	start := time.Now()                      // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)             // want "time.Sleep reads the wall clock"
+	tick := time.NewTicker(time.Millisecond) // want "time.NewTicker reads the wall clock"
+	tick.Stop()
+	return start.Sub(epoch) // methods on time.Time are pure arithmetic: clean
+}
+
+// Watchdog is a genuinely-wall deadline, suppressed with a reviewed claim.
+func Watchdog() time.Time {
+	//securetf:allow nowallclock reconnect deadline paces a real peer, not the trajectory
+	return time.Now().Add(time.Second)
+}

@@ -1,0 +1,23 @@
+// Package enclave is a shieldedfs fixture: enclave code doing direct
+// os file I/O instead of going through fsapi.FS.
+package enclave
+
+import "os"
+
+// Persist writes model state straight to the host filesystem.
+func Persist(path string, blob []byte) error {
+	if err := os.WriteFile(path, blob, 0o600); err != nil { // want "os.WriteFile bypasses the FS shield"
+		return err
+	}
+	f, err := os.Open(path) // want "os.Open bypasses the FS shield"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := os.Stat(path); err != nil { // metadata reads are allowed
+		return err
+	}
+	//securetf:allow shieldedfs bootstrap manifest is read before the shield mounts
+	_, err = os.ReadFile(path)
+	return err
+}

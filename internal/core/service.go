@@ -91,6 +91,7 @@ func (s *InferenceService) Close() error {
 func (s *InferenceService) serve() {
 	defer s.wg.Done()
 	for {
+		//securetf:allow blockingsyscall s.ln comes from Container.Listen, whose runtime wrapper routes Accept through Runtime.BlockingSyscall
 		conn, err := s.ln.Accept()
 		if err != nil {
 			select {
@@ -99,6 +100,7 @@ func (s *InferenceService) serve() {
 			default:
 				// Back off briefly so a persistent accept error (e.g.
 				// fd exhaustion) cannot busy-spin the loop.
+				//securetf:allow nowallclock accept-error backoff paces a real goroutine, not accounted work
 				time.Sleep(time.Millisecond)
 				continue
 			}

@@ -1,0 +1,75 @@
+package datasets
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"github.com/securetf/securetf/internal/fsapi"
+)
+
+// The synthetic datasets are part of the reproducibility surface: every
+// figure regenerates them from a seed, so the bytes at a fixed seed are
+// pinned here. The detrand analyzer keeps global-rand draws out of this
+// package; these goldens catch the subtler regressions — reordered
+// draws, changed render parameters — that an analyzer cannot see.
+
+func hashFile(t *testing.T, fsys fsapi.FS, name string) string {
+	t.Helper()
+	b, err := fsapi.ReadFile(fsys, name)
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGenerateMNISTGolden(t *testing.T) {
+	fsys := fsapi.NewMem()
+	if err := GenerateMNIST(fsys, "mnist", 64, 16, 42); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"mnist/train-images-idx3-ubyte": "3eca6ba1afbc42a31f589ddb9ceea502bd1f7844e24553cb30d57a58390b4870",
+		"mnist/train-labels-idx1-ubyte": "35b4a7c6498ff55816a6a3625772993bbfd956824e6be1812f95c0227c70afb7",
+		"mnist/t10k-images-idx3-ubyte":  "b0934d21b8c1ab303dce1df2f0b588b1157c883fafeb21452f182f390d3e652d",
+		"mnist/t10k-labels-idx1-ubyte":  "c70735c3ec5340ace5c7e8c0ad105616e67ed417894f05ef1e74ab53b2697646",
+	}
+	for name, wantSum := range want {
+		if got := hashFile(t, fsys, name); got != wantSum {
+			t.Errorf("%s: seeded bytes drifted\n got %s\nwant %s", name, got, wantSum)
+		}
+	}
+}
+
+func TestGenerateCIFAR10Golden(t *testing.T) {
+	fsys := fsapi.NewMem()
+	if err := GenerateCIFAR10(fsys, "cifar", 32, 2, 42); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"cifar/data_batch_1.bin": "f00b824ae3de4ba6472056aeab331e734912b6c8966416cd3f3d6b7bd92b86f1",
+		"cifar/data_batch_2.bin": "28ade1c80d93ca1144748146e14008289dbf2b7fe0291cb4220446c4749346ea",
+		"cifar/test_batch.bin":   "35138ea7dadc019075d692665a8a9ccea2d4dcc8603fdec9baf210bc74bc4249",
+	}
+	for name, wantSum := range want {
+		if got := hashFile(t, fsys, name); got != wantSum {
+			t.Errorf("%s: seeded bytes drifted\n got %s\nwant %s", name, got, wantSum)
+		}
+	}
+}
+
+// TestGenerateMNISTSeedSensitivity double-checks the seed actually
+// reaches the generator: a different seed must move the bytes.
+func TestGenerateMNISTSeedSensitivity(t *testing.T) {
+	a, b := fsapi.NewMem(), fsapi.NewMem()
+	if err := GenerateMNIST(a, "m", 8, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateMNIST(b, "m", 8, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if hashFile(t, a, "m/train-images-idx3-ubyte") == hashFile(t, b, "m/train-images-idx3-ubyte") {
+		t.Fatal("seeds 1 and 2 produced identical MNIST images; seed is not threaded into the generator")
+	}
+}

@@ -271,6 +271,7 @@ func (c *Coordinator) Close() error {
 func (c *Coordinator) accept() {
 	defer c.wg.Done()
 	for {
+		//securetf:allow blockingsyscall cfg.Listener is minted by Container.Listen; its wrapper parks Accept in Runtime.BlockingSyscall
 		conn, err := c.cfg.Listener.Accept()
 		if err != nil {
 			return

@@ -100,6 +100,7 @@ func (g *Gateway) collect(m *servedModel, first *request) (batch []*request, car
 	if res.MaxBatch <= 1 || res.BatchWindow <= 0 {
 		return batch, nil
 	}
+	//securetf:allow nowallclock the batch window paces real request arrival; batch contents stay bitwise identical to per-request runs
 	timer := time.NewTimer(res.BatchWindow)
 	defer timer.Stop()
 	for rows < res.MaxBatch {

@@ -240,6 +240,7 @@ func (cl *Client) backoff(p RetryPolicy, model string, attempt int) {
 	if cl.clock != nil {
 		cl.clock.Advance(d)
 	}
+	//securetf:allow nowallclock retry backoff sleeps real goroutines; the same d is charged to the virtual clock above
 	time.Sleep(d)
 }
 

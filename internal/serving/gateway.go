@@ -162,6 +162,7 @@ func (g *Gateway) Addr() string { return g.ln.Addr().String() }
 func (g *Gateway) accept() {
 	defer g.connWG.Done()
 	for {
+		//securetf:allow blockingsyscall g.ln comes from Container.Listen, whose runtime wrapper routes Accept through Runtime.BlockingSyscall
 		conn, err := g.ln.Accept()
 		if err != nil {
 			select {
@@ -170,6 +171,7 @@ func (g *Gateway) accept() {
 			default:
 				// Back off briefly so a persistent accept error (e.g.
 				// fd exhaustion) cannot busy-spin the loop.
+				//securetf:allow nowallclock accept-error backoff paces a real goroutine, not accounted work
 				time.Sleep(time.Millisecond)
 				continue
 			}

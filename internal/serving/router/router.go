@@ -272,12 +272,14 @@ func (r *Router) ManifestKey() *seccrypto.SigningKey { return r.key }
 func (r *Router) accept() {
 	defer r.connWG.Done()
 	for {
+		//securetf:allow blockingsyscall r.ln comes from Container.Listen, whose runtime wrapper routes Accept through Runtime.BlockingSyscall
 		conn, err := r.ln.Accept()
 		if err != nil {
 			select {
 			case <-r.closed:
 				return
 			default:
+				//securetf:allow nowallclock accept-error backoff paces a real goroutine, not accounted work
 				time.Sleep(time.Millisecond)
 				continue
 			}

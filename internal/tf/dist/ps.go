@@ -389,6 +389,7 @@ func (ps *ParameterServer) Close() error {
 func (ps *ParameterServer) accept() {
 	defer ps.wg.Done()
 	for {
+		//securetf:allow blockingsyscall cfg.Listener is minted by Container.Listen; its wrapper parks Accept in Runtime.BlockingSyscall
 		conn, err := ps.cfg.Listener.Accept()
 		if err != nil {
 			return
@@ -603,6 +604,7 @@ func (ps *ParameterServer) push(msg *message) error {
 	ps.waiters = append(ps.waiters, ch)
 	if ps.pushes == 1 && ps.cfg.RoundTimeout > 0 {
 		gen := ps.gen
+		//securetf:allow nowallclock RoundTimeout is a genuinely-wall watchdog: it evicts workers that stopped making real progress
 		ps.timer = time.AfterFunc(ps.cfg.RoundTimeout, func() { ps.timeout(gen) })
 	}
 	if ps.pushes >= ps.expected {

@@ -597,6 +597,7 @@ func (w *Worker) redial(s int, clock *vtime.Clock) error {
 		w.conns[s].Close()
 		w.conns[s] = nil
 	}
+	//securetf:allow nowallclock the reconnect budget bounds real redial attempts against a possibly-dead peer
 	deadline := time.Now().Add(w.cfg.Reconnect)
 	var last error
 	for {
@@ -610,9 +611,11 @@ func (w *Worker) redial(s int, clock *vtime.Clock) error {
 			w.conns[s] = nil
 		}
 		last = err
+		//securetf:allow nowallclock wall deadline check for the real redial loop above
 		if time.Now().After(deadline) {
 			return fmt.Errorf("dist: worker %d redial shard %d: %w", w.cfg.ID, s, last)
 		}
+		//securetf:allow nowallclock real backoff between redials of a peer that may still be restarting
 		time.Sleep(5 * time.Millisecond)
 	}
 }
